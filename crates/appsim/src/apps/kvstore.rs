@@ -1,0 +1,149 @@
+//! `kvstore` — the etcd-like substrate.
+//!
+//! Case c16 of Table 2: etcd serializes access to its key space with a
+//! store-wide reader/writer lock. A complex range read holds the lock in
+//! shared mode for seconds; the next writer queues exclusively behind it
+//! and, with FIFO granting, every later read queues behind the writer —
+//! the same convoy as the MySQL backup case at a different granularity.
+
+use crate::controller::SimResource;
+use crate::ids::LockId;
+use crate::op::{LockMode, Plan};
+use crate::server::{ResourceGroupDef, ServerConfig};
+use crate::workload::ClassSpec;
+
+/// Parameters of the KV substrate.
+#[derive(Debug, Clone)]
+pub struct KvStoreConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Median service time of a get (ns).
+    pub get_ns: u64,
+    /// Median service time of a put (ns).
+    pub put_ns: u64,
+}
+
+impl Default for KvStoreConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            workers: 64,
+            get_ns: 120_000,
+            put_ns: 250_000,
+        }
+    }
+}
+
+/// The built KV store.
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    /// Parameters.
+    pub cfg: KvStoreConfig,
+    /// The store-wide KV lock.
+    pub kv_lock: LockId,
+}
+
+impl KvStore {
+    /// Builds the substrate.
+    pub fn new(cfg: KvStoreConfig) -> Self {
+        Self {
+            kv_lock: LockId(0),
+            cfg,
+        }
+    }
+
+    /// The server configuration.
+    pub fn server_config(&self) -> ServerConfig {
+        ServerConfig {
+            seed: self.cfg.seed,
+            workers: self.cfg.workers,
+            n_locks: 1,
+            groups: vec![ResourceGroupDef {
+                name: "kv_lock".into(),
+                rtype: atropos::ResourceType::Lock,
+                members: vec![SimResource::Lock(self.kv_lock)],
+            }],
+            ..Default::default()
+        }
+    }
+
+    /// A point get (shared lock, brief).
+    pub fn kv_get(&self, weight: f64) -> ClassSpec {
+        let lock = self.kv_lock;
+        let base = self.cfg.get_ns;
+        ClassSpec::new("kv_get", weight, move |rng| {
+            let ns = rng.lognormal(base as f64, 0.3) as u64;
+            Plan::new()
+                .lock(lock, LockMode::Shared)
+                .compute(ns)
+                .unlock(lock)
+        })
+    }
+
+    /// A put (exclusive lock, brief).
+    pub fn kv_put(&self, weight: f64) -> ClassSpec {
+        let lock = self.kv_lock;
+        let base = self.cfg.put_ns;
+        ClassSpec::new("kv_put", weight, move |rng| {
+            let ns = rng.lognormal(base as f64, 0.3) as u64;
+            Plan::new()
+                .lock(lock, LockMode::Exclusive)
+                .compute(ns)
+                .unlock(lock)
+        })
+    }
+
+    /// The complex range read holding the shared lock for `hold_ns` (c16).
+    pub fn range_read(&self, weight: f64, hold_ns: u64) -> ClassSpec {
+        let lock = self.kv_lock;
+        ClassSpec::new("range_read", weight, move |rng| {
+            let ns = rng.lognormal(hold_ns as f64, 0.1) as u64;
+            Plan::new()
+                .lock(lock, LockMode::Shared)
+                .compute(ns)
+                .unlock(lock)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SimServer;
+    use crate::workload::WorkloadSpec;
+    use crate::NoControl;
+    use atropos_sim::SimTime;
+
+    #[test]
+    fn mixed_get_put_traffic_is_healthy() {
+        let kv = KvStore::new(KvStoreConfig::default());
+        let wl = WorkloadSpec::new(vec![kv.kv_get(0.8), kv.kv_put(0.2)], 3_000.0);
+        let m = SimServer::new(kv.server_config(), wl, Box::new(NoControl))
+            .run(SimTime::from_secs(3), SimTime::from_secs(1));
+        assert!(m.completed as f64 / 2.0 > 2_700.0);
+        assert!(m.latency.p99() < 50_000_000, "p99 {}", m.latency.p99());
+    }
+
+    #[test]
+    fn range_read_convoys_writers_and_readers() {
+        let kv = KvStore::new(KvStoreConfig::default());
+        let wl = WorkloadSpec::new(
+            vec![
+                kv.kv_get(0.8),
+                kv.kv_put(0.2),
+                kv.range_read(0.0, 1_500_000_000),
+            ],
+            3_000.0,
+        )
+        .inject(SimTime::from_millis(1200), crate::ids::ClassId(2));
+        let m = SimServer::new(kv.server_config(), wl, Box::new(NoControl))
+            .run(SimTime::from_secs(4), SimTime::from_secs(1));
+        assert!(
+            m.latency.p99() > 1_000_000_000,
+            "p99 {} should show the 1.5 s convoy",
+            m.latency.p99()
+        );
+    }
+}

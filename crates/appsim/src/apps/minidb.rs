@@ -1,0 +1,458 @@
+//! `minidb` — the MySQL/PostgreSQL-like database substrate.
+//!
+//! Owns the application resources behind cases c1–c8 of Table 2:
+//!
+//! - a buffer pool (InnoDB's page cache; case c5 and the Figure 2 study),
+//! - per-table locks plus the backup's global write-lock pass (c1, c4, c6),
+//! - an undo-log mutex contended by the background purge task (c3),
+//! - a WAL lock forming group-commit convoys behind the WAL writer (c7),
+//! - an InnoDB-style concurrency ticket queue (c2),
+//! - the shared IO device saturated by vacuum (c8).
+//!
+//! Request classes mirror the paper's workloads: Sysbench-style
+//! point-selects and row-updates as the lightweight mix, plus the noisy
+//! classes each case injects (scan, dump, backup, SELECT FOR UPDATE, bulk
+//! MVCC write, purge, WAL writer, vacuum).
+
+use atropos_sim::SimRng;
+
+use crate::controller::SimResource;
+use crate::ids::{LockId, PoolId, QueueId};
+use crate::op::{LockMode, Plan};
+use crate::resources::bufferpool::BufferPoolConfig;
+use crate::server::{ResourceGroupDef, ServerConfig};
+use crate::workload::ClassSpec;
+
+/// Parameters of the database substrate.
+#[derive(Debug, Clone)]
+pub struct MiniDbConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker (connection thread) count.
+    pub workers: usize,
+    /// Number of user tables.
+    pub n_tables: usize,
+    /// InnoDB concurrency tickets.
+    pub tickets: usize,
+    /// Buffer pool configuration.
+    pub pool: BufferPoolConfig,
+    /// Median compute time of a point select (ns).
+    pub select_ns: u64,
+    /// Median compute time of a row update (ns).
+    pub update_ns: u64,
+}
+
+impl Default for MiniDbConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            workers: 128,
+            n_tables: 5,
+            tickets: 4,
+            pool: BufferPoolConfig {
+                capacity: 32_768, // 512 MB of 16 KB pages
+                hot_keys: 26_000, // working set fits with little headroom
+                zipf_theta: 0.85,
+                hit_ns: 800,
+                miss_ns: 250_000,     // a random miss is a storage read
+                scan_miss_ns: 20_000, // sequential sweeps stream from disk
+                evict_ns: 20_000,
+            },
+            select_ns: 150_000,
+            update_ns: 190_000,
+        }
+    }
+}
+
+/// The built database: resource handles + server config.
+#[derive(Debug, Clone)]
+pub struct MiniDb {
+    /// The substrate's parameters.
+    pub cfg: MiniDbConfig,
+    /// Per-table locks.
+    pub table_locks: Vec<LockId>,
+    /// The undo-log mutex.
+    pub undo_lock: LockId,
+    /// The WAL lock.
+    pub wal_lock: LockId,
+    /// The buffer pool.
+    pub pool: PoolId,
+    /// The InnoDB ticket queue.
+    pub innodb_queue: QueueId,
+}
+
+impl MiniDb {
+    /// Builds the substrate.
+    pub fn new(cfg: MiniDbConfig) -> Self {
+        let table_locks: Vec<LockId> = (0..cfg.n_tables as u32).map(LockId).collect();
+        Self {
+            undo_lock: LockId(cfg.n_tables as u32),
+            wal_lock: LockId(cfg.n_tables as u32 + 1),
+            pool: PoolId(0),
+            innodb_queue: QueueId(0),
+            table_locks,
+            cfg,
+        }
+    }
+
+    /// The server configuration, with every application resource traced.
+    pub fn server_config(&self) -> ServerConfig {
+        let groups = vec![
+            ResourceGroupDef {
+                name: "buffer_pool".into(),
+                rtype: atropos::ResourceType::Memory,
+                members: vec![SimResource::Pool(self.pool)],
+            },
+            ResourceGroupDef {
+                name: "table_lock".into(),
+                rtype: atropos::ResourceType::Lock,
+                members: self
+                    .table_locks
+                    .iter()
+                    .map(|&l| SimResource::Lock(l))
+                    .collect(),
+            },
+            ResourceGroupDef {
+                name: "undo_log".into(),
+                rtype: atropos::ResourceType::Lock,
+                members: vec![SimResource::Lock(self.undo_lock)],
+            },
+            ResourceGroupDef {
+                name: "wal".into(),
+                rtype: atropos::ResourceType::Lock,
+                members: vec![SimResource::Lock(self.wal_lock)],
+            },
+            ResourceGroupDef {
+                name: "innodb_queue".into(),
+                rtype: atropos::ResourceType::Queue,
+                members: vec![SimResource::Queue(self.innodb_queue)],
+            },
+            ResourceGroupDef {
+                name: "io".into(),
+                rtype: atropos::ResourceType::System,
+                members: vec![SimResource::Io],
+            },
+            ResourceGroupDef {
+                name: "worker_pool".into(),
+                rtype: atropos::ResourceType::Queue,
+                members: vec![SimResource::WorkerPool],
+            },
+        ];
+        ServerConfig {
+            seed: self.cfg.seed,
+            workers: self.cfg.workers,
+            n_locks: self.cfg.n_tables + 2,
+            pools: vec![self.cfg.pool.clone()],
+            queues: vec![self.cfg.tickets],
+            groups,
+            ..Default::default()
+        }
+    }
+
+    fn pick_table(&self, rng: &mut SimRng) -> LockId {
+        self.table_locks[rng.below(self.table_locks.len() as u64) as usize]
+    }
+
+    /// Sysbench point-select: ticket → shared table lock → hot pages →
+    /// compute.
+    pub fn point_select(&self, weight: f64) -> ClassSpec {
+        let db = self.clone();
+        let base = self.cfg.select_ns;
+        ClassSpec::new("point_select", weight, move |rng| {
+            let table = db.pick_table(rng);
+            let ns = rng.lognormal(base as f64, 0.25) as u64;
+            Plan::new()
+                .enter(db.innodb_queue)
+                .lock(table, LockMode::Shared)
+                .pool_hot(db.pool, 6)
+                .compute(ns)
+                .unlock(table)
+                .leave(db.innodb_queue)
+        })
+    }
+
+    /// Sysbench row-update: adds undo and WAL appends.
+    pub fn row_update(&self, weight: f64) -> ClassSpec {
+        let db = self.clone();
+        let base = self.cfg.update_ns;
+        ClassSpec::new("row_update", weight, move |rng| {
+            let table = db.pick_table(rng);
+            let ns = rng.lognormal(base as f64, 0.25) as u64;
+            Plan::new()
+                .enter(db.innodb_queue)
+                .lock(table, LockMode::Shared)
+                .pool_hot(db.pool, 6)
+                .compute(ns)
+                .lock(db.undo_lock, LockMode::Exclusive)
+                .compute(4_000)
+                .unlock(db.undo_lock)
+                .lock(db.wal_lock, LockMode::Exclusive)
+                .compute(3_000)
+                .unlock(db.wal_lock)
+                .unlock(table)
+                .leave(db.innodb_queue)
+        })
+    }
+
+    /// A long in-memory table scan: holds a shared table lock while it
+    /// runs — the enabler of case c1, where a backup's exclusive lock
+    /// request queues behind it and convoys every other query. The scanned
+    /// table fits in memory (the paper's case-2 setup: five 1 M-row
+    /// tables), so the scan's footprint is the lock, not the buffer pool;
+    /// pool-sweeping behaviour is the separate [`MiniDb::dump`] class.
+    /// Long scans also do not pin an InnoDB ticket for their whole run
+    /// (InnoDB forces long-running threads to yield tickets periodically).
+    pub fn table_scan(&self, weight: f64, duration_ns: u64) -> ClassSpec {
+        let db = self.clone();
+        ClassSpec::new("table_scan", weight, move |rng| {
+            let table = db.pick_table(rng);
+            let ns = rng.lognormal(duration_ns as f64, 0.1) as u64;
+            Plan::new()
+                .lock(table, LockMode::Shared)
+                .pool_hot(db.pool, 32)
+                .compute(ns)
+                .unlock(table)
+        })
+    }
+
+    /// A slow in-engine query that *does* hold an InnoDB concurrency
+    /// ticket while it computes — the noisy class of case c2 ("slow
+    /// queries monopolize the InnoDB queue").
+    pub fn slow_query(&self, weight: f64, ns: u64) -> ClassSpec {
+        let db = self.clone();
+        ClassSpec::new("slow_query", weight, move |rng| {
+            let table = db.pick_table(rng);
+            let ns = rng.lognormal(ns as f64, 0.15) as u64;
+            Plan::new()
+                .enter(db.innodb_queue)
+                .lock(table, LockMode::Shared)
+                .pool_hot(db.pool, 12)
+                .compute(ns)
+                .unlock(table)
+                .leave(db.innodb_queue)
+        })
+    }
+
+    /// A dump query sweeping the whole dataset through the buffer pool
+    /// without table locks (case c5 / Figure 2).
+    pub fn dump(&self, weight: f64, pages: u64) -> ClassSpec {
+        let db = self.clone();
+        ClassSpec::new("dump", weight, move |rng| {
+            let base = rng.below(1 << 30);
+            Plan::new().pool_scan(db.pool, pages, base)
+        })
+    }
+
+    /// The backup query: acquires exclusive locks on *all* tables, copies
+    /// them, then releases (case c1 / Figure 3 dynamics).
+    pub fn backup(&self, copy_ns_per_table: u64) -> ClassSpec {
+        let db = self.clone();
+        ClassSpec::new("backup", 0.0, move |_rng| {
+            let mut p = Plan::new();
+            for &t in &db.table_locks {
+                p = p.lock(t, LockMode::Exclusive);
+            }
+            for _ in &db.table_locks {
+                p = p.compute(copy_ns_per_table);
+            }
+            for &t in &db.table_locks {
+                p = p.unlock(t);
+            }
+            p
+        })
+    }
+
+    /// `SELECT FOR UPDATE` holding one table exclusively (case c4).
+    pub fn select_for_update(&self, hold_ns: u64) -> ClassSpec {
+        let db = self.clone();
+        ClassSpec::new("select_for_update", 0.0, move |_rng| {
+            let table = db.table_locks[0];
+            Plan::new()
+                .enter(db.innodb_queue)
+                .lock(table, LockMode::Exclusive)
+                .compute(hold_ns)
+                .unlock(table)
+                .leave(db.innodb_queue)
+        })
+    }
+
+    /// A bulk MVCC write slowing readers of its table (case c6).
+    pub fn bulk_write(&self, hold_ns: u64) -> ClassSpec {
+        let db = self.clone();
+        ClassSpec::new("bulk_write", 0.0, move |rng| {
+            let table = db.pick_table(rng);
+            Plan::new()
+                .lock(table, LockMode::Exclusive)
+                .pool_hot(db.pool, 64)
+                .compute(hold_ns)
+                .unlock(table)
+        })
+    }
+
+    /// The background purge task contending on the undo log (case c3).
+    pub fn purge(&self, hold_ns: u64) -> ClassSpec {
+        let db = self.clone();
+        ClassSpec::new("purge", 0.0, move |_rng| {
+            Plan::new()
+                .lock(db.undo_lock, LockMode::Exclusive)
+                .compute(hold_ns)
+                .unlock(db.undo_lock)
+        })
+        .background()
+    }
+
+    /// The background WAL writer whose long flush convoys group commit
+    /// (case c7).
+    pub fn wal_writer(&self, flush_ns: u64) -> ClassSpec {
+        let db = self.clone();
+        ClassSpec::new("wal_writer", 0.0, move |_rng| {
+            Plan::new()
+                .lock(db.wal_lock, LockMode::Exclusive)
+                .io(flush_ns)
+                .unlock(db.wal_lock)
+        })
+        .background()
+    }
+
+    /// The vacuum process saturating the IO device (case c8).
+    pub fn vacuum(&self, io_chunks: usize, chunk_ns: u64) -> ClassSpec {
+        ClassSpec::new("vacuum", 0.0, move |_rng| {
+            let mut p = Plan::new();
+            for _ in 0..io_chunks {
+                p = p.io(chunk_ns);
+            }
+            p
+        })
+        .background()
+    }
+
+    /// An IO-touching light class for the PostgreSQL cases (reads hit the
+    /// shared device so vacuum contention is visible).
+    pub fn select_with_io(&self, weight: f64, io_ns: u64) -> ClassSpec {
+        let db = self.clone();
+        let base = self.cfg.select_ns;
+        ClassSpec::new("select_io", weight, move |rng| {
+            let table = db.pick_table(rng);
+            let ns = rng.lognormal(base as f64, 0.25) as u64;
+            Plan::new()
+                .lock(table, LockMode::Shared)
+                .compute(ns)
+                .io(io_ns)
+                .unlock(table)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SimServer;
+    use crate::workload::WorkloadSpec;
+    use crate::NoControl;
+    use atropos_sim::SimTime;
+
+    #[test]
+    fn config_declares_all_resources() {
+        let db = MiniDb::new(MiniDbConfig::default());
+        let cfg = db.server_config();
+        assert_eq!(cfg.n_locks, 7); // 5 tables + undo + wal
+        assert_eq!(cfg.pools.len(), 1);
+        assert_eq!(cfg.queues.len(), 1);
+        let names: Vec<&str> = cfg.groups.iter().map(|g| g.name.as_str()).collect();
+        for expected in [
+            "buffer_pool",
+            "table_lock",
+            "undo_log",
+            "wal",
+            "innodb_queue",
+            "io",
+            "worker_pool",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn plans_reference_valid_resources() {
+        let db = MiniDb::new(MiniDbConfig::default());
+        let mut rng = SimRng::new(3);
+        for spec in [
+            db.point_select(1.0),
+            db.row_update(1.0),
+            db.table_scan(0.0, 1_000_000),
+            db.dump(0.0, 1000),
+            db.backup(1_000_000),
+            db.select_for_update(1_000_000),
+            db.bulk_write(1_000_000),
+            db.purge(1_000_000),
+            db.wal_writer(1_000_000),
+            db.vacuum(3, 1_000_000),
+            db.select_with_io(1.0, 10_000),
+        ] {
+            let plan = (spec.make_plan)(&mut rng);
+            assert!(!plan.ops.is_empty(), "{} plan empty", spec.name);
+        }
+    }
+
+    #[test]
+    fn backup_locks_all_tables_exclusively() {
+        let db = MiniDb::new(MiniDbConfig::default());
+        let mut rng = SimRng::new(1);
+        let plan = (db.backup(1_000).make_plan)(&mut rng);
+        let locks = plan
+            .ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    crate::op::Op::AcquireLock {
+                        mode: LockMode::Exclusive,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(locks, 5);
+    }
+
+    /// Smoke test: the light mix alone sustains ~10 kQPS with low latency.
+    #[test]
+    fn light_mix_runs_clean() {
+        let db = MiniDb::new(MiniDbConfig::default());
+        let wl = WorkloadSpec::new(vec![db.point_select(0.65), db.row_update(0.35)], 10_000.0);
+        let m = SimServer::new(db.server_config(), wl, Box::new(NoControl))
+            .run(SimTime::from_secs(3), SimTime::from_secs(1));
+        let tput = m.completed as f64 / 2.0;
+        assert!(tput > 9_000.0, "tput {tput}");
+        assert!(m.latency.p99() < 5_000_000, "p99 {}", m.latency.p99());
+        assert_eq!(m.dropped, 0);
+    }
+
+    /// The Figure 3 mechanism end-to-end: a backup stuck behind a scan
+    /// convoys every short request on the tables.
+    #[test]
+    fn backup_behind_scan_collapses_throughput() {
+        let db = MiniDb::new(MiniDbConfig::default());
+        let wl = WorkloadSpec::new(
+            vec![
+                db.point_select(0.65),
+                db.row_update(0.35),
+                db.table_scan(0.0, 2_400_000_000), // 2.4 s scan
+                db.backup(50_000_000),
+            ],
+            8_000.0,
+        )
+        .inject(SimTime::from_millis(1200), crate::ids::ClassId(2))
+        .inject(SimTime::from_millis(1500), crate::ids::ClassId(3));
+        let m = SimServer::new(db.server_config(), wl, Box::new(NoControl))
+            .run(SimTime::from_secs(4), SimTime::from_secs(1));
+        // The convoy stalls a large part of the post-injection window.
+        let tput = m.completed as f64 / 3.0;
+        assert!(tput < 6_500.0, "tput {tput} should collapse under convoy");
+        assert!(
+            m.latency.p99() > 200_000_000,
+            "p99 {} should reflect multi-second stalls",
+            m.latency.p99()
+        );
+    }
+}

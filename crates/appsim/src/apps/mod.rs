@@ -1,0 +1,11 @@
+//! Builders for the four simulated applications.
+//!
+//! Each builder produces a `ServerConfig` + `WorkloadSpec` pair whose
+//! resources and request classes match one of the paper's six target
+//! systems (MySQL and PostgreSQL share the `minidb` substrate;
+//! Elasticsearch and Solr share `search`).
+
+pub mod kvstore;
+pub mod minidb;
+pub mod search;
+pub mod webserver;

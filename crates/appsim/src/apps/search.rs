@@ -1,0 +1,340 @@
+//! `search` — the Elasticsearch/Solr-like substrate.
+//!
+//! Owns the resources behind cases c10–c15 of Table 2:
+//!
+//! - a query cache evicted by large searches (c10),
+//! - a GC heap exhausted by nested aggregations (c11),
+//! - CPU cores monopolized by long-running queries (c12) — modeled as a
+//!   ticket queue with `capacity = cores`, traced as a System resource,
+//! - a document lock held by large updates (c13),
+//! - an index lock held by complex boolean queries (c14, Solr),
+//! - a search thread-pool queue occupied by nested range queries (c15,
+//!   Solr).
+
+use crate::controller::SimResource;
+use crate::ids::{LockId, PoolId, QueueId};
+use crate::op::{LockMode, Plan};
+use crate::resources::bufferpool::BufferPoolConfig;
+use crate::resources::heap::HeapConfig;
+use crate::server::{ResourceGroupDef, ServerConfig};
+use crate::workload::ClassSpec;
+
+/// Parameters of the search substrate.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// OS worker threads.
+    pub workers: usize,
+    /// Search thread-pool slots (c15's resource).
+    pub search_slots: usize,
+    /// CPU cores (c12's resource).
+    pub cores: usize,
+    /// Query cache configuration.
+    pub cache: BufferPoolConfig,
+    /// Heap configuration.
+    pub heap: HeapConfig,
+    /// Median compute time of a normal search (ns).
+    pub search_ns: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            workers: 96,
+            search_slots: 24,
+            cores: 6,
+            cache: BufferPoolConfig {
+                capacity: 8_192,
+                hot_keys: 6_500,
+                zipf_theta: 0.85,
+                hit_ns: 2_000,
+                miss_ns: 400_000,     // a cache miss re-executes the query part
+                scan_miss_ns: 30_000, // big searches fill entries streaming
+                evict_ns: 1_000,
+            },
+            heap: HeapConfig {
+                capacity: 6 << 30,
+                gc_threshold: 0.8,
+                gc_pause_base_ns: 10_000_000,
+                gc_pause_per_mb_ns: 3_000,
+                garbage_factor: 4.0,
+            },
+            search_ns: 400_000,
+        }
+    }
+}
+
+/// The built search engine.
+#[derive(Debug, Clone)]
+pub struct SearchApp {
+    /// Parameters.
+    pub cfg: SearchConfig,
+    /// The query cache.
+    pub cache: PoolId,
+    /// The document lock (c13).
+    pub doc_lock: LockId,
+    /// The index lock (c14).
+    pub index_lock: LockId,
+    /// The search thread-pool queue (c15).
+    pub search_queue: QueueId,
+    /// The CPU core queue (c12).
+    pub cpu: QueueId,
+}
+
+impl SearchApp {
+    /// Builds the substrate.
+    pub fn new(cfg: SearchConfig) -> Self {
+        Self {
+            cache: PoolId(0),
+            doc_lock: LockId(0),
+            index_lock: LockId(1),
+            search_queue: QueueId(0),
+            cpu: QueueId(1),
+            cfg,
+        }
+    }
+
+    /// The server configuration with all resources traced.
+    pub fn server_config(&self) -> ServerConfig {
+        let groups = vec![
+            ResourceGroupDef {
+                name: "query_cache".into(),
+                rtype: atropos::ResourceType::Memory,
+                members: vec![SimResource::Pool(self.cache)],
+            },
+            ResourceGroupDef {
+                name: "heap".into(),
+                rtype: atropos::ResourceType::Memory,
+                members: vec![SimResource::Heap],
+            },
+            ResourceGroupDef {
+                name: "doc_lock".into(),
+                rtype: atropos::ResourceType::Lock,
+                members: vec![SimResource::Lock(self.doc_lock)],
+            },
+            ResourceGroupDef {
+                name: "index_lock".into(),
+                rtype: atropos::ResourceType::Lock,
+                members: vec![SimResource::Lock(self.index_lock)],
+            },
+            ResourceGroupDef {
+                name: "search_queue".into(),
+                rtype: atropos::ResourceType::Queue,
+                members: vec![SimResource::Queue(self.search_queue)],
+            },
+            ResourceGroupDef {
+                name: "cpu".into(),
+                rtype: atropos::ResourceType::System,
+                members: vec![SimResource::Queue(self.cpu)],
+            },
+        ];
+        ServerConfig {
+            seed: self.cfg.seed,
+            workers: self.cfg.workers,
+            n_locks: 2,
+            pools: vec![self.cfg.cache.clone()],
+            queues: vec![self.cfg.search_slots, self.cfg.cores],
+            heap: Some(self.cfg.heap.clone()),
+            groups,
+            ..Default::default()
+        }
+    }
+
+    /// A normal search: queue slot → core → index read lock → cache →
+    /// compute.
+    pub fn search(&self, weight: f64) -> ClassSpec {
+        let app = self.clone();
+        let base = self.cfg.search_ns;
+        ClassSpec::new("search", weight, move |rng| {
+            let ns = rng.lognormal(base as f64, 0.35) as u64;
+            Plan::new()
+                .enter(app.search_queue)
+                .enter(app.cpu)
+                .lock(app.index_lock, LockMode::Shared)
+                .pool_hot(app.cache, 4)
+                .compute(ns)
+                .unlock(app.index_lock)
+                .leave(app.cpu)
+                .leave(app.search_queue)
+        })
+    }
+
+    /// A large search sweeping the query cache cold (c10).
+    pub fn big_search(&self, weight: f64, entries: u64) -> ClassSpec {
+        let app = self.clone();
+        ClassSpec::new("big_search", weight, move |rng| {
+            let base = rng.below(1 << 30);
+            Plan::new()
+                .enter(app.search_queue)
+                .pool_scan(app.cache, entries, base)
+                .leave(app.search_queue)
+        })
+    }
+
+    /// A nested aggregation retaining most of the heap (c11).
+    pub fn nested_agg(&self, weight: f64, total_bytes: u64, steps: usize) -> ClassSpec {
+        let app = self.clone();
+        ClassSpec::new("nested_agg", weight, move |_rng| {
+            let mut p = Plan::new().enter(app.search_queue);
+            let per_step = total_bytes / steps as u64;
+            for _ in 0..steps {
+                p = p.alloc(per_step).compute(30_000_000);
+            }
+            p.leave(app.search_queue)
+            // Retained bytes are released automatically at request end.
+        })
+    }
+
+    /// A long-running query monopolizing CPU cores (c12).
+    pub fn long_query(&self, weight: f64, ns: u64) -> ClassSpec {
+        let app = self.clone();
+        ClassSpec::new("long_query", weight, move |rng| {
+            let ns = rng.lognormal(ns as f64, 0.1) as u64;
+            Plan::new()
+                .enter(app.search_queue)
+                .enter(app.cpu)
+                .compute(ns)
+                .leave(app.cpu)
+                .leave(app.search_queue)
+        })
+    }
+
+    /// A large update holding the document lock (c13).
+    pub fn big_update(&self, weight: f64, hold_ns: u64) -> ClassSpec {
+        let app = self.clone();
+        ClassSpec::new("big_update", weight, move |_rng| {
+            Plan::new()
+                .lock(app.doc_lock, LockMode::Exclusive)
+                .compute(hold_ns)
+                .unlock(app.doc_lock)
+        })
+    }
+
+    /// An indexing request needing the document lock briefly (victim class
+    /// for c13).
+    pub fn index_doc(&self, weight: f64) -> ClassSpec {
+        let app = self.clone();
+        ClassSpec::new("index_doc", weight, move |rng| {
+            let ns = rng.lognormal(250_000.0, 0.3) as u64;
+            Plan::new()
+                .lock(app.doc_lock, LockMode::Shared)
+                .compute(ns)
+                .unlock(app.doc_lock)
+        })
+    }
+
+    /// A complex boolean query holding the index lock exclusively (c14).
+    pub fn complex_boolean(&self, weight: f64, hold_ns: u64) -> ClassSpec {
+        let app = self.clone();
+        ClassSpec::new("complex_boolean", weight, move |_rng| {
+            Plan::new()
+                .enter(app.search_queue)
+                .lock(app.index_lock, LockMode::Exclusive)
+                .compute(hold_ns)
+                .unlock(app.index_lock)
+                .leave(app.search_queue)
+        })
+    }
+
+    /// A nested range query occupying a search slot for seconds (c15).
+    pub fn nested_range(&self, weight: f64, ns: u64) -> ClassSpec {
+        let app = self.clone();
+        ClassSpec::new("nested_range", weight, move |rng| {
+            let ns = rng.lognormal(ns as f64, 0.15) as u64;
+            Plan::new()
+                .enter(app.search_queue)
+                .compute(ns)
+                .leave(app.search_queue)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SimServer;
+    use crate::workload::WorkloadSpec;
+    use crate::NoControl;
+    use atropos_sim::{SimRng, SimTime};
+
+    #[test]
+    fn config_declares_all_resources() {
+        let app = SearchApp::new(SearchConfig::default());
+        let cfg = app.server_config();
+        assert_eq!(cfg.n_locks, 2);
+        assert_eq!(cfg.queues.len(), 2);
+        assert!(cfg.heap.is_some());
+        let names: Vec<&str> = cfg.groups.iter().map(|g| g.name.as_str()).collect();
+        for n in [
+            "query_cache",
+            "heap",
+            "doc_lock",
+            "index_lock",
+            "search_queue",
+            "cpu",
+        ] {
+            assert!(names.contains(&n), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn all_plans_build() {
+        let app = SearchApp::new(SearchConfig::default());
+        let mut rng = SimRng::new(5);
+        for spec in [
+            app.search(1.0),
+            app.big_search(0.0, 10_000),
+            app.nested_agg(0.0, 2 << 30, 8),
+            app.long_query(0.0, 5_000_000_000),
+            app.big_update(0.0, 2_000_000_000),
+            app.index_doc(0.3),
+            app.complex_boolean(0.0, 2_000_000_000),
+            app.nested_range(0.0, 2_000_000_000),
+        ] {
+            assert!(!(spec.make_plan)(&mut rng).ops.is_empty(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn normal_search_traffic_is_healthy() {
+        let app = SearchApp::new(SearchConfig::default());
+        let wl = WorkloadSpec::new(vec![app.search(1.0)], 8_000.0);
+        let m = SimServer::new(app.server_config(), wl, Box::new(NoControl))
+            .run(SimTime::from_secs(3), SimTime::from_secs(1));
+        assert!(m.completed as f64 / 2.0 > 7_000.0);
+        assert!(m.latency.p99() < 10_000_000, "p99 {}", m.latency.p99());
+    }
+
+    #[test]
+    fn long_queries_starve_cpu() {
+        let app = SearchApp::new(SearchConfig::default());
+        let wl = WorkloadSpec::new(
+            vec![app.search(1.0), app.long_query(0.0, 1_500_000_000)],
+            8_000.0,
+        )
+        // 13 long queries occupy all 12 cores.
+        .inject(SimTime::from_millis(1100), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1150), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1200), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1250), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1300), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1350), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1400), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1450), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1500), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1550), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1600), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1650), crate::ids::ClassId(1))
+        .inject(SimTime::from_millis(1700), crate::ids::ClassId(1));
+        let m = SimServer::new(app.server_config(), wl, Box::new(NoControl))
+            .run(SimTime::from_secs(4), SimTime::from_secs(1));
+        // Once all cores are held, normal searches stall behind them.
+        assert!(
+            m.latency.p99() > 500_000_000,
+            "p99 {} should reflect core starvation",
+            m.latency.p99()
+        );
+    }
+}

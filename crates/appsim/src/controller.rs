@@ -1,0 +1,236 @@
+//! The overload-controller interface.
+//!
+//! Every system compared in the paper's evaluation — Atropos, Protego,
+//! pBox, DARC, PARTIES, and plain admission control — is implemented as a
+//! [`Controller`] over the same server hooks, so the comparison isolates
+//! the control *policy* exactly as the paper's integrations do. The server
+//! invokes hooks on request lifecycle events and resource trace events,
+//! and applies the [`Action`]s the controller returns from its periodic
+//! tick.
+
+use atropos_sim::SimTime;
+
+use crate::ids::{ClassId, ClientId, PoolId, QueueId, RequestId};
+use crate::request::{Outcome, Request};
+
+/// Which underlying simulator object a trace event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimResource {
+    /// A lock in the server's lock manager.
+    Lock(crate::ids::LockId),
+    /// A buffer pool / cache.
+    Pool(PoolId),
+    /// A ticket queue.
+    Queue(QueueId),
+    /// The shared IO device.
+    Io,
+    /// The GC heap.
+    Heap,
+    /// The worker (accept) pool.
+    WorkerPool,
+}
+
+/// The operation a trace event records (mirrors the Atropos protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Units acquired.
+    Get,
+    /// Units released.
+    Free,
+    /// Delayed by the resource (wait began / evictions caused).
+    Slow,
+}
+
+/// One resource trace event, attributed to a *resource group*.
+///
+/// Groups are declared in the server config: e.g. all five table locks
+/// form one "table_lock" group, matching how the paper instruments one
+/// logical application resource with many instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceEvent {
+    /// Index of the resource group (position in the config's group list).
+    pub group: usize,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// The request the event is attributed to.
+    pub req: RequestId,
+    /// Units (pages, lock count, heap pages…).
+    pub amount: u64,
+}
+
+/// Admission decision for an arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// Accept the request.
+    Admit,
+    /// Reject it (counts as a drop).
+    Reject,
+}
+
+/// An action a controller asks the server to apply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Cancel a running request through the application's initiator; the
+    /// server parks cancellable foreground requests for re-execution.
+    Cancel(RequestId),
+    /// Drop a running/waiting request outright (a *victim* drop — what
+    /// Protego does). Counts toward the drop rate.
+    Drop(RequestId),
+    /// Add a per-chunk execution delay to a request (pBox penalty).
+    /// Zero clears the throttle.
+    Throttle(RequestId, u64),
+    /// Re-execute a previously canceled (parked) request.
+    Reexec(RequestId),
+    /// Abandon a parked request (its SLO deadline passed); counts as a
+    /// drop.
+    DropParked(RequestId),
+    /// Resize a ticket queue (PARTIES partition adjustment).
+    SetQueueCapacity(QueueId, usize),
+    /// Set or clear a client's buffer pool quota (pBox / PARTIES).
+    SetPoolQuota(PoolId, ClientId, Option<u64>),
+    /// Cap concurrent workers usable by a class (DARC core reservation);
+    /// `None` removes the cap.
+    SetClassWorkerLimit(ClassId, Option<usize>),
+}
+
+/// A snapshot of one live request, built for controller ticks.
+#[derive(Debug, Clone)]
+pub struct RequestView {
+    /// Request id.
+    pub id: RequestId,
+    /// Class.
+    pub class: ClassId,
+    /// Client.
+    pub client: ClientId,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Cumulative lock/queue waiting time (Protego's signal), ns.
+    pub wait_ns: u64,
+    /// Duration of the current blocking wait, ns (0 if running).
+    pub current_wait_ns: u64,
+    /// Buffer pool pages currently attributed to this request.
+    pub resident_pages: u64,
+    /// Heap bytes retained.
+    pub heap_bytes: u64,
+    /// Fractional progress.
+    pub progress: f64,
+    /// Background job.
+    pub background: bool,
+    /// May be canceled.
+    pub cancellable: bool,
+    /// Currently blocked (waiting on a lock/queue/IO).
+    pub blocked: bool,
+}
+
+/// Recent end-to-end performance (latest closed window).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecentPerf {
+    /// Completions per second.
+    pub throughput_qps: f64,
+    /// p50 latency, ns.
+    pub p50_ns: u64,
+    /// p99 latency, ns.
+    pub p99_ns: u64,
+    /// Completions in the window.
+    pub completed: u64,
+}
+
+/// What a controller can observe at each tick.
+#[derive(Debug, Clone)]
+pub struct ServerView {
+    /// Current time.
+    pub now: SimTime,
+    /// Live (unfinished) requests.
+    pub requests: Vec<RequestView>,
+    /// Latest closed-window performance.
+    pub recent: RecentPerf,
+    /// Per-client p99 latency over the last window (PARTIES' signal).
+    pub client_p99: Vec<(ClientId, u64)>,
+    /// `(queue, active, waiting)` for each ticket queue.
+    pub queues: Vec<(QueueId, usize, usize)>,
+    /// Workers in use.
+    pub workers_active: usize,
+    /// Requests waiting for a worker.
+    pub workers_queued: usize,
+}
+
+/// An overload controller.
+///
+/// All hooks have no-op defaults so simple controllers implement only what
+/// they need.
+pub trait Controller {
+    /// Name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Admission decision for an arriving request.
+    fn on_arrival(&mut self, _now: SimTime, _req: &Request) -> AdmitDecision {
+        AdmitDecision::Admit
+    }
+
+    /// A request started executing on a worker.
+    fn on_start(&mut self, _now: SimTime, _req: &Request) {}
+
+    /// A request reached a terminal outcome.
+    fn on_finish(&mut self, _now: SimTime, _req: &Request, _outcome: Outcome) {}
+
+    /// A resource trace event was emitted.
+    fn on_resource_event(&mut self, _now: SimTime, _ev: &ResourceEvent) {}
+
+    /// A request made progress (called at chunk boundaries).
+    fn on_progress(&mut self, _now: SimTime, _req: &Request) {}
+
+    /// Periodic control decision.
+    fn on_tick(&mut self, _now: SimTime, _view: &ServerView) -> Vec<Action> {
+        Vec::new()
+    }
+
+    /// Virtual-time cost charged to the traced request per trace event
+    /// (models instrumentation overhead, §5.5).
+    fn per_event_overhead_ns(&self) -> u64 {
+        0
+    }
+}
+
+/// The uncontrolled baseline (the "Overload" line in Figure 10).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoControl;
+
+impl Controller for NoControl {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_control_admits_everything() {
+        let mut c = NoControl;
+        let req = Request::new(
+            RequestId(1),
+            ClassId(0),
+            ClientId(0),
+            crate::op::Plan::new(),
+            SimTime::ZERO,
+        );
+        assert_eq!(c.on_arrival(SimTime::ZERO, &req), AdmitDecision::Admit);
+        assert!(c
+            .on_tick(
+                SimTime::ZERO,
+                &ServerView {
+                    now: SimTime::ZERO,
+                    requests: vec![],
+                    recent: RecentPerf::default(),
+                    client_p99: vec![],
+                    queues: vec![],
+                    workers_active: 0,
+                    workers_queued: 0,
+                }
+            )
+            .is_empty());
+        assert_eq!(c.per_event_overhead_ns(), 0);
+        assert_eq!(c.name(), "none");
+    }
+}

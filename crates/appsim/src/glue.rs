@@ -1,0 +1,433 @@
+//! Integration of the Atropos runtime with the simulated server.
+//!
+//! This module plays the role of the instrumentation the paper adds to
+//! each application (Table 3): it registers the server's resource groups
+//! with the runtime, maps requests to cancellable tasks, forwards
+//! get/free/slowBy events and GetNext progress, and executes the
+//! runtime's cancel / re-execute / drop decisions through server actions
+//! — the server's `cancel_request` is the analog of MySQL's `sql_kill`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use atropos::{AtroposConfig, AtroposRuntime, TaskId, TimestampMode};
+use atropos_sim::{SimTime, VirtualClock};
+use parking_lot::Mutex;
+
+use crate::controller::{Action, AdmitDecision, Controller, ResourceEvent, ServerView, TraceKind};
+use crate::ids::RequestId;
+use crate::request::{Outcome, Request};
+use crate::server::ResourceGroupDef;
+
+/// Virtual-time cost per trace event, modeling the instrumentation
+/// overhead measured in §5.5: cheap amortized timestamps under normal
+/// load, per-event `rdtsc` plus estimator work under potential overload.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadModel {
+    /// Cost per event in sampled-timestamp mode (ns).
+    pub sampled_ns: u64,
+    /// Cost per event in precise-timestamp mode (ns).
+    pub precise_ns: u64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        Self {
+            sampled_ns: 25,
+            precise_ns: 450,
+        }
+    }
+}
+
+/// The Atropos integration controller.
+pub struct AtroposController {
+    rt: Arc<AtroposRuntime>,
+    resource_ids: Vec<atropos::ResourceId>,
+    tasks: HashMap<RequestId, TaskId>,
+    cancel_buf: Arc<Mutex<Vec<u64>>>,
+    reexec_buf: Arc<Mutex<Vec<u64>>>,
+    drop_buf: Arc<Mutex<Vec<u64>>>,
+    overhead: OverheadModel,
+    zero_overhead: bool,
+    /// Admission controller consulted for *regular* (demand) overload —
+    /// the "other overload control mechanisms in place" the paper
+    /// delegates to when no application resource is bottlenecked (§3.3).
+    /// Typically a `Breakwater`.
+    fallback: Option<Box<dyn Controller>>,
+}
+
+impl AtroposController {
+    /// Builds the controller: creates the runtime on the server's clock
+    /// and registers every traced resource group.
+    ///
+    /// `cancellation_enabled = false` keeps tracing and decision logic
+    /// running but never invokes the initiator — the configuration used to
+    /// isolate overhead in Figure 14.
+    pub fn new(
+        cfg: AtroposConfig,
+        clock: Arc<VirtualClock>,
+        groups: &[ResourceGroupDef],
+        cancellation_enabled: bool,
+    ) -> Self {
+        let rt = Arc::new(AtroposRuntime::new(cfg, clock));
+        let resource_ids = groups
+            .iter()
+            .map(|g| rt.register_resource(g.name.clone(), g.rtype))
+            .collect();
+        let cancel_buf = Arc::new(Mutex::new(Vec::new()));
+        let reexec_buf = Arc::new(Mutex::new(Vec::new()));
+        let drop_buf = Arc::new(Mutex::new(Vec::new()));
+        if cancellation_enabled {
+            let b = cancel_buf.clone();
+            rt.set_cancel_action(move |key| b.lock().push(key.0));
+        }
+        let b = reexec_buf.clone();
+        rt.set_reexec_action(move |key| b.lock().push(key.0));
+        let b = drop_buf.clone();
+        rt.set_drop_action(move |key| b.lock().push(key.0));
+        Self {
+            rt,
+            resource_ids,
+            tasks: HashMap::new(),
+            cancel_buf,
+            reexec_buf,
+            drop_buf,
+            overhead: OverheadModel::default(),
+            zero_overhead: false,
+            fallback: None,
+        }
+    }
+
+    /// Attaches the admission controller that handles regular (demand)
+    /// overload. Atropos itself performs no admission control (§1); under
+    /// pure demand overload the detector classifies the condition as
+    /// *regular* and this controller's decisions apply.
+    pub fn with_fallback(mut self, fallback: Box<dyn Controller>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Overrides the overhead model.
+    pub fn with_overhead(mut self, overhead: OverheadModel) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// Disables the overhead model entirely (for experiments that isolate
+    /// policy behaviour from tracing cost).
+    pub fn without_overhead(mut self) -> Self {
+        self.zero_overhead = true;
+        self
+    }
+
+    /// A handle to the runtime, for inspecting stats after a run.
+    pub fn runtime(&self) -> Arc<AtroposRuntime> {
+        self.rt.clone()
+    }
+
+    fn ensure_task(&mut self, req: &Request) -> TaskId {
+        if let Some(&t) = self.tasks.get(&req.id) {
+            return t;
+        }
+        let t = self.rt.create_cancel(Some(req.id.0));
+        if !req.cancellable || req.retry {
+            self.rt.set_cancellable(t, false);
+        }
+        if req.background {
+            self.rt.mark_background(t);
+        }
+        self.rt.unit_started(t);
+        self.rt.report_progress(t, req.work_done, req.work_total);
+        self.tasks.insert(req.id, t);
+        t
+    }
+}
+
+impl Controller for AtroposController {
+    fn name(&self) -> &'static str {
+        "atropos"
+    }
+
+    fn on_arrival(&mut self, now: SimTime, req: &Request) -> AdmitDecision {
+        // Atropos performs no admission control itself (§1); demand
+        // overload is the fallback's business.
+        if let Some(fb) = self.fallback.as_mut() {
+            if fb.on_arrival(now, req) == AdmitDecision::Reject {
+                return AdmitDecision::Reject;
+            }
+        }
+        self.ensure_task(req);
+        AdmitDecision::Admit
+    }
+
+    fn on_start(&mut self, _now: SimTime, req: &Request) {
+        // Re-executed (revived) requests skip admission; register here.
+        self.ensure_task(req);
+    }
+
+    fn on_finish(&mut self, now: SimTime, req: &Request, outcome: Outcome) {
+        if let Some(fb) = self.fallback.as_mut() {
+            fb.on_finish(now, req, outcome);
+        }
+        let Some(task) = self.tasks.remove(&req.id) else {
+            return;
+        };
+        match outcome {
+            Outcome::Completed => {
+                self.rt.unit_finished(task);
+            }
+            Outcome::Canceled => {}
+            Outcome::Dropped => {
+                if !req.background {
+                    self.rt.record_drop();
+                }
+            }
+        }
+        self.rt.free_cancel(task);
+    }
+
+    fn on_resource_event(&mut self, _now: SimTime, ev: &ResourceEvent) {
+        let Some(&task) = self.tasks.get(&ev.req) else {
+            return;
+        };
+        let rid = self.resource_ids[ev.group];
+        match ev.kind {
+            TraceKind::Get => self.rt.get_resource(task, rid, ev.amount),
+            TraceKind::Free => self.rt.free_resource(task, rid, ev.amount),
+            TraceKind::Slow => self.rt.slow_by_resource(task, rid, ev.amount),
+        }
+    }
+
+    fn on_progress(&mut self, _now: SimTime, req: &Request) {
+        if let Some(&task) = self.tasks.get(&req.id) {
+            self.rt.report_progress(task, req.work_done, req.work_total);
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime, view: &ServerView) -> Vec<Action> {
+        let _ = self.rt.tick();
+        let mut actions = Vec::new();
+        if let Some(fb) = self.fallback.as_mut() {
+            actions.extend(fb.on_tick(now, view));
+        }
+        for key in self.cancel_buf.lock().drain(..) {
+            actions.push(Action::Cancel(RequestId(key)));
+        }
+        for key in self.reexec_buf.lock().drain(..) {
+            actions.push(Action::Reexec(RequestId(key)));
+        }
+        for key in self.drop_buf.lock().drain(..) {
+            actions.push(Action::DropParked(RequestId(key)));
+        }
+        actions
+    }
+
+    fn per_event_overhead_ns(&self) -> u64 {
+        if self.zero_overhead {
+            return 0;
+        }
+        match self.rt.timestamp_mode() {
+            TimestampMode::Sampled => self.overhead.sampled_ns,
+            TimestampMode::Precise => self.overhead.precise_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClassId, ClientId};
+    use crate::op::Plan;
+    use atropos_sim::Clock;
+
+    fn controller() -> AtroposController {
+        let clock = Arc::new(VirtualClock::new());
+        let groups = vec![ResourceGroupDef {
+            name: "lock".into(),
+            rtype: atropos::ResourceType::Lock,
+            members: vec![],
+        }];
+        AtroposController::new(AtroposConfig::default(), clock, &groups, true)
+    }
+
+    fn request(id: u64) -> Request {
+        Request::new(
+            RequestId(id),
+            ClassId(0),
+            ClientId(0),
+            Plan::new().compute(1000),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn arrival_creates_task_and_finish_frees_it() {
+        let mut c = controller();
+        let req = request(1);
+        c.on_arrival(SimTime::ZERO, &req);
+        assert_eq!(c.rt.task_count(), 1);
+        c.on_finish(SimTime::from_millis(1), &req, Outcome::Completed);
+        assert_eq!(c.rt.task_count(), 0);
+        assert_eq!(c.rt.stats().completions, 1);
+    }
+
+    #[test]
+    fn resource_events_reach_the_runtime() {
+        let mut c = controller();
+        let req = request(1);
+        c.on_arrival(SimTime::ZERO, &req);
+        c.on_resource_event(
+            SimTime::ZERO,
+            &ResourceEvent {
+                group: 0,
+                kind: TraceKind::Get,
+                req: req.id,
+                amount: 1,
+            },
+        );
+        assert_eq!(c.rt.stats().trace_events, 1);
+    }
+
+    #[test]
+    fn events_for_unknown_requests_are_skipped() {
+        let mut c = controller();
+        c.on_resource_event(
+            SimTime::ZERO,
+            &ResourceEvent {
+                group: 0,
+                kind: TraceKind::Get,
+                req: RequestId(99),
+                amount: 1,
+            },
+        );
+        assert_eq!(c.rt.stats().trace_events, 0);
+    }
+
+    #[test]
+    fn non_cancellable_and_background_flags_propagate() {
+        let mut c = controller();
+        let mut req = request(1);
+        req.cancellable = false;
+        req.background = true;
+        c.on_arrival(SimTime::ZERO, &req);
+        // The runtime's estimator will never offer this task to the
+        // policy; verified indirectly via task flags in the runtime.
+        assert_eq!(c.rt.task_count(), 1);
+    }
+
+    #[test]
+    fn overhead_follows_timestamp_mode() {
+        let c = controller();
+        assert_eq!(
+            c.per_event_overhead_ns(),
+            OverheadModel::default().sampled_ns
+        );
+        let z = controller().without_overhead();
+        assert_eq!(z.per_event_overhead_ns(), 0);
+    }
+
+    /// Drives a lock-hog overload purely through the controller hooks and
+    /// asserts the runtime's cancel decision surfaces as a `Cancel` action
+    /// naming the hog's request id.
+    #[test]
+    fn runtime_cancellations_surface_as_actions() {
+        let clock = Arc::new(VirtualClock::new());
+        let groups = vec![ResourceGroupDef {
+            name: "lock".into(),
+            rtype: atropos::ResourceType::Lock,
+            members: vec![],
+        }];
+        let mut cfg = AtroposConfig::default().with_slo_ns(10_000_000);
+        cfg.cancel_min_interval_ns = 0;
+        let mut c = AtroposController::new(cfg, clock.clone(), &groups, true);
+        let view = ServerView {
+            now: SimTime::ZERO,
+            requests: vec![],
+            recent: Default::default(),
+            client_p99: vec![],
+            queues: vec![],
+            workers_active: 0,
+            workers_queued: 0,
+        };
+        const MS: u64 = 1_000_000;
+        // The hog holds the lock from t = 0 with low progress.
+        let mut hog = request(99);
+        hog.work_done = 5;
+        hog.work_total = 100;
+        c.on_arrival(SimTime::ZERO, &hog);
+        c.on_resource_event(
+            SimTime::ZERO,
+            &ResourceEvent {
+                group: 0,
+                kind: TraceKind::Get,
+                req: hog.id,
+                amount: 1,
+            },
+        );
+        // Victims wait on the lock; healthy traffic fills window 0.
+        for i in 0..10u64 {
+            let v = request(i);
+            c.on_arrival(SimTime::ZERO, &v);
+            c.on_resource_event(
+                SimTime::ZERO,
+                &ResourceEvent {
+                    group: 0,
+                    kind: TraceKind::Slow,
+                    req: v.id,
+                    amount: 1,
+                },
+            );
+        }
+        for step in 1..=20u64 {
+            clock.advance_to(atropos_sim::SimTime::from_nanos(step * 5 * MS / 2));
+            let t = request(1000 + step);
+            c.on_arrival(clock.now(), &t);
+            c.on_finish(clock.now(), &t, Outcome::Completed);
+        }
+        // Completions stop at 50 ms while the hog and its victims stay in
+        // flight: a stall the detector flags within a couple of windows.
+        clock.advance_to(atropos_sim::SimTime::from_millis(100));
+        let actions = c.on_tick(clock.now(), &view);
+        assert!(
+            actions.contains(&Action::Cancel(RequestId(99))),
+            "expected cancel of the hog, got {actions:?}"
+        );
+    }
+
+    #[test]
+    fn progress_reports_flow_to_the_runtime() {
+        let mut c = controller();
+        let mut req = request(1);
+        req.work_total = 100;
+        c.on_arrival(SimTime::ZERO, &req);
+        req.work_done = 40;
+        c.on_progress(SimTime::ZERO, &req);
+        // No panic and the task still registered; progress value is
+        // asserted through the estimator in runtime tests.
+        assert_eq!(c.rt.task_count(), 1);
+    }
+
+    #[test]
+    fn dropped_requests_record_into_the_detector_series() {
+        let mut c = controller();
+        let req = request(1);
+        c.on_arrival(SimTime::ZERO, &req);
+        c.on_finish(SimTime::ZERO, &req, Outcome::Dropped);
+        assert_eq!(c.rt.task_count(), 0);
+    }
+
+    #[test]
+    fn tick_with_no_load_produces_no_actions() {
+        let mut c = controller();
+        let view = ServerView {
+            now: SimTime::ZERO,
+            requests: vec![],
+            recent: Default::default(),
+            client_p99: vec![],
+            queues: vec![],
+            workers_active: 0,
+            workers_queued: 0,
+        };
+        assert!(c.on_tick(SimTime::ZERO, &view).is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Simulated applications and application resources.
+//!
+//! The paper integrates Atropos into MySQL, PostgreSQL, Apache,
+//! Elasticsearch, Solr and etcd, and reproduces 16 real-world overload
+//! bugs on a cloud testbed. This crate provides the synthetic equivalent:
+//! four simulated applications built on the `atropos-sim` discrete-event
+//! kernel, each owning the same *application resources* those systems
+//! expose to Atropos:
+//!
+//! - [`resources::lock::LockManager`] — FIFO shared/exclusive locks
+//!   (table locks, undo log, WAL, document/index/KV locks),
+//! - [`resources::bufferpool::BufferPool`] — LRU page cache with eviction
+//!   attribution (InnoDB buffer pool, Elasticsearch query cache),
+//! - [`resources::ticket::TicketQueue`] — bounded concurrency tickets
+//!   (InnoDB thread concurrency, CPU cores, Solr search queue),
+//! - [`resources::iodev::IoDevice`] — a FIFO disk (PostgreSQL vacuum IO),
+//! - [`resources::heap::Heap`] — an allocation arena with stop-the-world
+//!   GC (Elasticsearch heap).
+//!
+//! [`server::SimServer`] executes requests — plans of [`op::Op`] steps —
+//! over these resources with worker-pool semantics, cancellation
+//! checkpoints, and pluggable overload controllers ([`controller`]).
+//! [`glue::AtroposController`] wires a server to the `atropos` runtime,
+//! playing the role of the ~20–70 lines of instrumentation the paper adds
+//! to each application (Table 3).
+
+pub mod apps;
+pub mod controller;
+pub mod glue;
+pub mod ids;
+pub mod op;
+pub mod request;
+pub mod resources;
+pub mod server;
+pub mod workload;
+
+pub use controller::{Action, AdmitDecision, Controller, NoControl, RequestView, ServerView};
+pub use ids::{ClassId, ClientId, LockId, PoolId, QueueId, RequestId};
+pub use op::{LockMode, Op, Plan};
+pub use request::{Outcome, Request, RequestState};
+pub use server::{ServerConfig, SimServer};
+pub use workload::{ClassSpec, Injection, WorkloadSpec};

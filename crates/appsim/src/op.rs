@@ -1,0 +1,268 @@
+//! Request plans: the steps a simulated request executes.
+//!
+//! A request is a [`Plan`] — a sequence of [`Op`] steps over the server's
+//! resources. Long operations (compute, page scans) are executed in chunks
+//! by the server so cancellation checkpoints and progress reports happen
+//! at bounded intervals, mirroring how real applications poll their kill
+//! flags at safe points (§2.4).
+
+use crate::ids::{LockId, PoolId, QueueId};
+
+/// Lock acquisition mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) access; compatible with other shared holders.
+    Shared,
+    /// Exclusive (write) access.
+    Exclusive,
+}
+
+/// How a pool access selects pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Popularity-skewed access to the pool's hot key space (point
+    /// queries, cache lookups).
+    Skewed,
+    /// A sequential sweep of `pages` distinct cold pages starting at
+    /// `base` (scans, dumps, large searches).
+    Scan {
+        /// First page id of the sweep.
+        base: u64,
+    },
+}
+
+/// One step of a request plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Pure computation for `ns` nanoseconds of virtual time.
+    Compute {
+        /// Total CPU time.
+        ns: u64,
+    },
+    /// Acquire a lock (blocks until granted).
+    AcquireLock {
+        /// Which lock.
+        lock: LockId,
+        /// Shared or exclusive.
+        mode: LockMode,
+    },
+    /// Release a held lock.
+    ReleaseLock {
+        /// Which lock.
+        lock: LockId,
+    },
+    /// Touch `pages` pages of a buffer pool / cache. Hits cost the pool's
+    /// hit time; misses cost its miss penalty and may evict other
+    /// requests' pages.
+    PoolAccess {
+        /// Which pool.
+        pool: PoolId,
+        /// Number of page touches.
+        pages: u64,
+        /// Page selection pattern.
+        pattern: AccessPattern,
+    },
+    /// Enter a bounded-concurrency ticket queue (blocks until a ticket is
+    /// free).
+    EnterQueue {
+        /// Which queue.
+        queue: QueueId,
+    },
+    /// Leave a ticket queue, releasing the ticket.
+    LeaveQueue {
+        /// Which queue.
+        queue: QueueId,
+    },
+    /// Perform `ns` of IO on the shared FIFO device (blocks while queued
+    /// and served).
+    Io {
+        /// Device service time for this operation.
+        ns: u64,
+    },
+    /// Allocate `bytes` from the GC-managed heap (may trigger a
+    /// stop-the-world pause).
+    HeapAlloc {
+        /// Bytes allocated and retained until freed or request end.
+        bytes: u64,
+    },
+    /// Release `bytes` previously allocated by this request.
+    HeapFree {
+        /// Bytes to release.
+        bytes: u64,
+    },
+}
+
+impl Op {
+    /// Abstract work units this op contributes to progress accounting
+    /// (the GetNext "rows" analog). Waiting-only ops contribute none.
+    pub fn work_units(&self) -> u64 {
+        match *self {
+            Op::Compute { ns } => ns / 1_000,
+            Op::PoolAccess { pages, .. } => pages,
+            Op::Io { ns } => ns / 1_000,
+            Op::HeapAlloc { bytes } => bytes / 4_096,
+            Op::AcquireLock { .. }
+            | Op::ReleaseLock { .. }
+            | Op::EnterQueue { .. }
+            | Op::LeaveQueue { .. }
+            | Op::HeapFree { .. } => 0,
+        }
+    }
+}
+
+/// An executable sequence of ops.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Plan {
+    /// The steps, executed in order.
+    pub ops: Vec<Op>,
+}
+
+impl Plan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total work units across all ops (the GetNext `N`).
+    pub fn total_work(&self) -> u64 {
+        self.ops.iter().map(Op::work_units).sum::<u64>().max(1)
+    }
+
+    /// Appends a compute step.
+    pub fn compute(mut self, ns: u64) -> Self {
+        self.ops.push(Op::Compute { ns });
+        self
+    }
+
+    /// Appends a lock acquisition.
+    pub fn lock(mut self, lock: LockId, mode: LockMode) -> Self {
+        self.ops.push(Op::AcquireLock { lock, mode });
+        self
+    }
+
+    /// Appends a lock release.
+    pub fn unlock(mut self, lock: LockId) -> Self {
+        self.ops.push(Op::ReleaseLock { lock });
+        self
+    }
+
+    /// Appends a skewed (hot-set) pool access.
+    pub fn pool_hot(mut self, pool: PoolId, pages: u64) -> Self {
+        self.ops.push(Op::PoolAccess {
+            pool,
+            pages,
+            pattern: AccessPattern::Skewed,
+        });
+        self
+    }
+
+    /// Appends a sequential cold scan of a pool.
+    pub fn pool_scan(mut self, pool: PoolId, pages: u64, base: u64) -> Self {
+        self.ops.push(Op::PoolAccess {
+            pool,
+            pages,
+            pattern: AccessPattern::Scan { base },
+        });
+        self
+    }
+
+    /// Appends a ticket-queue entry.
+    pub fn enter(mut self, queue: QueueId) -> Self {
+        self.ops.push(Op::EnterQueue { queue });
+        self
+    }
+
+    /// Appends a ticket-queue exit.
+    pub fn leave(mut self, queue: QueueId) -> Self {
+        self.ops.push(Op::LeaveQueue { queue });
+        self
+    }
+
+    /// Appends an IO operation.
+    pub fn io(mut self, ns: u64) -> Self {
+        self.ops.push(Op::Io { ns });
+        self
+    }
+
+    /// Appends a heap allocation.
+    pub fn alloc(mut self, bytes: u64) -> Self {
+        self.ops.push(Op::HeapAlloc { bytes });
+        self
+    }
+
+    /// Appends a heap release.
+    pub fn dealloc(mut self, bytes: u64) -> Self {
+        self.ops.push(Op::HeapFree { bytes });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_appends_in_order() {
+        let p = Plan::new()
+            .lock(LockId(1), LockMode::Exclusive)
+            .compute(500)
+            .unlock(LockId(1));
+        assert_eq!(p.ops.len(), 3);
+        assert_eq!(
+            p.ops[0],
+            Op::AcquireLock {
+                lock: LockId(1),
+                mode: LockMode::Exclusive
+            }
+        );
+        assert_eq!(p.ops[2], Op::ReleaseLock { lock: LockId(1) });
+    }
+
+    #[test]
+    fn total_work_sums_op_units() {
+        let p = Plan::new()
+            .compute(10_000) // 10 units
+            .pool_hot(PoolId(0), 4) // 4 units
+            .lock(LockId(0), LockMode::Shared); // 0 units
+        assert_eq!(p.total_work(), 14);
+    }
+
+    #[test]
+    fn empty_plan_has_nonzero_total_work() {
+        assert_eq!(Plan::new().total_work(), 1);
+    }
+
+    #[test]
+    fn waiting_ops_contribute_no_work() {
+        for op in [
+            Op::AcquireLock {
+                lock: LockId(0),
+                mode: LockMode::Shared,
+            },
+            Op::ReleaseLock { lock: LockId(0) },
+            Op::EnterQueue { queue: QueueId(0) },
+            Op::LeaveQueue { queue: QueueId(0) },
+            Op::HeapFree { bytes: 1 << 20 },
+        ] {
+            assert_eq!(op.work_units(), 0, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn heavy_ops_scale_with_size() {
+        assert!(
+            Op::PoolAccess {
+                pool: PoolId(0),
+                pages: 131_072,
+                pattern: AccessPattern::Scan { base: 0 }
+            }
+            .work_units()
+                > Op::PoolAccess {
+                    pool: PoolId(0),
+                    pages: 4,
+                    pattern: AccessPattern::Skewed
+                }
+                .work_units()
+        );
+    }
+}

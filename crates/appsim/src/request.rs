@@ -1,0 +1,242 @@
+//! Request state tracked by the server.
+
+use atropos_sim::SimTime;
+
+use crate::ids::{ClassId, ClientId, LockId, PoolId, QueueId, RequestId};
+use crate::op::{Op, Plan};
+
+/// Where a request currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestState {
+    /// Waiting for a worker thread.
+    Queued,
+    /// Executing an op on a worker (a completion event is scheduled).
+    Running,
+    /// Blocked waiting for a lock.
+    BlockedLock(LockId),
+    /// Blocked waiting for a concurrency ticket.
+    BlockedQueue(QueueId),
+    /// Blocked in the IO device queue.
+    BlockedIo,
+    /// Finished with the given outcome.
+    Finished(Outcome),
+}
+
+/// Terminal outcome of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion.
+    Completed,
+    /// Canceled by a controller (may later be re-executed).
+    Canceled,
+    /// Dropped: rejected at admission, victim-dropped during execution, or
+    /// abandoned after cancellation (counts toward the drop rate).
+    Dropped,
+}
+
+/// A live request (or background job run) inside the server.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Identifier.
+    pub id: RequestId,
+    /// Request class.
+    pub class: ClassId,
+    /// Owning client/tenant.
+    pub client: ClientId,
+    /// The plan being executed.
+    pub plan: Plan,
+    /// Index of the current op.
+    pub pc: usize,
+    /// Progress inside the current op (ns computed, pages touched…).
+    pub op_progress: u64,
+    /// Original arrival time; retries keep the original arrival so
+    /// end-to-end latency covers the cancellation detour.
+    pub arrival: SimTime,
+    /// When the request first got a worker.
+    pub started_at: Option<SimTime>,
+    /// Lifecycle state.
+    pub state: RequestState,
+    /// Set when a cancellation/drop was requested; honored at the next
+    /// cancellation checkpoint.
+    pub cancel_flag: bool,
+    /// If the pending flag is a victim drop rather than a cancel.
+    pub drop_flag: bool,
+    /// Whether controllers may cancel this request.
+    pub cancellable: bool,
+    /// Background job (no SLO; excluded from client latency metrics).
+    pub background: bool,
+    /// This run is a re-execution of a canceled request.
+    pub retry: bool,
+    /// Locks currently held.
+    pub held_locks: Vec<LockId>,
+    /// Tickets currently held.
+    pub held_tickets: Vec<QueueId>,
+    /// Pools this request has touched (for cleanup attribution).
+    pub touched_pools: Vec<PoolId>,
+    /// Heap bytes currently retained.
+    pub heap_bytes: u64,
+    /// Work units completed (GetNext `k`).
+    pub work_done: u64,
+    /// Estimated total work units (GetNext `N`).
+    pub work_total: u64,
+    /// Controller-imposed delay added to each executed chunk (pBox
+    /// penalties).
+    pub throttle_ns: u64,
+    /// Guards against stale completion events after cancel/requeue.
+    pub epoch: u64,
+    /// Accumulated lock waiting time (Protego's signal).
+    pub lock_wait_ns: u64,
+    /// When the current blocking wait started.
+    pub wait_started: Option<SimTime>,
+    /// Whether the request currently occupies a worker.
+    pub has_worker: bool,
+    /// Within-op progress units credited when the scheduled chunk lands.
+    pub pending_progress: u64,
+    /// Work units credited when the scheduled chunk lands.
+    pub pending_work: u64,
+    /// Whether the current op completes when the scheduled chunk lands.
+    pub pending_advance: bool,
+    /// Deferred `Get` trace emission `(group, amount)` at chunk completion
+    /// (pairs an eviction stall's `slow` with its `get`).
+    pub pending_get: Option<(usize, u64)>,
+    /// Index into the workload's recurring background jobs, if this run
+    /// belongs to one (the server schedules the next run on completion).
+    pub recur_idx: Option<usize>,
+    /// Accrued instrumentation overhead charged to the next chunk (§5.5
+    /// tracing-cost model).
+    pub carry_ns: u64,
+}
+
+impl Request {
+    /// Creates a queued request from a plan.
+    pub fn new(
+        id: RequestId,
+        class: ClassId,
+        client: ClientId,
+        plan: Plan,
+        arrival: SimTime,
+    ) -> Self {
+        let work_total = plan.total_work();
+        Self {
+            id,
+            class,
+            client,
+            plan,
+            pc: 0,
+            op_progress: 0,
+            arrival,
+            started_at: None,
+            state: RequestState::Queued,
+            cancel_flag: false,
+            drop_flag: false,
+            cancellable: true,
+            background: false,
+            retry: false,
+            held_locks: Vec::new(),
+            held_tickets: Vec::new(),
+            touched_pools: Vec::new(),
+            heap_bytes: 0,
+            work_done: 0,
+            work_total,
+            throttle_ns: 0,
+            epoch: 0,
+            lock_wait_ns: 0,
+            wait_started: None,
+            has_worker: false,
+            pending_progress: 0,
+            pending_work: 0,
+            pending_advance: false,
+            pending_get: None,
+            recur_idx: None,
+            carry_ns: 0,
+        }
+    }
+
+    /// The op at the program counter, if any remain.
+    pub fn current_op(&self) -> Option<Op> {
+        self.plan.ops.get(self.pc).copied()
+    }
+
+    /// Advances to the next op, resetting within-op progress.
+    pub fn advance(&mut self) {
+        self.pc += 1;
+        self.op_progress = 0;
+    }
+
+    /// True once a terminal outcome is recorded.
+    pub fn is_finished(&self) -> bool {
+        matches!(self.state, RequestState::Finished(_))
+    }
+
+    /// End-to-end latency if completed at `now`.
+    pub fn latency(&self, now: SimTime) -> u64 {
+        now.saturating_sub(self.arrival).as_nanos()
+    }
+
+    /// Fractional progress in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        (self.work_done as f64 / self.work_total as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::LockMode;
+
+    fn req() -> Request {
+        let plan = Plan::new()
+            .lock(LockId(0), LockMode::Shared)
+            .compute(5_000)
+            .unlock(LockId(0));
+        Request::new(
+            RequestId(1),
+            ClassId(0),
+            ClientId(0),
+            plan,
+            SimTime::from_millis(1),
+        )
+    }
+
+    #[test]
+    fn new_request_is_queued_with_plan_work() {
+        let r = req();
+        assert_eq!(r.state, RequestState::Queued);
+        assert_eq!(r.work_total, 5);
+        assert!(r.cancellable);
+        assert!(!r.background);
+    }
+
+    #[test]
+    fn advance_walks_the_plan() {
+        let mut r = req();
+        assert!(matches!(r.current_op(), Some(Op::AcquireLock { .. })));
+        r.advance();
+        assert!(matches!(r.current_op(), Some(Op::Compute { .. })));
+        r.advance();
+        r.advance();
+        assert_eq!(r.current_op(), None);
+    }
+
+    #[test]
+    fn latency_is_from_original_arrival() {
+        let r = req();
+        assert_eq!(r.latency(SimTime::from_millis(5)), 4_000_000);
+        assert_eq!(r.latency(SimTime::ZERO), 0); // saturates
+    }
+
+    #[test]
+    fn progress_is_capped_at_one() {
+        let mut r = req();
+        r.work_done = r.work_total * 2;
+        assert_eq!(r.progress(), 1.0);
+    }
+
+    #[test]
+    fn finished_state_detection() {
+        let mut r = req();
+        assert!(!r.is_finished());
+        r.state = RequestState::Finished(Outcome::Completed);
+        assert!(r.is_finished());
+    }
+}

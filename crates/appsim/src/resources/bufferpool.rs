@@ -1,0 +1,411 @@
+//! An LRU page pool with per-request eviction attribution.
+//!
+//! Models InnoDB's buffer pool (cases c5 and the paper's Figure 2 study)
+//! and, with different cost parameters, Elasticsearch's query cache (c10).
+//! Page hits are cheap; misses pay a load penalty and, when the pool is
+//! full, evict the least-recently-used page. The pool remembers which
+//! request loaded each resident page so eviction can be attributed to the
+//! *owner* — this is what lets Atropos' memory accounting see which task
+//! holds how much of the pool.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ids::{ClientId, RequestId};
+use crate::op::AccessPattern;
+use atropos_sim::rng::Zipf;
+use atropos_sim::SimRng;
+
+/// Buffer pool parameters.
+#[derive(Debug, Clone)]
+pub struct BufferPoolConfig {
+    /// Capacity in pages.
+    pub capacity: usize,
+    /// Size of the skewed hot key space (page ids `0..hot_keys`).
+    pub hot_keys: u64,
+    /// Zipf exponent for skewed accesses.
+    pub zipf_theta: f64,
+    /// Cost of a page hit (ns).
+    pub hit_ns: u64,
+    /// Cost of a page miss — random load from storage (ns).
+    pub miss_ns: u64,
+    /// Cost of a page miss during a sequential scan (streaming reads are
+    /// far cheaper per page than random point misses — this is what lets
+    /// a dump sweep the pool faster than the hot set can defend itself).
+    pub scan_miss_ns: u64,
+    /// Extra cost per eviction (write-back of a dirty page, ns).
+    pub evict_ns: u64,
+}
+
+impl Default for BufferPoolConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 32_768, // 512 MB of 16 KB pages
+            hot_keys: 16_384,
+            zipf_theta: 0.9,
+            hit_ns: 1_000,
+            miss_ns: 80_000,
+            scan_miss_ns: 20_000,
+            evict_ns: 20_000,
+        }
+    }
+}
+
+/// What an access batch did, so the server can charge time and emit
+/// tracer events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Page hits.
+    pub hits: u64,
+    /// Page misses (loads attributed to the accessing request).
+    pub misses: u64,
+    /// Evictions grouped by the evicted page's owning request.
+    pub evicted: Vec<(RequestId, u64)>,
+    /// Virtual time the batch costs the accessing request (ns).
+    pub cost_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PageMeta {
+    owner: RequestId,
+    client: ClientId,
+    tick: u64,
+}
+
+/// The pool.
+#[derive(Debug)]
+pub struct BufferPool {
+    cfg: BufferPoolConfig,
+    zipf: Zipf,
+    pages: HashMap<u64, PageMeta>,
+    lru: BTreeSet<(u64, u64)>, // (tick, page)
+    next_tick: u64,
+    resident_per_req: HashMap<RequestId, u64>,
+    resident_per_client: HashMap<ClientId, u64>,
+    /// Optional per-client page quotas (PARTIES/pBox isolation).
+    quotas: HashMap<ClientId, u64>,
+    total_hits: u64,
+    total_misses: u64,
+    total_evictions: u64,
+}
+
+impl BufferPool {
+    /// Creates a pool.
+    pub fn new(cfg: BufferPoolConfig) -> Self {
+        let zipf = Zipf::new(cfg.hot_keys.max(1) as usize, cfg.zipf_theta);
+        Self {
+            cfg,
+            zipf,
+            pages: HashMap::new(),
+            lru: BTreeSet::new(),
+            next_tick: 0,
+            resident_per_req: HashMap::new(),
+            resident_per_client: HashMap::new(),
+            quotas: HashMap::new(),
+            total_hits: 0,
+            total_misses: 0,
+            total_evictions: 0,
+        }
+    }
+
+    /// Pre-populates the pool with the first `n` hot pages (attributed to
+    /// a sentinel request), modeling a warmed-up server so measurements do
+    /// not start from a cold cache.
+    pub fn prewarm(&mut self, n: u64) {
+        let n = n.min(self.cfg.capacity as u64);
+        for page in 0..n {
+            if !self.pages.contains_key(&page) {
+                self.link(page, RequestId(0), ClientId(u16::MAX));
+            }
+        }
+    }
+
+    /// Sets (or clears, with `None`) a client's page quota.
+    pub fn set_quota(&mut self, client: ClientId, quota: Option<u64>) {
+        match quota {
+            Some(q) => {
+                self.quotas.insert(client, q);
+            }
+            None => {
+                self.quotas.remove(&client);
+            }
+        }
+    }
+
+    /// Resident page count currently attributed to `req`.
+    pub fn resident_of(&self, req: RequestId) -> u64 {
+        self.resident_per_req.get(&req).copied().unwrap_or(0)
+    }
+
+    /// Resident page count of a client.
+    pub fn resident_of_client(&self, client: ClientId) -> u64 {
+        self.resident_per_client.get(&client).copied().unwrap_or(0)
+    }
+
+    /// Occupancy in pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Lifetime `(hits, misses, evictions)`.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.total_hits, self.total_misses, self.total_evictions)
+    }
+
+    fn unlink(&mut self, page: u64) -> Option<PageMeta> {
+        let meta = self.pages.remove(&page)?;
+        self.lru.remove(&(meta.tick, page));
+        if let Some(c) = self.resident_per_req.get_mut(&meta.owner) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.resident_per_req.remove(&meta.owner);
+            }
+        }
+        if let Some(c) = self.resident_per_client.get_mut(&meta.client) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.resident_per_client.remove(&meta.client);
+            }
+        }
+        Some(meta)
+    }
+
+    fn link(&mut self, page: u64, owner: RequestId, client: ClientId) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.pages.insert(
+            page,
+            PageMeta {
+                owner,
+                client,
+                tick,
+            },
+        );
+        self.lru.insert((tick, page));
+        *self.resident_per_req.entry(owner).or_insert(0) += 1;
+        *self.resident_per_client.entry(client).or_insert(0) += 1;
+    }
+
+    fn evict_lru(&mut self) -> Option<PageMeta> {
+        let &(_, page) = self.lru.iter().next()?;
+        self.total_evictions += 1;
+        self.unlink(page)
+    }
+
+    /// Evicts the least-recently-used page *of one client* (quota
+    /// enforcement). Returns the evicted page's owner.
+    fn evict_lru_of_client(&mut self, client: ClientId) -> Option<PageMeta> {
+        let page = self
+            .lru
+            .iter()
+            .find(|(_, p)| self.pages.get(p).map(|m| m.client) == Some(client))
+            .map(|&(_, p)| p)?;
+        self.total_evictions += 1;
+        self.unlink(page)
+    }
+
+    /// Touches `pages` pages for request `req` of `client`.
+    ///
+    /// `progress` is the number of pages this op already touched (drives
+    /// the position of sequential scans across chunks).
+    pub fn access(
+        &mut self,
+        req: RequestId,
+        client: ClientId,
+        pattern: AccessPattern,
+        pages: u64,
+        progress: u64,
+        rng: &mut SimRng,
+    ) -> AccessOutcome {
+        let mut out = AccessOutcome::default();
+        let mut evicted: HashMap<RequestId, u64> = HashMap::new();
+        for i in 0..pages {
+            let page = match pattern {
+                AccessPattern::Skewed => self.zipf.sample(rng) as u64,
+                // Scans touch cold pages far above the hot key space.
+                AccessPattern::Scan { base } => u64::MAX / 2 + base + progress + i,
+            };
+            if let Some(meta) = self.unlink(page) {
+                // Hit: refresh recency, keep original owner attribution.
+                self.link(page, meta.owner, meta.client);
+                self.total_hits += 1;
+                out.hits += 1;
+                out.cost_ns += self.cfg.hit_ns;
+            } else {
+                self.total_misses += 1;
+                out.misses += 1;
+                out.cost_ns += match pattern {
+                    AccessPattern::Skewed => self.cfg.miss_ns,
+                    AccessPattern::Scan { .. } => self.cfg.scan_miss_ns,
+                };
+                // Quota check: a client over quota evicts its own pages.
+                let over_quota = self
+                    .quotas
+                    .get(&client)
+                    .is_some_and(|q| self.resident_of_client(client) >= *q);
+                let victim = if over_quota {
+                    self.evict_lru_of_client(client)
+                } else if self.pages.len() >= self.cfg.capacity {
+                    self.evict_lru()
+                } else {
+                    None
+                };
+                if let Some(v) = victim {
+                    *evicted.entry(v.owner).or_insert(0) += 1;
+                    out.cost_ns += self.cfg.evict_ns;
+                }
+                self.link(page, req, client);
+            }
+        }
+        out.evicted = evicted.into_iter().collect();
+        out.evicted.sort_by_key(|(r, _)| *r);
+        out
+    }
+
+    /// The configured access cost parameters.
+    pub fn config(&self) -> &BufferPoolConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool(capacity: usize) -> BufferPool {
+        BufferPool::new(BufferPoolConfig {
+            capacity,
+            hot_keys: 8,
+            zipf_theta: 0.0,
+            hit_ns: 1,
+            miss_ns: 100,
+            scan_miss_ns: 100,
+            evict_ns: 10,
+        })
+    }
+
+    fn rng() -> SimRng {
+        SimRng::new(1)
+    }
+
+    const R1: RequestId = RequestId(1);
+    const R2: RequestId = RequestId(2);
+    const C0: ClientId = ClientId(0);
+    const C1: ClientId = ClientId(1);
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut p = small_pool(100);
+        let mut r = rng();
+        let a = p.access(R1, C0, AccessPattern::Scan { base: 0 }, 4, 0, &mut r);
+        assert_eq!(a.misses, 4);
+        assert_eq!(a.hits, 0);
+        assert_eq!(a.cost_ns, 400);
+        let b = p.access(R1, C0, AccessPattern::Scan { base: 0 }, 4, 0, &mut r);
+        assert_eq!(b.hits, 4);
+        assert_eq!(b.misses, 0);
+        assert_eq!(b.cost_ns, 4);
+    }
+
+    #[test]
+    fn scan_progress_advances_the_sweep() {
+        let mut p = small_pool(100);
+        let mut r = rng();
+        p.access(R1, C0, AccessPattern::Scan { base: 0 }, 4, 0, &mut r);
+        // Next chunk at progress 4 touches fresh pages.
+        let a = p.access(R1, C0, AccessPattern::Scan { base: 0 }, 4, 4, &mut r);
+        assert_eq!(a.misses, 4);
+        assert_eq!(p.len(), 8);
+    }
+
+    #[test]
+    fn full_pool_evicts_lru_and_attributes_owner() {
+        let mut p = small_pool(4);
+        let mut r = rng();
+        p.access(R1, C0, AccessPattern::Scan { base: 0 }, 4, 0, &mut r);
+        assert_eq!(p.resident_of(R1), 4);
+        let a = p.access(R2, C0, AccessPattern::Scan { base: 1000 }, 2, 0, &mut r);
+        assert_eq!(a.evicted, vec![(R1, 2)]);
+        assert_eq!(p.resident_of(R1), 2);
+        assert_eq!(p.resident_of(R2), 2);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn hits_refresh_recency() {
+        let mut p = small_pool(4);
+        let mut r = rng();
+        p.access(R1, C0, AccessPattern::Scan { base: 0 }, 4, 0, &mut r);
+        // Touch pages 0..2 again so pages 2..4 become LRU.
+        p.access(R1, C0, AccessPattern::Scan { base: 0 }, 2, 0, &mut r);
+        let a = p.access(R2, C0, AccessPattern::Scan { base: 1000 }, 2, 0, &mut r);
+        assert_eq!(a.evicted, vec![(R1, 2)]);
+        // The refreshed pages survived.
+        let b = p.access(R1, C0, AccessPattern::Scan { base: 0 }, 2, 0, &mut r);
+        assert_eq!(b.hits, 2);
+    }
+
+    #[test]
+    fn hit_preserves_original_owner() {
+        let mut p = small_pool(10);
+        let mut r = rng();
+        p.access(R1, C0, AccessPattern::Scan { base: 0 }, 2, 0, &mut r);
+        // R2 touches R1's pages: hits, attribution stays with R1.
+        p.access(R2, C0, AccessPattern::Scan { base: 0 }, 2, 0, &mut r);
+        assert_eq!(p.resident_of(R1), 2);
+        assert_eq!(p.resident_of(R2), 0);
+    }
+
+    #[test]
+    fn quota_makes_client_evict_its_own_pages() {
+        let mut p = small_pool(100);
+        p.set_quota(C1, Some(3));
+        let mut r = rng();
+        p.access(R1, C0, AccessPattern::Scan { base: 0 }, 5, 0, &mut r);
+        let a = p.access(R2, C1, AccessPattern::Scan { base: 1000 }, 6, 0, &mut r);
+        // R2's own pages were evicted, never R1's.
+        assert!(a.evicted.iter().all(|(owner, _)| *owner == R2));
+        assert_eq!(p.resident_of_client(C1), 3);
+        assert_eq!(p.resident_of(R1), 5);
+        p.set_quota(C1, None);
+        let b = p.access(R2, C1, AccessPattern::Scan { base: 2000 }, 3, 0, &mut r);
+        assert!(b.evicted.is_empty()); // capacity not reached, quota gone
+    }
+
+    #[test]
+    fn skewed_accesses_stay_in_hot_space_and_mostly_hit() {
+        let mut p = small_pool(100);
+        let mut r = rng();
+        let warm = p.access(R1, C0, AccessPattern::Skewed, 200, 0, &mut r);
+        assert!(warm.misses <= 8); // only 8 hot keys exist
+        let after = p.access(R1, C0, AccessPattern::Skewed, 200, 0, &mut r);
+        assert_eq!(after.misses, 0);
+    }
+
+    #[test]
+    fn dump_scan_thrashes_the_hot_set() {
+        // The Figure 2 mechanism: a cold sweep bigger than the pool evicts
+        // the hot working set, so subsequent hot accesses miss.
+        let mut p = small_pool(16);
+        let mut r = rng();
+        p.access(R1, C0, AccessPattern::Skewed, 100, 0, &mut r); // warm hot set
+        let before = p.access(R1, C0, AccessPattern::Skewed, 50, 0, &mut r);
+        assert_eq!(before.misses, 0);
+        p.access(R2, C0, AccessPattern::Scan { base: 0 }, 64, 0, &mut r); // dump
+        let after = p.access(R1, C0, AccessPattern::Skewed, 50, 0, &mut r);
+        assert!(after.misses > 0, "hot set should have been evicted");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut p = small_pool(2);
+        let mut r = rng();
+        p.access(R1, C0, AccessPattern::Scan { base: 0 }, 3, 0, &mut r);
+        let (h, m, e) = p.counters();
+        assert_eq!((h, m, e), (0, 3, 1));
+    }
+}

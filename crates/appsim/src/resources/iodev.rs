@@ -1,0 +1,125 @@
+//! A FIFO IO device.
+//!
+//! Models the system IO resource of case c8 (PostgreSQL vacuum saturating
+//! the disk). The device serves submissions in order with a single service
+//! channel: a submission at time `t` with service time `s` completes at
+//! `max(t, busy_until) + s`. The caller schedules its own completion event
+//! at the returned time; waiting time (`start - now`) is what Atropos
+//! traces as the System-resource delay.
+
+use atropos_sim::SimTime;
+
+/// The device.
+#[derive(Debug, Default)]
+pub struct IoDevice {
+    busy_until: SimTime,
+    submissions: u64,
+    busy_ns: u64,
+}
+
+/// Result of a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoCompletion {
+    /// When service begins (queueing ends).
+    pub start: SimTime,
+    /// When the IO completes.
+    pub done: SimTime,
+}
+
+impl IoCompletion {
+    /// Time spent queued before service.
+    pub fn wait_ns(&self, submitted: SimTime) -> u64 {
+        self.start.saturating_sub(submitted).as_nanos()
+    }
+}
+
+impl IoDevice {
+    /// Creates an idle device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits an IO of `service_ns` at time `now`.
+    pub fn submit(&mut self, now: SimTime, service_ns: u64) -> IoCompletion {
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
+        let done = start + SimTime::from_nanos(service_ns);
+        self.busy_until = done;
+        self.submissions += 1;
+        self.busy_ns += service_ns;
+        IoCompletion { start, done }
+    }
+
+    /// Time at which the device becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// `(submissions, total service ns)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.submissions, self.busy_ns)
+    }
+
+    /// Utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy_ns as f64 / now.as_nanos() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn idle_device_serves_immediately() {
+        let mut d = IoDevice::new();
+        let c = d.submit(t(10), 5_000);
+        assert_eq!(c.start, t(10));
+        assert_eq!(c.done, t(15));
+        assert_eq!(c.wait_ns(t(10)), 0);
+    }
+
+    #[test]
+    fn busy_device_queues_fifo() {
+        let mut d = IoDevice::new();
+        d.submit(t(0), 10_000);
+        let c = d.submit(t(2), 5_000);
+        assert_eq!(c.start, t(10));
+        assert_eq!(c.done, t(15));
+        assert_eq!(c.wait_ns(t(2)), 8_000);
+    }
+
+    #[test]
+    fn gap_lets_device_go_idle() {
+        let mut d = IoDevice::new();
+        d.submit(t(0), 1_000);
+        let c = d.submit(t(100), 1_000);
+        assert_eq!(c.start, t(100));
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut d = IoDevice::new();
+        d.submit(t(0), 50_000);
+        assert!((d.utilization(t(100)) - 0.5).abs() < 1e-9);
+        assert_eq!(d.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut d = IoDevice::new();
+        d.submit(t(0), 100);
+        d.submit(t(0), 200);
+        assert_eq!(d.counters(), (2, 300));
+    }
+}

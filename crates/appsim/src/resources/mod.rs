@@ -1,0 +1,20 @@
+//! Application resources of the simulated systems.
+//!
+//! Each resource is a pure data structure: it tracks ownership and waiting
+//! and reports what happened (grants, evictions, pauses); the server turns
+//! those reports into scheduling decisions and tracer events. This keeps
+//! the resources independently testable and mirrors the paper's
+//! observation that resources expose *get / free / wait* operations
+//! regardless of their internal logic (§3.2).
+
+pub mod bufferpool;
+pub mod heap;
+pub mod iodev;
+pub mod lock;
+pub mod ticket;
+
+pub use bufferpool::{AccessOutcome, BufferPool, BufferPoolConfig};
+pub use heap::{AllocOutcome, Heap, HeapConfig};
+pub use iodev::IoDevice;
+pub use lock::{AcquireResult, LockManager};
+pub use ticket::TicketQueue;

@@ -1,0 +1,190 @@
+//! Bounded-concurrency ticket queues.
+//!
+//! Models the thread-pool resources of Table 2: InnoDB's
+//! `innodb_thread_concurrency` tickets (c2), Apache's MaxClients-style
+//! worker admission (c9), Solr's search queue (c15), and — with
+//! `capacity = cores` — CPU contention (c12). Entry is FIFO; a slow
+//! request that holds a ticket for seconds starves everyone behind it.
+
+use std::collections::VecDeque;
+
+use crate::ids::RequestId;
+
+/// Result of an entry attempt (mirrors [`super::lock::AcquireResult`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnterResult {
+    /// A ticket was granted immediately.
+    Granted,
+    /// The requester queued.
+    Queued,
+}
+
+/// A FIFO ticket queue with fixed capacity.
+#[derive(Debug)]
+pub struct TicketQueue {
+    capacity: usize,
+    holders: Vec<RequestId>,
+    waiters: VecDeque<RequestId>,
+}
+
+impl TicketQueue {
+    /// Creates a queue with `capacity` tickets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ticket queue needs capacity");
+        Self {
+            capacity,
+            holders: Vec::new(),
+            waiters: VecDeque::new(),
+        }
+    }
+
+    /// Changes the capacity (PARTIES-style partition adjustment). If
+    /// capacity grows, queued requests are granted and returned.
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<RequestId> {
+        self.capacity = capacity.max(1);
+        self.drain_grants()
+    }
+
+    /// Current capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tickets currently held.
+    pub fn active(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Requests waiting for a ticket.
+    pub fn queued(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Current ticket holders.
+    pub fn holders(&self) -> &[RequestId] {
+        &self.holders
+    }
+
+    fn drain_grants(&mut self) -> Vec<RequestId> {
+        let mut granted = Vec::new();
+        while self.holders.len() < self.capacity {
+            match self.waiters.pop_front() {
+                Some(r) => {
+                    self.holders.push(r);
+                    granted.push(r);
+                }
+                None => break,
+            }
+        }
+        granted
+    }
+
+    /// Attempts to take a ticket.
+    pub fn enter(&mut self, req: RequestId) -> EnterResult {
+        if self.waiters.is_empty() && self.holders.len() < self.capacity {
+            self.holders.push(req);
+            EnterResult::Granted
+        } else {
+            self.waiters.push_back(req);
+            EnterResult::Queued
+        }
+    }
+
+    /// Returns a ticket; grants and returns the next waiters (if any).
+    pub fn leave(&mut self, req: RequestId) -> Vec<RequestId> {
+        self.holders.retain(|r| *r != req);
+        self.drain_grants()
+    }
+
+    /// Removes a queued waiter (cancellation while blocked). Returns true
+    /// if the request was queued.
+    pub fn remove_waiter(&mut self, req: RequestId) -> bool {
+        let before = self.waiters.len();
+        self.waiters.retain(|r| *r != req);
+        self.waiters.len() != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_up_to_capacity_then_queues() {
+        let mut q = TicketQueue::new(2);
+        assert_eq!(q.enter(RequestId(1)), EnterResult::Granted);
+        assert_eq!(q.enter(RequestId(2)), EnterResult::Granted);
+        assert_eq!(q.enter(RequestId(3)), EnterResult::Queued);
+        assert_eq!(q.active(), 2);
+        assert_eq!(q.queued(), 1);
+    }
+
+    #[test]
+    fn leave_grants_fifo() {
+        let mut q = TicketQueue::new(1);
+        q.enter(RequestId(1));
+        q.enter(RequestId(2));
+        q.enter(RequestId(3));
+        assert_eq!(q.leave(RequestId(1)), vec![RequestId(2)]);
+        assert_eq!(q.leave(RequestId(2)), vec![RequestId(3)]);
+        assert!(q.leave(RequestId(3)).is_empty());
+    }
+
+    #[test]
+    fn no_barging_when_queue_nonempty() {
+        let mut q = TicketQueue::new(2);
+        q.enter(RequestId(1));
+        q.enter(RequestId(2));
+        q.enter(RequestId(3));
+        q.leave(RequestId(1)); // grants 3
+                               // Even though capacity is free after another leave, a newcomer
+                               // queues only if someone is ahead; here queue is empty so granted.
+        q.leave(RequestId(2));
+        assert_eq!(q.enter(RequestId(4)), EnterResult::Granted);
+    }
+
+    #[test]
+    fn remove_waiter_dequeues() {
+        let mut q = TicketQueue::new(1);
+        q.enter(RequestId(1));
+        q.enter(RequestId(2));
+        assert!(q.remove_waiter(RequestId(2)));
+        assert!(!q.remove_waiter(RequestId(2)));
+        assert!(q.leave(RequestId(1)).is_empty());
+    }
+
+    #[test]
+    fn growing_capacity_grants_waiters() {
+        let mut q = TicketQueue::new(1);
+        q.enter(RequestId(1));
+        q.enter(RequestId(2));
+        q.enter(RequestId(3));
+        let granted = q.set_capacity(3);
+        assert_eq!(granted, vec![RequestId(2), RequestId(3)]);
+    }
+
+    #[test]
+    fn shrinking_capacity_does_not_revoke() {
+        let mut q = TicketQueue::new(2);
+        q.enter(RequestId(1));
+        q.enter(RequestId(2));
+        assert!(q.set_capacity(1).is_empty());
+        assert_eq!(q.active(), 2); // existing holders keep tickets
+        assert_eq!(q.enter(RequestId(3)), EnterResult::Queued);
+        q.leave(RequestId(1));
+        // Still over the new capacity: no grant yet.
+        assert_eq!(q.queued(), 1);
+        let granted = q.leave(RequestId(2));
+        assert_eq!(granted, vec![RequestId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TicketQueue::new(0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Workload generation.
+//!
+//! Replaces the paper's benchmark drivers (Sysbench, ApacheBench, Rally,
+//! Solrbench, etcdbench): an open-loop Poisson arrival process over a
+//! weighted mix of request classes, plus timed one-off injections (the
+//! scan-at-5s / backup-at-20s schedules of §2.1) and recurring background
+//! jobs (purge, vacuum, WAL writer).
+
+use atropos_sim::{SimRng, SimTime};
+
+use crate::ids::{ClassId, ClientId};
+use crate::op::Plan;
+
+/// Builds a (possibly randomized) plan instance for a class.
+pub type PlanFactory = Box<dyn Fn(&mut SimRng) -> Plan + Send>;
+
+/// A request class.
+pub struct ClassSpec {
+    /// Name used in output.
+    pub name: String,
+    /// Plan template.
+    pub make_plan: PlanFactory,
+    /// Relative weight in the open-loop mix (0 = injection/background
+    /// only).
+    pub weight: f64,
+    /// Fixed owning client, or `None` to round-robin over the workload's
+    /// clients.
+    pub client: Option<ClientId>,
+    /// Whether controllers may cancel requests of this class (the paper's
+    /// `createCancel` registration decision).
+    pub cancellable: bool,
+    /// Background job class (no SLO, excluded from latency metrics).
+    pub background: bool,
+}
+
+impl std::fmt::Debug for ClassSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClassSpec")
+            .field("name", &self.name)
+            .field("weight", &self.weight)
+            .field("cancellable", &self.cancellable)
+            .field("background", &self.background)
+            .finish()
+    }
+}
+
+impl ClassSpec {
+    /// Creates a foreground, cancellable class.
+    pub fn new(
+        name: impl Into<String>,
+        weight: f64,
+        make_plan: impl Fn(&mut SimRng) -> Plan + Send + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            make_plan: Box::new(make_plan),
+            weight,
+            client: None,
+            cancellable: true,
+            background: false,
+        }
+    }
+
+    /// Pins the class to a client.
+    pub fn with_client(mut self, client: ClientId) -> Self {
+        self.client = Some(client);
+        self
+    }
+
+    /// Marks the class non-cancellable.
+    pub fn non_cancellable(mut self) -> Self {
+        self.cancellable = false;
+        self
+    }
+
+    /// Marks the class as a background job.
+    pub fn background(mut self) -> Self {
+        self.background = true;
+        self
+    }
+}
+
+/// A one-off request injected at a fixed time.
+#[derive(Debug, Clone, Copy)]
+pub struct Injection {
+    /// When to inject.
+    pub at: SimTime,
+    /// Which class.
+    pub class: ClassId,
+}
+
+/// A recurring background job: first run at `start`, next run `interval`
+/// after each completion.
+#[derive(Debug, Clone, Copy)]
+pub struct BackgroundJob {
+    /// Which class.
+    pub class: ClassId,
+    /// First spawn time.
+    pub start: SimTime,
+    /// Gap between a run's completion and the next spawn.
+    pub interval: SimTime,
+}
+
+/// A complete workload description.
+pub struct WorkloadSpec {
+    /// Request classes; `ClassId(i)` refers to `classes[i]`.
+    pub classes: Vec<ClassSpec>,
+    /// Open-loop arrival rate (requests per second).
+    pub arrival_qps: f64,
+    /// Timed one-off injections.
+    pub injections: Vec<Injection>,
+    /// Recurring background jobs.
+    pub background: Vec<BackgroundJob>,
+    /// Number of round-robin clients for classes without a fixed client.
+    pub n_clients: u16,
+}
+
+impl std::fmt::Debug for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadSpec")
+            .field("classes", &self.classes.len())
+            .field("arrival_qps", &self.arrival_qps)
+            .field("injections", &self.injections.len())
+            .field("background", &self.background.len())
+            .finish()
+    }
+}
+
+impl WorkloadSpec {
+    /// Creates a workload with the given classes and arrival rate.
+    pub fn new(classes: Vec<ClassSpec>, arrival_qps: f64) -> Self {
+        Self {
+            classes,
+            arrival_qps,
+            injections: Vec::new(),
+            background: Vec::new(),
+            n_clients: 8,
+        }
+    }
+
+    /// Adds a timed injection.
+    pub fn inject(mut self, at: SimTime, class: ClassId) -> Self {
+        self.injections.push(Injection { at, class });
+        self
+    }
+
+    /// Adds a recurring background job.
+    pub fn recurring(mut self, class: ClassId, start: SimTime, interval: SimTime) -> Self {
+        self.background.push(BackgroundJob {
+            class,
+            start,
+            interval,
+        });
+        self
+    }
+
+    /// Sets the client count.
+    pub fn clients(mut self, n: u16) -> Self {
+        self.n_clients = n.max(1);
+        self
+    }
+
+    /// Samples a class id from the weighted mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no class has positive weight.
+    pub fn sample_class(&self, rng: &mut SimRng) -> ClassId {
+        let total: f64 = self.classes.iter().map(|c| c.weight).sum();
+        assert!(total > 0.0, "workload has no weighted classes");
+        let mut x = rng.f64() * total;
+        for (i, c) in self.classes.iter().enumerate() {
+            x -= c.weight;
+            if x <= 0.0 && c.weight > 0.0 {
+                return ClassId(i as u16);
+            }
+        }
+        // Float round-off: fall back to the last weighted class.
+        ClassId(
+            self.classes
+                .iter()
+                .rposition(|c| c.weight > 0.0)
+                .expect("total > 0 implies a weighted class") as u16,
+        )
+    }
+
+    /// Mean inter-arrival gap, or `None` for a closed workload
+    /// (`arrival_qps == 0`).
+    pub fn mean_gap(&self) -> Option<SimTime> {
+        if self.arrival_qps <= 0.0 {
+            None
+        } else {
+            Some(SimTime::from_secs_f64(1.0 / self.arrival_qps))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes() -> Vec<ClassSpec> {
+        vec![
+            ClassSpec::new("select", 0.7, |_| Plan::new().compute(100_000)),
+            ClassSpec::new("update", 0.3, |_| Plan::new().compute(150_000)),
+            ClassSpec::new("scan", 0.0, |_| Plan::new().compute(5_000_000)),
+        ]
+    }
+
+    #[test]
+    fn sample_respects_weights() {
+        let w = WorkloadSpec::new(classes(), 1000.0);
+        let mut rng = SimRng::new(7);
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[w.sample_class(&mut rng).0 as usize] += 1;
+        }
+        assert!((counts[0] as f64 - 7000.0).abs() < 300.0, "{counts:?}");
+        assert!((counts[1] as f64 - 3000.0).abs() < 300.0, "{counts:?}");
+        assert_eq!(counts[2], 0); // zero-weight classes never sampled
+    }
+
+    #[test]
+    fn mean_gap_inverts_rate() {
+        let w = WorkloadSpec::new(classes(), 10_000.0);
+        assert_eq!(w.mean_gap(), Some(SimTime::from_micros(100)));
+        let closed = WorkloadSpec::new(classes(), 0.0);
+        assert_eq!(closed.mean_gap(), None);
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let w = WorkloadSpec::new(classes(), 100.0)
+            .inject(SimTime::from_secs(5), ClassId(2))
+            .recurring(ClassId(2), SimTime::ZERO, SimTime::from_secs(1))
+            .clients(4);
+        assert_eq!(w.injections.len(), 1);
+        assert_eq!(w.background.len(), 1);
+        assert_eq!(w.n_clients, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no weighted classes")]
+    fn sampling_without_weights_panics() {
+        let w = WorkloadSpec::new(vec![ClassSpec::new("bg", 0.0, |_| Plan::new())], 100.0);
+        let mut rng = SimRng::new(1);
+        let _ = w.sample_class(&mut rng);
+    }
+
+    #[test]
+    fn class_modifiers_apply() {
+        let c = ClassSpec::new("x", 1.0, |_| Plan::new())
+            .with_client(ClientId(3))
+            .non_cancellable()
+            .background();
+        assert_eq!(c.client, Some(ClientId(3)));
+        assert!(!c.cancellable);
+        assert!(c.background);
+    }
+}

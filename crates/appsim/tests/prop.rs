@@ -1,0 +1,166 @@
+//! Property-based tests for the application resources.
+
+use atropos_app::ids::{ClientId, LockId, RequestId};
+use atropos_app::op::{AccessPattern, LockMode};
+use atropos_app::resources::bufferpool::{BufferPool, BufferPoolConfig};
+use atropos_app::resources::lock::LockManager;
+use atropos_app::resources::ticket::TicketQueue;
+use atropos_sim::SimRng;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum LockEv {
+    Acquire(u8, bool), // request, exclusive?
+    Release(u8),
+}
+
+fn lock_ev() -> impl Strategy<Value = LockEv> {
+    prop_oneof![
+        (0u8..16, any::<bool>()).prop_map(|(r, x)| LockEv::Acquire(r, x)),
+        (0u8..16).prop_map(LockEv::Release),
+    ]
+}
+
+proptest! {
+    /// Lock safety: at no point do an exclusive holder and any other
+    /// holder coexist, for arbitrary acquire/release interleavings.
+    #[test]
+    fn lock_manager_safety(evs in prop::collection::vec(lock_ev(), 0..200)) {
+        let mut m = LockManager::new(1);
+        let l = LockId(0);
+        let mut live: HashSet<u8> = HashSet::new(); // requests in the system
+        let mut exclusive: HashSet<u8> = HashSet::new();
+        for ev in evs {
+            match ev {
+                LockEv::Acquire(r, excl) => {
+                    if live.contains(&r) {
+                        continue; // one outstanding interaction per request
+                    }
+                    live.insert(r);
+                    if excl {
+                        exclusive.insert(r);
+                    }
+                    let mode = if excl { LockMode::Exclusive } else { LockMode::Shared };
+                    m.acquire(l, RequestId(r as u64), mode);
+                }
+                LockEv::Release(r) => {
+                    if !live.contains(&r) {
+                        continue;
+                    }
+                    live.remove(&r);
+                    let was_holder = m.holders(l).contains(&RequestId(r as u64));
+                    if was_holder {
+                        m.release(l, RequestId(r as u64));
+                    } else {
+                        m.remove_waiter(l, RequestId(r as u64));
+                    }
+                    if exclusive.remove(&r) {}
+                }
+            }
+            // Safety invariant.
+            let holders = m.holders(l);
+            let excl_holders = holders
+                .iter()
+                .filter(|h| exclusive.contains(&(h.0 as u8)))
+                .count();
+            if excl_holders > 0 {
+                prop_assert_eq!(holders.len(), 1, "exclusive holder shares the lock");
+            }
+        }
+    }
+
+    /// Ticket queues never exceed capacity and conserve requests.
+    #[test]
+    fn ticket_queue_conservation(cap in 1usize..8, n in 1u64..64) {
+        let mut q = TicketQueue::new(cap);
+        for i in 0..n {
+            q.enter(RequestId(i));
+            prop_assert!(q.active() <= cap);
+        }
+        prop_assert_eq!(q.active() as u64 + q.queued() as u64, n);
+        let mut served = q.active() as u64;
+        let holders: Vec<_> = q.holders().to_vec();
+        let mut to_leave: Vec<_> = holders;
+        while let Some(r) = to_leave.pop() {
+            let granted = q.leave(r);
+            served += granted.len() as u64;
+            to_leave.extend(granted);
+            prop_assert!(q.active() <= cap);
+        }
+        prop_assert_eq!(served, n);
+        prop_assert_eq!(q.active(), 0);
+        prop_assert_eq!(q.queued(), 0);
+    }
+
+    /// The buffer pool never exceeds capacity and per-request residency
+    /// always sums to the occupancy.
+    #[test]
+    fn bufferpool_capacity_and_attribution(
+        cap in 8usize..128,
+        accesses in prop::collection::vec((0u64..8, 1u64..32, any::<bool>()), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let mut pool = BufferPool::new(BufferPoolConfig {
+            capacity: cap,
+            hot_keys: 32,
+            zipf_theta: 0.9,
+            hit_ns: 1,
+            miss_ns: 10,
+            scan_miss_ns: 5,
+            evict_ns: 1,
+        });
+        let mut rng = SimRng::new(seed);
+        let mut requests = HashSet::new();
+        for (req, pages, scan) in accesses {
+            requests.insert(req);
+            let pattern = if scan {
+                AccessPattern::Scan { base: req * 10_000 }
+            } else {
+                AccessPattern::Skewed
+            };
+            let out = pool.access(RequestId(req), ClientId(0), pattern, pages, 0, &mut rng);
+            prop_assert!(pool.len() <= cap, "occupancy {} > cap {cap}", pool.len());
+            prop_assert_eq!(out.hits + out.misses, pages);
+            let attributed: u64 = requests
+                .iter()
+                .map(|&r| pool.resident_of(RequestId(r)))
+                .sum();
+            prop_assert_eq!(attributed, pool.len() as u64);
+        }
+    }
+
+    /// Quotas are respected: a quota'd client's residency never exceeds
+    /// its quota after its own accesses.
+    #[test]
+    fn bufferpool_quota_respected(quota in 1u64..32, pages in prop::collection::vec(1u64..16, 1..30)) {
+        let mut pool = BufferPool::new(BufferPoolConfig {
+            capacity: 4096,
+            hot_keys: 16,
+            zipf_theta: 0.5,
+            hit_ns: 1,
+            miss_ns: 10,
+            scan_miss_ns: 5,
+            evict_ns: 1,
+        });
+        pool.set_quota(ClientId(1), Some(quota));
+        let mut rng = SimRng::new(9);
+        let mut base = 0;
+        for p in pages {
+            base += 100_000;
+            pool.access(
+                RequestId(1),
+                ClientId(1),
+                AccessPattern::Scan { base },
+                p,
+                0,
+                &mut rng,
+            );
+            prop_assert!(
+                pool.resident_of_client(ClientId(1)) <= quota + 1,
+                "client residency {} over quota {quota}",
+                pool.resident_of_client(ClientId(1))
+            );
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Breakwater (Cho et al., OSDI 2020): credit-based admission control.
+//!
+//! Breakwater issues credits to clients based on observed queueing delay:
+//! when delay exceeds the target, the credit pool shrinks
+//! multiplicatively; when there is headroom, it grows additively. It is
+//! effective for demand (CPU/network) overload but has no visibility into
+//! application resources (§2.2): it cannot tell which request will
+//! monopolize a lock or a buffer pool. In this reproduction it also
+//! serves as the fallback Atropos invokes for *regular* overload (§3.3).
+
+use atropos_app::controller::{Action, AdmitDecision, Controller, ServerView};
+use atropos_app::request::{Outcome, Request};
+use atropos_sim::SimTime;
+
+/// Breakwater configuration.
+#[derive(Debug, Clone)]
+pub struct BreakwaterConfig {
+    /// Target queueing delay (ns); the paper derives it from the SLO.
+    pub target_delay_ns: u64,
+    /// Additive credit increase per healthy epoch.
+    pub additive: f64,
+    /// Multiplicative decrease factor on violation.
+    pub beta: f64,
+    /// Initial and minimum credit pool.
+    pub min_credits: f64,
+}
+
+impl BreakwaterConfig {
+    /// Defaults for the given delay target.
+    pub fn new(target_delay_ns: u64) -> Self {
+        Self {
+            target_delay_ns,
+            additive: 16.0,
+            beta: 0.2,
+            min_credits: 8.0,
+        }
+    }
+}
+
+/// The Breakwater controller.
+#[derive(Debug)]
+pub struct Breakwater {
+    cfg: BreakwaterConfig,
+    credits: f64,
+    in_flight: u64,
+    rejected: u64,
+}
+
+impl Breakwater {
+    /// Creates a controller with an initial credit pool.
+    pub fn new(target_delay_ns: u64) -> Self {
+        Self::with_config(BreakwaterConfig::new(target_delay_ns))
+    }
+
+    /// Creates a controller with explicit parameters.
+    pub fn with_config(cfg: BreakwaterConfig) -> Self {
+        Self {
+            credits: 1_000.0,
+            in_flight: 0,
+            rejected: 0,
+            cfg,
+        }
+    }
+
+    /// Current credit pool size.
+    pub fn credits(&self) -> f64 {
+        self.credits
+    }
+
+    /// Requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+impl Controller for Breakwater {
+    fn name(&self) -> &'static str {
+        "breakwater"
+    }
+
+    fn on_arrival(&mut self, _now: SimTime, req: &Request) -> AdmitDecision {
+        if req.background {
+            return AdmitDecision::Admit;
+        }
+        if (self.in_flight as f64) < self.credits {
+            self.in_flight += 1;
+            AdmitDecision::Admit
+        } else {
+            self.rejected += 1;
+            AdmitDecision::Reject
+        }
+    }
+
+    fn on_finish(&mut self, _now: SimTime, req: &Request, outcome: Outcome) {
+        if !req.background && outcome != Outcome::Dropped || req.retry {
+            self.in_flight = self.in_flight.saturating_sub(1);
+        } else if !req.background {
+            // Rejected requests were never admitted; dropped-after-admit
+            // still frees a credit.
+            if req.started_at.is_some() || req.cancel_flag {
+                self.in_flight = self.in_flight.saturating_sub(1);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime, view: &ServerView) -> Vec<Action> {
+        // Queueing delay estimate: age of the oldest request still waiting
+        // for a worker (Breakwater measures time-in-queue at the server).
+        let queue_delay = view
+            .requests
+            .iter()
+            .filter(|r| r.blocked)
+            .map(|r| now.saturating_sub(r.arrival).as_nanos())
+            .max()
+            .unwrap_or(0);
+        if queue_delay > self.cfg.target_delay_ns {
+            let over =
+                (queue_delay - self.cfg.target_delay_ns) as f64 / self.cfg.target_delay_ns as f64;
+            self.credits *= 1.0 - self.cfg.beta * over.min(1.0);
+            self.credits = self.credits.max(self.cfg.min_credits);
+        } else {
+            self.credits += self.cfg.additive;
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_app::apps::webserver::{WebServer, WebServerConfig};
+    use atropos_app::server::SimServer;
+    use atropos_app::workload::WorkloadSpec;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn healthy_load_keeps_credits_growing() {
+        let ws = WebServer::new(WebServerConfig::default());
+        let wl = WorkloadSpec::new(vec![ws.http_request(1.0)], 4_000.0);
+        let m = SimServer::new(ws.server_config(), wl, Box::new(Breakwater::new(20 * MS)))
+            .run(SimTime::from_secs(3), SimTime::from_secs(1));
+        assert_eq!(m.dropped, 0);
+        assert!(m.completed as f64 > 4_000.0 * 2.0 * 0.97);
+    }
+
+    #[test]
+    fn demand_overload_is_shed_by_admission() {
+        // Offered load 4x the worker-pool capacity: Breakwater sheds the
+        // excess and keeps latency of admitted requests bounded.
+        let ws = WebServer::new(WebServerConfig {
+            max_clients: 8,
+            ..Default::default()
+        });
+        let wl = WorkloadSpec::new(vec![ws.http_request(1.0)], 20_000.0);
+        let m = SimServer::new(ws.server_config(), wl, Box::new(Breakwater::new(20 * MS)))
+            .run(SimTime::from_secs(4), SimTime::from_secs(1));
+        assert!(m.dropped > 0, "no shedding under 4x overload");
+        assert!(
+            m.latency.p99() < 500 * MS,
+            "p99 {} not bounded",
+            m.latency.p99()
+        );
+    }
+
+    #[test]
+    fn credits_shrink_on_delay_and_recover() {
+        let mut b = Breakwater::new(10 * MS);
+        let start = b.credits();
+        let view = ServerView {
+            now: SimTime::from_millis(200),
+            requests: vec![atropos_app::controller::RequestView {
+                id: atropos_app::ids::RequestId(1),
+                class: atropos_app::ids::ClassId(0),
+                client: atropos_app::ids::ClientId(0),
+                arrival: SimTime::ZERO,
+                wait_ns: 150 * MS,
+                current_wait_ns: 150 * MS,
+                resident_pages: 0,
+                heap_bytes: 0,
+                progress: 0.0,
+                background: false,
+                cancellable: true,
+                blocked: true,
+            }],
+            recent: Default::default(),
+            client_p99: vec![],
+            queues: vec![],
+            workers_active: 1,
+            workers_queued: 1,
+        };
+        b.on_tick(SimTime::from_millis(200), &view);
+        assert!(b.credits() < start);
+        let healthy = ServerView {
+            requests: vec![],
+            ..view
+        };
+        for _ in 0..100 {
+            b.on_tick(SimTime::from_millis(300), &healthy);
+        }
+        assert!(b.credits() > start);
+    }
+}

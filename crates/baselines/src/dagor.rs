@@ -1,0 +1,237 @@
+//! DAGOR (Zhou et al., SoCC 2018): overload control for WeChat
+//! microservices.
+//!
+//! DAGOR detects overload from average queuing time and sheds load by
+//! *priority*: every request carries a (business, user) priority pair, and
+//! under overload the service raises its admission threshold so only
+//! requests above it enter — guaranteeing that whichever users are
+//! admitted get consistent service end-to-end. Here business priority
+//! comes from the request class and user priority from the client id, and
+//! the threshold adapts with DAGOR's one-step-up / proportional-step-down
+//! rule. Like the other admission controllers, it cannot see which
+//! admitted request will monopolize an application resource.
+
+use atropos_app::controller::{Action, AdmitDecision, Controller, ServerView};
+use atropos_app::request::Request;
+use atropos_sim::SimTime;
+
+/// Total admission levels (the paper uses 128 business × 128 user; a
+/// smaller grid keeps adaptation steps meaningful at our scale).
+const LEVELS: u32 = 64;
+
+/// DAGOR configuration.
+#[derive(Debug, Clone)]
+pub struct DagorConfig {
+    /// Average queuing-time threshold that signals overload (the paper
+    /// uses 20 ms at the queue head).
+    pub queue_time_ns: u64,
+    /// Fraction of currently admitted levels cut per overloaded epoch.
+    pub step_down: f64,
+}
+
+impl DagorConfig {
+    /// Defaults for the given queuing-time threshold.
+    pub fn new(queue_time_ns: u64) -> Self {
+        Self {
+            queue_time_ns,
+            step_down: 0.25,
+        }
+    }
+}
+
+/// The DAGOR controller.
+#[derive(Debug)]
+pub struct Dagor {
+    cfg: DagorConfig,
+    /// Requests with priority **below** this level are rejected.
+    threshold: u32,
+    rejected: u64,
+}
+
+impl Dagor {
+    /// Creates a DAGOR controller.
+    pub fn new(queue_time_ns: u64) -> Self {
+        Self::with_config(DagorConfig::new(queue_time_ns))
+    }
+
+    /// Creates a controller with explicit parameters.
+    pub fn with_config(cfg: DagorConfig) -> Self {
+        Self {
+            cfg,
+            threshold: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Current admission threshold (0 = admit everything).
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Requests rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The composed (business, user) priority of a request, in
+    /// `[0, LEVELS)`; higher is more important.
+    fn priority(req: &Request) -> u32 {
+        // Business priority from the class (lower class id = more
+        // important, mirroring how operators hand-rank entry services);
+        // user priority from a hash of the client so each user keeps a
+        // consistent level.
+        let business = 7u32.saturating_sub(req.class.0 as u32).min(7);
+        let user = (req.client.0 as u32).wrapping_mul(2654435761) % 8;
+        business * 8 + user
+    }
+}
+
+impl Controller for Dagor {
+    fn name(&self) -> &'static str {
+        "dagor"
+    }
+
+    fn on_arrival(&mut self, _now: SimTime, req: &Request) -> AdmitDecision {
+        if req.background {
+            return AdmitDecision::Admit;
+        }
+        if Self::priority(req) >= self.threshold {
+            AdmitDecision::Admit
+        } else {
+            self.rejected += 1;
+            AdmitDecision::Reject
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime, view: &ServerView) -> Vec<Action> {
+        // Average queuing time of requests still waiting for a worker —
+        // the head-of-queue wait DAGOR samples.
+        let waits: Vec<u64> = view
+            .requests
+            .iter()
+            .filter(|r| r.blocked)
+            .map(|r| now.saturating_sub(r.arrival).as_nanos())
+            .collect();
+        let avg_wait = if waits.is_empty() {
+            0
+        } else {
+            waits.iter().sum::<u64>() / waits.len() as u64
+        };
+        if avg_wait > self.cfg.queue_time_ns {
+            // Overloaded: cut a fraction of the admitted levels.
+            let admitted = LEVELS - self.threshold;
+            let cut = ((admitted as f64 * self.cfg.step_down).ceil() as u32).max(1);
+            self.threshold = (self.threshold + cut).min(LEVELS - 1);
+        } else if self.threshold > 0 {
+            // Healthy: re-admit one level per epoch.
+            self.threshold -= 1;
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_app::apps::webserver::{WebServer, WebServerConfig};
+    use atropos_app::controller::RecentPerf;
+    use atropos_app::ids::{ClassId, ClientId, RequestId};
+    use atropos_app::server::SimServer;
+    use atropos_app::workload::WorkloadSpec;
+
+    const MS: u64 = 1_000_000;
+
+    fn view_with_waits(now_ms: u64, wait_ms: u64, n: usize) -> ServerView {
+        ServerView {
+            now: SimTime::from_millis(now_ms),
+            requests: (0..n)
+                .map(|i| atropos_app::controller::RequestView {
+                    id: RequestId(i as u64),
+                    class: ClassId(0),
+                    client: ClientId(0),
+                    arrival: SimTime::from_millis(now_ms - wait_ms),
+                    wait_ns: wait_ms * MS,
+                    current_wait_ns: wait_ms * MS,
+                    resident_pages: 0,
+                    heap_bytes: 0,
+                    progress: 0.0,
+                    background: false,
+                    cancellable: true,
+                    blocked: true,
+                })
+                .collect(),
+            recent: RecentPerf::default(),
+            client_p99: vec![],
+            queues: vec![],
+            workers_active: 0,
+            workers_queued: n,
+        }
+    }
+
+    #[test]
+    fn threshold_rises_under_queueing_and_decays_after() {
+        let mut d = Dagor::new(20 * MS);
+        assert_eq!(d.threshold(), 0);
+        let overloaded = view_with_waits(100, 50, 10);
+        d.on_tick(SimTime::from_millis(100), &overloaded);
+        let t1 = d.threshold();
+        assert!(t1 > 0);
+        d.on_tick(SimTime::from_millis(200), &overloaded);
+        assert!(d.threshold() > t1);
+        let calm = view_with_waits(300, 0, 0);
+        let high = d.threshold();
+        d.on_tick(SimTime::from_millis(300), &calm);
+        assert_eq!(d.threshold(), high - 1);
+    }
+
+    #[test]
+    fn low_priority_requests_are_shed_first() {
+        let mut d = Dagor::new(20 * MS);
+        d.threshold = 30;
+        let hi = Request::new(
+            RequestId(1),
+            ClassId(0), // business priority 7 → levels 56..63
+            ClientId(1),
+            atropos_app::op::Plan::new(),
+            SimTime::ZERO,
+        );
+        let lo = Request::new(
+            RequestId(2),
+            ClassId(7), // business priority 0 → levels 0..7
+            ClientId(1),
+            atropos_app::op::Plan::new(),
+            SimTime::ZERO,
+        );
+        assert_eq!(d.on_arrival(SimTime::ZERO, &hi), AdmitDecision::Admit);
+        assert_eq!(d.on_arrival(SimTime::ZERO, &lo), AdmitDecision::Reject);
+        assert_eq!(d.rejected(), 1);
+    }
+
+    #[test]
+    fn priorities_are_stable_per_client_and_class() {
+        let mk = |class, client| {
+            Request::new(
+                RequestId(9),
+                ClassId(class),
+                ClientId(client),
+                atropos_app::op::Plan::new(),
+                SimTime::ZERO,
+            )
+        };
+        assert_eq!(Dagor::priority(&mk(1, 3)), Dagor::priority(&mk(1, 3)));
+        assert!(Dagor::priority(&mk(0, 3)) > Dagor::priority(&mk(5, 3)));
+    }
+
+    #[test]
+    fn end_to_end_sheds_under_demand_overload() {
+        let ws = WebServer::new(WebServerConfig {
+            max_clients: 8,
+            ..Default::default()
+        });
+        let wl = WorkloadSpec::new(vec![ws.http_request(1.0)], 20_000.0).clients(8);
+        let m = SimServer::new(ws.server_config(), wl, Box::new(Dagor::new(20 * MS)))
+            .run(SimTime::from_secs(4), SimTime::from_secs(1));
+        assert!(m.dropped > 0, "no shedding");
+        assert!(m.completed > 0);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! Reimplementations of the systems Atropos is compared against.
+//!
+//! The paper evaluates against four state-of-the-art systems (§5.2) plus
+//! the uncontrolled baseline. Each is reimplemented here as a decision
+//! policy over the same simulator hooks, mirroring how the paper ported
+//! each system into its six applications "to ensure fair and consistent
+//! evaluation":
+//!
+//! - [`protego::Protego`] — lock-contention-aware overload control
+//!   (NSDI'23): admission control plus dropping *victim* requests whose
+//!   accumulated blocking time approaches the SLO,
+//! - [`pbox::PBox`] — request-level performance isolation (SOSP'23):
+//!   detects interference and penalizes the noisiest request/client by
+//!   throttling and quota reduction — never cancels,
+//! - [`darc::Darc`] — request-type-aware scheduling (DARC / Perséphone,
+//!   SOSP'21): profiles per-class service times and reserves workers for
+//!   short classes so long requests cannot occupy every worker,
+//! - [`parties::Parties`] — QoS-driven resource partitioning (ASPLOS'19):
+//!   monitors per-client tail latency and incrementally shifts resource
+//!   partitions from aggressors to victims,
+//! - [`breakwater::Breakwater`] — credit-based admission control on
+//!   queueing delay (OSDI'20); also the fallback the paper wires Atropos'
+//!   *regular overload* path to.
+//!
+//! Two further systems from the paper's design-space figure (Figure 1)
+//! round out the admission-control corner:
+//!
+//! - [`seda::Seda`] — SEDA's per-stage adaptive rate controller
+//!   (USITS'03),
+//! - [`dagor::Dagor`] — WeChat's priority-based admission with queuing
+//!   -time overload detection (SoCC'18).
+
+pub mod breakwater;
+pub mod dagor;
+pub mod darc;
+pub mod parties;
+pub mod pbox;
+pub mod protego;
+pub mod seda;
+
+pub use breakwater::Breakwater;
+pub use dagor::Dagor;
+pub use darc::Darc;
+pub use parties::Parties;
+pub use pbox::PBox;
+pub use protego::Protego;
+pub use seda::Seda;

@@ -1,0 +1,230 @@
+//! pBox (Hu et al., SOSP 2023): request-level performance isolation.
+//!
+//! pBox observes per-request resource usage, identifies the request
+//! causing interference, and *reallocates resources away from it* —
+//! throttling its execution and shrinking its client's share of
+//! contended pools. Crucially (§2.2 of the Atropos paper), pBox never
+//! drops a running request: a culprit that already holds a critical lock
+//! keeps holding it, so pBox only partially mitigates severe overload.
+
+use std::collections::HashMap;
+
+use atropos_app::controller::{Action, Controller, ResourceEvent, ServerView, TraceKind};
+use atropos_app::ids::{ClientId, PoolId, RequestId};
+use atropos_sim::SimTime;
+
+/// pBox configuration.
+#[derive(Debug, Clone)]
+pub struct PBoxConfig {
+    /// Latency SLO used to detect interference (ns).
+    pub slo_ns: u64,
+    /// Initial per-chunk throttle applied to a flagged request (ns).
+    pub base_penalty_ns: u64,
+    /// Maximum per-chunk throttle (ns).
+    pub max_penalty_ns: u64,
+    /// Page quota imposed on an aggressor client, as a fraction of its
+    /// current residency.
+    pub quota_shrink: f64,
+    /// Pools the controller may quota (usually all of them).
+    pub pools: Vec<PoolId>,
+}
+
+impl PBoxConfig {
+    /// Defaults for the given SLO; `pools` lists the quota-capable pools.
+    pub fn new(slo_ns: u64, pools: Vec<PoolId>) -> Self {
+        Self {
+            slo_ns,
+            // Penalties are deliberately bounded: pBox slows the noisy
+            // request's resource consumption, but an unbounded throttle on
+            // a request that holds a lock would *extend* the convoy it
+            // causes (isolation cannot shorten a critical section).
+            base_penalty_ns: 250_000,
+            max_penalty_ns: 2_000_000,
+            quota_shrink: 0.5,
+            pools,
+        }
+    }
+}
+
+/// The pBox controller.
+#[derive(Debug)]
+pub struct PBox {
+    cfg: PBoxConfig,
+    /// Per-request interference score from trace events (units acquired +
+    /// slow events caused).
+    scores: HashMap<RequestId, f64>,
+    /// Currently penalized requests and their throttle level.
+    penalized: HashMap<RequestId, u64>,
+    quotaed: Vec<ClientId>,
+    penalties_applied: u64,
+}
+
+impl PBox {
+    /// Creates a pBox controller.
+    pub fn new(cfg: PBoxConfig) -> Self {
+        Self {
+            cfg,
+            scores: HashMap::new(),
+            penalized: HashMap::new(),
+            quotaed: Vec::new(),
+            penalties_applied: 0,
+        }
+    }
+
+    /// Number of penalty escalations applied so far.
+    pub fn penalties_applied(&self) -> u64 {
+        self.penalties_applied
+    }
+}
+
+impl Controller for PBox {
+    fn name(&self) -> &'static str {
+        "pbox"
+    }
+
+    fn on_resource_event(&mut self, _now: SimTime, ev: &ResourceEvent) {
+        // Usage tracing: acquisitions and caused-slowdowns raise a
+        // request's interference score.
+        let w = match ev.kind {
+            TraceKind::Get => ev.amount as f64,
+            TraceKind::Slow => 4.0 * ev.amount as f64,
+            TraceKind::Free => -(ev.amount as f64) * 0.5,
+        };
+        *self.scores.entry(ev.req).or_insert(0.0) += w;
+    }
+
+    fn on_finish(
+        &mut self,
+        _now: SimTime,
+        req: &atropos_app::request::Request,
+        _outcome: atropos_app::request::Outcome,
+    ) {
+        self.scores.remove(&req.id);
+        self.penalized.remove(&req.id);
+    }
+
+    fn on_tick(&mut self, _now: SimTime, view: &ServerView) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let unhealthy = (view.recent.completed > 0 && view.recent.p99_ns > self.cfg.slo_ns)
+            || (view.recent.completed == 0 && view.workers_queued > 0);
+        if unhealthy {
+            // Identify the noisiest live request: combine traced score
+            // with observed residency (the signals pBox's sandboxes see).
+            let noisy = view.requests.iter().filter(|r| !r.blocked).max_by(|a, b| {
+                let sa = self.scores.get(&a.id).copied().unwrap_or(0.0)
+                    + a.resident_pages as f64
+                    + (a.heap_bytes >> 12) as f64;
+                let sb = self.scores.get(&b.id).copied().unwrap_or(0.0)
+                    + b.resident_pages as f64
+                    + (b.heap_bytes >> 12) as f64;
+                sa.partial_cmp(&sb).expect("scores are finite")
+            });
+            if let Some(r) = noisy {
+                let level = self
+                    .penalized
+                    .entry(r.id)
+                    .or_insert(self.cfg.base_penalty_ns / 2);
+                *level = (*level * 2).min(self.cfg.max_penalty_ns);
+                self.penalties_applied += 1;
+                actions.push(Action::Throttle(r.id, *level));
+                // Shrink the aggressor client's pool shares.
+                if !self.quotaed.contains(&r.client) && r.resident_pages > 0 {
+                    let quota = ((r.resident_pages as f64) * self.cfg.quota_shrink) as u64;
+                    for &pool in &self.cfg.pools {
+                        actions.push(Action::SetPoolQuota(pool, r.client, Some(quota.max(16))));
+                    }
+                    self.quotaed.push(r.client);
+                }
+            }
+        } else {
+            // Healthy: lift penalties and quotas.
+            for (&id, _) in self.penalized.iter() {
+                actions.push(Action::Throttle(id, 0));
+            }
+            self.penalized.clear();
+            for client in self.quotaed.drain(..) {
+                for &pool in &self.cfg.pools {
+                    actions.push(Action::SetPoolQuota(pool, client, None));
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_app::apps::minidb::{MiniDb, MiniDbConfig};
+    use atropos_app::ids::ClassId;
+    use atropos_app::server::SimServer;
+    use atropos_app::workload::WorkloadSpec;
+    use atropos_app::NoControl;
+
+    const MS: u64 = 1_000_000;
+
+    fn pbox_for(db: &MiniDb, slo_ns: u64) -> PBox {
+        PBox::new(PBoxConfig::new(slo_ns, vec![db.pool]))
+    }
+
+    #[test]
+    fn healthy_traffic_is_untouched() {
+        let db = MiniDb::new(MiniDbConfig::default());
+        let wl = WorkloadSpec::new(vec![db.point_select(0.65), db.row_update(0.35)], 8_000.0);
+        let m = SimServer::new(db.server_config(), wl, Box::new(pbox_for(&db, 20 * MS)))
+            .run(SimTime::from_secs(3), SimTime::from_secs(1));
+        assert_eq!(m.dropped, 0);
+        assert!(m.completed as f64 > 8_000.0 * 2.0 * 0.98);
+    }
+
+    /// pBox throttles a buffer-pool hog (it can mitigate memory
+    /// interference) but never drops or cancels anything.
+    #[test]
+    fn dump_hog_is_throttled_not_dropped() {
+        let db = MiniDb::new(MiniDbConfig::default());
+        let wl = WorkloadSpec::new(
+            vec![
+                db.point_select(0.65),
+                db.row_update(0.35),
+                db.dump(0.0, 120_000),
+            ],
+            8_000.0,
+        )
+        .inject(SimTime::from_millis(1200), ClassId(2));
+        let m = SimServer::new(db.server_config(), wl, Box::new(pbox_for(&db, 20 * MS)))
+            .run(SimTime::from_secs(5), SimTime::from_secs(1));
+        assert_eq!(m.dropped, 0);
+        assert_eq!(m.canceled, 0);
+    }
+
+    /// The §2.2 limitation: a lock convoy cannot be fixed by throttling —
+    /// the culprit already holds the lock.
+    #[test]
+    fn lock_convoy_is_not_mitigated() {
+        let db = MiniDb::new(MiniDbConfig::default());
+        let mk = |ctrl: Box<dyn atropos_app::Controller>| {
+            let wl = WorkloadSpec::new(
+                vec![
+                    db.point_select(0.65),
+                    db.row_update(0.35),
+                    db.table_scan(0.0, 40_000),
+                    db.backup(100_000_000),
+                ],
+                8_000.0,
+            )
+            .inject(SimTime::from_millis(1200), ClassId(2))
+            .inject(SimTime::from_millis(1500), ClassId(3));
+            SimServer::new(db.server_config(), wl, ctrl)
+                .run(SimTime::from_secs(6), SimTime::from_secs(1))
+        };
+        let uncontrolled = mk(Box::new(NoControl));
+        let pbox = mk(Box::new(pbox_for(&db, 20 * MS)));
+        // Throughput stays close to (or below) the uncontrolled collapse.
+        assert!(
+            (pbox.completed as f64) < uncontrolled.completed as f64 * 1.3,
+            "pbox {} vs none {}",
+            pbox.completed,
+            uncontrolled.completed
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Protego (Cho et al., NSDI 2023): overload control for applications
+//! with unpredictable lock contention.
+//!
+//! Protego lets requests execute, monitors each request's blocking time,
+//! and *drops requests whose lock wait approaches an SLO violation* —
+//! i.e. it sheds the **victims** of contention, not the culprit holding
+//! the resource (§2.2 of the Atropos paper). It also performs
+//! performance-driven admission control so the victim-drop loop does not
+//! run away. The result, reproduced here: tail latency is bounded, but
+//! throughput collapses and the drop rate is high whenever a single
+//! culprit blocks many victims.
+
+use atropos_app::controller::{Action, AdmitDecision, Controller, ServerView};
+use atropos_app::ids::ClassId;
+use atropos_app::request::Request;
+use atropos_sim::SimTime;
+
+/// Protego configuration.
+#[derive(Debug, Clone)]
+pub struct ProtegoConfig {
+    /// End-to-end latency SLO (ns).
+    pub slo_ns: u64,
+    /// Drop a request once its accumulated blocking time exceeds this
+    /// fraction of the SLO.
+    pub wait_fraction: f64,
+    /// Multiplicative decrease applied to the admission probability when
+    /// the observed tail violates the SLO.
+    pub md_factor: f64,
+    /// Additive increase applied when the tail is healthy.
+    pub ai_step: f64,
+    /// Floor for the admission probability.
+    pub min_admit: f64,
+    /// Request classes outside Protego's scope. Protego sheds requests
+    /// "whose lock wait times are approaching SLO violations"; heavy
+    /// maintenance operations (backups, dumps, analytics scans) have no
+    /// latency SLO, so they are never in its shed set — which is exactly
+    /// why Protego cannot remove the culprit (§2.2).
+    pub slo_exempt: Vec<ClassId>,
+}
+
+impl ProtegoConfig {
+    /// Default parameters for a given SLO.
+    pub fn new(slo_ns: u64) -> Self {
+        Self {
+            slo_ns,
+            wait_fraction: 0.5,
+            md_factor: 0.9,
+            ai_step: 0.1,
+            min_admit: 0.2,
+            slo_exempt: Vec::new(),
+        }
+    }
+}
+
+/// The Protego controller.
+#[derive(Debug)]
+pub struct Protego {
+    cfg: ProtegoConfig,
+    admit_prob: f64,
+    arrivals: u64,
+    rejected: u64,
+    victim_drops: u64,
+    // Cheap deterministic pseudo-randomness for probabilistic admission.
+    lcg: u64,
+}
+
+impl Protego {
+    /// Creates a Protego controller for the given SLO.
+    pub fn new(slo_ns: u64) -> Self {
+        Self::with_config(ProtegoConfig::new(slo_ns))
+    }
+
+    /// Marks classes as outside Protego's SLO scope (never shed).
+    pub fn exempt(mut self, classes: Vec<ClassId>) -> Self {
+        self.cfg.slo_exempt = classes;
+        self
+    }
+
+    /// Creates a controller with explicit parameters.
+    pub fn with_config(cfg: ProtegoConfig) -> Self {
+        Self {
+            cfg,
+            admit_prob: 1.0,
+            arrivals: 0,
+            rejected: 0,
+            victim_drops: 0,
+            lcg: 0x5DEECE66D,
+        }
+    }
+
+    fn coin(&mut self) -> f64 {
+        self.lcg = self
+            .lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.lcg >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `(arrivals, admission rejects, victim drops)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.arrivals, self.rejected, self.victim_drops)
+    }
+}
+
+impl Controller for Protego {
+    fn name(&self) -> &'static str {
+        "protego"
+    }
+
+    fn on_arrival(&mut self, _now: SimTime, req: &Request) -> AdmitDecision {
+        if req.background {
+            return AdmitDecision::Admit;
+        }
+        self.arrivals += 1;
+        if self.coin() <= self.admit_prob {
+            AdmitDecision::Admit
+        } else {
+            self.rejected += 1;
+            AdmitDecision::Reject
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime, view: &ServerView) -> Vec<Action> {
+        // Performance-driven admission: AIMD on the admission probability.
+        if view.recent.completed > 0 {
+            if view.recent.p99_ns > self.cfg.slo_ns {
+                self.admit_prob = (self.admit_prob * self.cfg.md_factor).max(self.cfg.min_admit);
+            } else {
+                self.admit_prob = (self.admit_prob + self.cfg.ai_step).min(1.0);
+            }
+        } else if view.workers_queued > 0 {
+            // Stall: clamp admission hard.
+            self.admit_prob = (self.admit_prob * self.cfg.md_factor).max(self.cfg.min_admit);
+        }
+        // Victim shedding: drop requests whose blocking time approaches
+        // the SLO. Time already spent queued for a worker counts — that is
+        // exactly the latency the request can no longer recover.
+        let budget = (self.cfg.slo_ns as f64 * self.cfg.wait_fraction) as u64;
+        let mut actions = Vec::new();
+        for r in &view.requests {
+            if r.background || self.cfg.slo_exempt.contains(&r.class) {
+                continue;
+            }
+            let age = now.saturating_sub(r.arrival).as_nanos();
+            if r.wait_ns > budget || (r.blocked && age > self.cfg.slo_ns) {
+                self.victim_drops += 1;
+                actions.push(Action::Drop(r.id));
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_app::apps::minidb::{MiniDb, MiniDbConfig};
+    use atropos_app::ids::ClassId;
+    use atropos_app::server::SimServer;
+    use atropos_app::workload::WorkloadSpec;
+    use atropos_app::NoControl;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn healthy_traffic_is_untouched() {
+        let db = MiniDb::new(MiniDbConfig::default());
+        let wl = WorkloadSpec::new(vec![db.point_select(0.65), db.row_update(0.35)], 8_000.0);
+        let m = SimServer::new(db.server_config(), wl, Box::new(Protego::new(20 * MS)))
+            .run(SimTime::from_secs(3), SimTime::from_secs(1));
+        assert_eq!(m.dropped, 0);
+        assert!(m.completed as f64 > 8_000.0 * 2.0 * 0.98);
+    }
+
+    /// The Figure 4 behaviour: under the c1 convoy Protego bounds tail
+    /// latency but pays with throughput and a large drop rate — and never
+    /// touches the culprit.
+    #[test]
+    fn convoy_is_shed_by_dropping_victims() {
+        let db = MiniDb::new(MiniDbConfig::default());
+        let mk = |ctrl: Box<dyn atropos_app::Controller>| {
+            let wl = WorkloadSpec::new(
+                vec![
+                    db.point_select(0.65),
+                    db.row_update(0.35),
+                    db.table_scan(0.0, 40_000),
+                    db.backup(100_000_000),
+                ],
+                8_000.0,
+            )
+            .inject(SimTime::from_millis(1200), ClassId(2))
+            .inject(SimTime::from_millis(1500), ClassId(3));
+            SimServer::new(db.server_config(), wl, ctrl)
+                .run(SimTime::from_secs(6), SimTime::from_secs(1))
+        };
+        let uncontrolled = mk(Box::new(NoControl));
+        let protego = mk(Box::new(
+            Protego::new(20 * MS).exempt(vec![ClassId(2), ClassId(3)]),
+        ));
+        // Tail latency is far lower than the uncontrolled convoy…
+        assert!(
+            protego.latency.p99() < uncontrolled.latency.p99() / 2,
+            "p99 protego {} vs none {}",
+            protego.latency.p99(),
+            uncontrolled.latency.p99()
+        );
+        // …but a substantial fraction of requests is dropped.
+        let drop_rate = protego.dropped as f64 / protego.offered.max(1) as f64;
+        assert!(drop_rate > 0.05, "drop rate {drop_rate}");
+        assert_eq!(protego.canceled, 0, "Protego never cancels culprits");
+    }
+
+    #[test]
+    fn admission_probability_recovers_after_overload() {
+        let mut p = Protego::new(10 * MS);
+        let mut view = atropos_app::controller::ServerView {
+            now: SimTime::ZERO,
+            requests: vec![],
+            recent: atropos_app::controller::RecentPerf {
+                throughput_qps: 100.0,
+                p50_ns: MS,
+                p99_ns: 50 * MS, // violating
+                completed: 10,
+            },
+            client_p99: vec![],
+            queues: vec![],
+            workers_active: 0,
+            workers_queued: 0,
+        };
+        for _ in 0..30 {
+            p.on_tick(SimTime::ZERO, &view);
+        }
+        assert!(p.admit_prob <= 0.2 + 1e-9, "prob {}", p.admit_prob);
+        view.recent.p99_ns = MS; // healthy again
+        for _ in 0..30 {
+            p.on_tick(SimTime::ZERO, &view);
+        }
+        assert!((p.admit_prob - 1.0).abs() < 1e-9);
+    }
+}

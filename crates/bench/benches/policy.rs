@@ -1,0 +1,103 @@
+//! Criterion bench: estimation + Algorithm 1 at scale.
+//!
+//! The paper requires cancellation decisions "at microsecond granularity"
+//! (§3.4). This bench measures the non-dominated-set + scalarization
+//! policy and the full estimator pass as the number of live tasks grows.
+
+use atropos::estimator::{EstimatorSnapshot, ResourceSnapshot, TaskGainSnapshot};
+use atropos::policy::{CancellationPolicy, HeuristicPolicy, MultiObjectivePolicy};
+use atropos::{ResourceId, ResourceType, TaskId, TaskKey};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const N_RESOURCES: usize = 7;
+
+fn snapshot(n_tasks: usize, seed: u64) -> EstimatorSnapshot {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let resources = (0..N_RESOURCES)
+        .map(|i| {
+            let c = rng.gen_range(0.0..2.0);
+            ResourceSnapshot {
+                id: ResourceId(i as u32),
+                rtype: ResourceType::Lock,
+                contention: c,
+                normalized: c / 10.0,
+                weight: 1.0 / N_RESOURCES as f64,
+                wait_ns: 0,
+                hold_ns: 0,
+                acquired: 0,
+                slow_amount: 0,
+            }
+        })
+        .collect();
+    let tasks = (0..n_tasks)
+        .map(|i| {
+            let gains: Vec<f64> = (0..N_RESOURCES).map(|_| rng.gen_range(0.0..1.0)).collect();
+            TaskGainSnapshot {
+                task: TaskId(i as u64),
+                key: TaskKey(i as u64),
+                cancellable: true,
+                current: gains.clone(),
+                gains,
+                progress: Some(rng.gen_range(0.02..1.0)),
+            }
+        })
+        .collect();
+    EstimatorSnapshot {
+        resources,
+        tasks,
+        t_exec_ns: 1_000_000,
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy");
+    g.sample_size(30);
+    for &n in &[16usize, 64, 256, 1024] {
+        let snap = snapshot(n, 7);
+        g.bench_with_input(BenchmarkId::new("multi_objective", n), &snap, |b, s| {
+            b.iter(|| MultiObjectivePolicy.select(black_box(s)))
+        });
+        g.bench_with_input(BenchmarkId::new("heuristic", n), &snap, |b, s| {
+            b.iter(|| HeuristicPolicy.select(black_box(s)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    use atropos::resource::ResourceRegistry;
+    use atropos::task::TaskRecord;
+    use atropos::AtroposConfig;
+    let mut g = c.benchmark_group("estimate");
+    g.sample_size(30);
+    let mut reg = ResourceRegistry::new();
+    for i in 0..N_RESOURCES {
+        reg.register(format!("r{i}"), ResourceType::Lock);
+    }
+    let cfg = AtroposConfig::default();
+    for &n in &[64usize, 512, 4096] {
+        let mut tasks: Vec<TaskRecord> = (0..n)
+            .map(|i| {
+                let mut t = TaskRecord::new(TaskId(i as u64), TaskKey(i as u64), 0, N_RESOURCES);
+                t.on_unit_start(0);
+                t.usage[i % N_RESOURCES].on_get(10, 1 + (i as u64 % 5));
+                if i % 3 == 0 {
+                    t.usage[(i + 1) % N_RESOURCES].on_slow(20, 1);
+                }
+                t.roll_window(1_000_000);
+                t
+            })
+            .collect();
+        // Re-roll each iteration is unnecessary: estimate() is read-only.
+        let tasks_ref = &mut tasks;
+        g.bench_with_input(BenchmarkId::new("full_pass", n), &n, |b, _| {
+            b.iter(|| atropos::estimator::estimate(black_box(tasks_ref.iter()), &reg, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_estimate);
+criterion_main!(benches);

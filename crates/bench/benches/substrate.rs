@@ -1,0 +1,121 @@
+//! Criterion bench: the simulation substrate.
+//!
+//! Measures the building blocks whose cost bounds how much virtual time
+//! the harness can simulate per wall-clock second: event queue churn,
+//! buffer-pool accesses (hit and thrash paths), lock grant chains, and an
+//! end-to-end slice of the minidb server.
+
+use atropos_app::apps::minidb::{MiniDb, MiniDbConfig};
+use atropos_app::ids::{ClientId, RequestId};
+use atropos_app::op::AccessPattern;
+use atropos_app::resources::bufferpool::{BufferPool, BufferPoolConfig};
+use atropos_app::resources::lock::LockManager;
+use atropos_app::server::SimServer;
+use atropos_app::workload::WorkloadSpec;
+use atropos_app::NoControl;
+use atropos_sim::{EventQueue, SimRng, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 4096), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_bufferpool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bufferpool");
+    let cfg = BufferPoolConfig {
+        capacity: 32_768,
+        hot_keys: 26_000,
+        zipf_theta: 0.85,
+        hit_ns: 800,
+        miss_ns: 250_000,
+        scan_miss_ns: 20_000,
+        evict_ns: 20_000,
+    };
+    let mut warm = BufferPool::new(cfg.clone());
+    warm.prewarm(26_000);
+    let mut rng = SimRng::new(3);
+    g.bench_function("hot_access_6", |b| {
+        b.iter(|| {
+            warm.access(
+                RequestId(1),
+                ClientId(0),
+                AccessPattern::Skewed,
+                6,
+                0,
+                &mut rng,
+            )
+        })
+    });
+    let mut thrash = BufferPool::new(cfg);
+    thrash.prewarm(26_000);
+    let mut pos = 0u64;
+    g.bench_function("scan_chunk_512", |b| {
+        b.iter(|| {
+            pos += 512;
+            thrash.access(
+                RequestId(2),
+                ClientId(0),
+                AccessPattern::Scan { base: 0 },
+                512,
+                pos,
+                &mut rng,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks");
+    g.bench_function("grant_chain_64", |b| {
+        b.iter(|| {
+            let mut m = LockManager::new(1);
+            let l = atropos_app::ids::LockId(0);
+            m.acquire(l, RequestId(0), atropos_app::op::LockMode::Exclusive);
+            for i in 1..=64u64 {
+                m.acquire(l, RequestId(i), atropos_app::op::LockMode::Shared);
+            }
+            black_box(m.release(l, RequestId(0)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_minidb_slice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minidb");
+    g.sample_size(10);
+    g.bench_function("one_virtual_second_8kqps", |b| {
+        b.iter(|| {
+            let db = MiniDb::new(MiniDbConfig::default());
+            let wl = WorkloadSpec::new(vec![db.point_select(0.65), db.row_update(0.35)], 8_000.0);
+            let m = SimServer::new(db.server_config(), wl, Box::new(NoControl))
+                .run(SimTime::from_secs(1), SimTime::ZERO);
+            black_box(m.completed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_bufferpool,
+    bench_locks,
+    bench_minidb_slice
+);
+criterion_main!(benches);

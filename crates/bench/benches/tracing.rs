@@ -1,0 +1,77 @@
+//! Criterion bench: the cost of the Figure 6b tracing APIs.
+//!
+//! This is the real-time counterpart of §5.5: the per-event cost of
+//! `get/free/slow_by_resource` in sampled-timestamp mode (the normal-load
+//! hot path) vs precise mode (potential overload), plus task lifecycle
+//! and progress reporting.
+
+use std::sync::Arc;
+
+use atropos::{AtroposConfig, AtroposRuntime, ResourceType};
+use atropos_sim::{Clock, SystemClock};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn runtime() -> (Arc<AtroposRuntime>, atropos::TaskId, atropos::ResourceId) {
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+    let rt = Arc::new(AtroposRuntime::new(AtroposConfig::default(), clock));
+    let rid = rt.register_resource("bench", ResourceType::Memory);
+    let task = rt.create_cancel(Some(1));
+    rt.unit_started(task);
+    (rt, task, rid)
+}
+
+fn bench_tracing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracing");
+    g.sample_size(50);
+
+    let (rt, task, rid) = runtime();
+    g.bench_function("get_resource/sampled", |b| {
+        b.iter(|| rt.get_resource(black_box(task), black_box(rid), 1))
+    });
+    g.bench_function("slow_by_resource/sampled", |b| {
+        b.iter(|| rt.slow_by_resource(black_box(task), black_box(rid), 1))
+    });
+    g.bench_function("get_free_pair/sampled", |b| {
+        b.iter(|| {
+            rt.get_resource(task, rid, 4);
+            rt.free_resource(task, rid, 4);
+        })
+    });
+    g.bench_function("report_progress", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            rt.report_progress(task, k, 1_000_000)
+        })
+    });
+    g.bench_function("task_lifecycle", |b| {
+        b.iter(|| {
+            let t = rt.create_cancel(None);
+            rt.unit_started(t);
+            rt.unit_finished(t);
+            rt.free_cancel(t);
+        })
+    });
+    g.finish();
+}
+
+fn bench_timestamp_modes(c: &mut Criterion) {
+    use atropos::trace::TimestampPolicy;
+    use atropos::TimestampMode;
+    let mut g = c.benchmark_group("timestamp");
+    let clock = SystemClock::new();
+    let mut sampled = TimestampPolicy::new(1_000_000);
+    g.bench_function("stamp/sampled", |b| {
+        b.iter(|| sampled.stamp(black_box(clock.now_ns())))
+    });
+    let mut precise = TimestampPolicy::new(1_000_000);
+    precise.set_mode(TimestampMode::Precise);
+    g.bench_function("stamp/precise", |b| {
+        b.iter(|| precise.stamp(black_box(clock.now_ns())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracing, bench_timestamp_modes);
+criterion_main!(benches);

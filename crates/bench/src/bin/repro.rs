@@ -1,0 +1,79 @@
+//! Regenerates the paper's figures and tables.
+//!
+//! ```text
+//! repro [--quick] [--seed N] [--out DIR] <exp>...
+//! repro all                    # everything, paper order
+//! repro fig9 fig10             # a subset
+//! repro --list                 # show available experiment ids
+//! ```
+//!
+//! Each experiment prints the same rows/series the paper reports and
+//! writes a JSON payload to `--out` (default `results/`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use atropos_bench::{all_ids, run_by_id, save_report, ExpOptions};
+
+fn main() {
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--list" => {
+                for id in all_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--quick] [--seed N] [--out DIR] <exp>... | all | --list");
+                return;
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        die("no experiments given; try `repro all` or `repro --list`");
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = all_ids().iter().map(|s| s.to_string()).collect();
+    }
+    let opts = ExpOptions { quick, seed };
+    for target in &targets {
+        let started = Instant::now();
+        let Some(report) = run_by_id(target, &opts) else {
+            eprintln!("unknown experiment `{target}`; see `repro --list`");
+            std::process::exit(2);
+        };
+        println!("==== {} ====", report.title);
+        println!("{}", report.text);
+        match save_report(&out, &report) {
+            Ok(path) => println!(
+                "[{}s] wrote {}\n",
+                started.elapsed().as_secs(),
+                path.display()
+            ),
+            Err(e) => eprintln!("failed to write report: {e}"),
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,59 @@
+//! §5.4 baseline 2: multi-objective over current usage.
+
+use super::{candidates, non_dominated, scalarize, CancellationPolicy, Selection};
+use crate::estimator::EstimatorSnapshot;
+
+/// Multi-objective selection over *current* resource usage rather than
+/// predicted future gain.
+///
+/// This baseline keeps Algorithm 1 but drops the `(1 − p) / p` progress
+/// scaling, so it is biased toward long-running tasks that hold a lot
+/// *now* — including tasks that are nearly finished and would release
+/// their resources shortly anyway (§3.4's Query-A/Query-B discussion).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CurrentUsagePolicy;
+
+impl CancellationPolicy for CurrentUsagePolicy {
+    fn select(&self, snapshot: &EstimatorSnapshot) -> Option<Selection> {
+        let cands = candidates(snapshot, |t| &t.current);
+        if cands.is_empty() {
+            return None;
+        }
+        let front = non_dominated(&cands, |t| &t.current);
+        scalarize(snapshot, &front, |t| &t.current)
+    }
+
+    fn name(&self) -> &'static str {
+        "current-usage"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::snapshot;
+    use super::*;
+    use crate::ids::TaskId;
+
+    #[test]
+    fn uses_current_vectors_not_future_gains() {
+        let mut snap = snapshot(&[1.0], &[(1, &[0.0][..]), (2, &[0.0][..])]);
+        // Future gains say task 2; current usage says task 1.
+        snap.tasks[0].gains = vec![0.1];
+        snap.tasks[0].current = vec![1.0];
+        snap.tasks[1].gains = vec![1.0];
+        snap.tasks[1].current = vec![0.1];
+        assert_eq!(CurrentUsagePolicy.select(&snap).unwrap().task, TaskId(1));
+    }
+
+    #[test]
+    fn empty_input_selects_nothing() {
+        let snap = snapshot(&[1.0], &[]);
+        assert!(CurrentUsagePolicy.select(&snap).is_none());
+    }
+
+    #[test]
+    fn dominated_current_usage_is_excluded() {
+        let snap = snapshot(&[0.5, 0.5], &[(1, &[2.0, 2.0][..]), (2, &[1.0, 1.0][..])]);
+        assert_eq!(CurrentUsagePolicy.select(&snap).unwrap().task, TaskId(1));
+    }
+}

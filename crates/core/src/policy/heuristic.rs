@@ -1,0 +1,94 @@
+//! §5.4 baseline 1: single-resource greedy.
+
+use super::{candidates, CancellationPolicy, Selection};
+use crate::estimator::EstimatorSnapshot;
+
+/// Cancels the task with the greatest gain on the single most contended
+/// resource: `r* = argmax_r Contention(r)`, then
+/// `t* = argmax_t Gain(t, r*)`.
+///
+/// This is the "straightforward heuristic" the multi-objective policy is
+/// compared against in Figure 13. It converges to locally optimal
+/// decisions when overload spans multiple resources.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeuristicPolicy;
+
+impl CancellationPolicy for HeuristicPolicy {
+    fn select(&self, snapshot: &EstimatorSnapshot) -> Option<Selection> {
+        let hottest = snapshot
+            .resources
+            .iter()
+            .filter(|r| r.normalized > 0.0)
+            .max_by(|a, b| {
+                a.normalized
+                    .partial_cmp(&b.normalized)
+                    .expect("contention is finite")
+            })?;
+        let idx = hottest.id.index();
+        let cands = candidates(snapshot, |t| &t.gains);
+        let mut best: Option<Selection> = None;
+        for t in cands {
+            let g = t.gains.get(idx).copied().unwrap_or(0.0);
+            let better = match &best {
+                None => g > 0.0,
+                Some(b) => g > b.score || (g == b.score && t.task < b.task),
+            };
+            if better {
+                best = Some(Selection {
+                    task: t.task,
+                    key: t.key,
+                    score: g,
+                });
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "heuristic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::snapshot;
+    use super::*;
+    use crate::ids::TaskId;
+
+    #[test]
+    fn picks_max_gain_on_hottest_resource_only() {
+        // Resource 1 is hottest. Task 1 has huge gain on resource 0 but
+        // none on resource 1; task 2 has modest gain on resource 1.
+        let snap = snapshot(&[0.3, 0.7], &[(1, &[9.0, 0.0][..]), (2, &[0.1, 1.0][..])]);
+        let sel = HeuristicPolicy.select(&snap).unwrap();
+        assert_eq!(sel.task, TaskId(2));
+        assert!((sel.score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn misses_globally_better_task_by_design() {
+        // Two equally hot resources; task Y has gain on both, task X only
+        // on the (first-listed) hottest. The heuristic takes X when X's
+        // single-resource gain is larger, even though Y is better overall.
+        let snap = snapshot(&[0.51, 0.49], &[(1, &[3.0, 0.0][..]), (2, &[2.0, 2.0][..])]);
+        assert_eq!(HeuristicPolicy.select(&snap).unwrap().task, TaskId(1));
+    }
+
+    #[test]
+    fn no_contention_means_no_selection() {
+        let snap = snapshot(&[0.0, 0.0], &[(1, &[1.0, 1.0][..])]);
+        assert!(HeuristicPolicy.select(&snap).is_none());
+    }
+
+    #[test]
+    fn zero_gain_on_hot_resource_means_no_selection() {
+        let snap = snapshot(&[0.0, 1.0], &[(1, &[5.0, 0.0][..])]);
+        assert!(HeuristicPolicy.select(&snap).is_none());
+    }
+
+    #[test]
+    fn ties_break_toward_lowest_id() {
+        let snap = snapshot(&[1.0], &[(9, &[1.0][..]), (4, &[1.0][..])]);
+        assert_eq!(HeuristicPolicy.select(&snap).unwrap().task, TaskId(4));
+    }
+}

@@ -1,0 +1,240 @@
+//! Cancellation policies (§3.5, ablated in §5.4).
+//!
+//! Given an [`EstimatorSnapshot`], a policy selects the single task whose
+//! cancellation is expected to yield the largest overall performance
+//! benefit. Three policies are provided:
+//!
+//! - [`MultiObjectivePolicy`] — the paper's Algorithm 1: restrict to the
+//!   non-dominated set, then scalarize with contention-level weights,
+//! - [`HeuristicPolicy`] — §5.4 baseline 1: greatest gain on the single
+//!   most contended resource,
+//! - [`CurrentUsagePolicy`] — §5.4 baseline 2: multi-objective over
+//!   *current* usage instead of future-scaled gain.
+
+mod current_usage;
+mod heuristic;
+mod multi_objective;
+
+pub use current_usage::CurrentUsagePolicy;
+pub use heuristic::HeuristicPolicy;
+pub use multi_objective::MultiObjectivePolicy;
+
+use crate::config::PolicyKind;
+use crate::estimator::{EstimatorSnapshot, TaskGainSnapshot};
+use crate::ids::{TaskId, TaskKey};
+
+/// A policy's pick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection {
+    /// The task to cancel.
+    pub task: TaskId,
+    /// Its application key (what the initiator receives).
+    pub key: TaskKey,
+    /// The scalarized score that won.
+    pub score: f64,
+}
+
+/// A cancellation policy.
+pub trait CancellationPolicy: Send + Sync {
+    /// Selects the optimal task to cancel, or `None` if no cancellable
+    /// task offers any gain.
+    fn select(&self, snapshot: &EstimatorSnapshot) -> Option<Selection>;
+
+    /// Human-readable policy name for experiment output.
+    fn name(&self) -> &'static str;
+}
+
+impl PolicyKind {
+    /// Instantiates the configured policy.
+    pub fn build(self) -> Box<dyn CancellationPolicy> {
+        match self {
+            PolicyKind::MultiObjective => Box::new(MultiObjectivePolicy),
+            PolicyKind::Heuristic => Box::new(HeuristicPolicy),
+            PolicyKind::CurrentUsage => Box::new(CurrentUsagePolicy),
+        }
+    }
+}
+
+/// True if `b` dominates `a` under the given gain vectors: `b` is no worse
+/// on every resource and strictly better on at least one.
+pub(crate) fn dominates(b: &[f64], a: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (x, y) in b.iter().zip(a.iter()) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Candidate filter shared by all policies: cancellable tasks with a
+/// positive gain on at least one resource.
+pub(crate) fn candidates(
+    snapshot: &EstimatorSnapshot,
+    gains: impl Fn(&TaskGainSnapshot) -> &[f64] + Copy,
+) -> Vec<&TaskGainSnapshot> {
+    snapshot
+        .tasks
+        .iter()
+        .filter(|t| t.cancellable && gains(t).iter().any(|&g| g > 0.0))
+        .collect()
+}
+
+/// Algorithm 1 lines 2–10: the non-dominated (dominator) set.
+pub(crate) fn non_dominated<'a>(
+    cands: &[&'a TaskGainSnapshot],
+    gains: impl Fn(&TaskGainSnapshot) -> &[f64] + Copy,
+) -> Vec<&'a TaskGainSnapshot> {
+    cands
+        .iter()
+        .filter(|a| !cands.iter().any(|b| dominates(gains(b), gains(a))))
+        .copied()
+        .collect()
+}
+
+/// Algorithm 1 lines 12–20: contention-weighted scalarization; ties break
+/// toward the lowest task id for determinism.
+pub(crate) fn scalarize(
+    snapshot: &EstimatorSnapshot,
+    set: &[&TaskGainSnapshot],
+    gains: impl Fn(&TaskGainSnapshot) -> &[f64] + Copy,
+) -> Option<Selection> {
+    let mut best: Option<Selection> = None;
+    for t in set {
+        let g = gains(t);
+        let total: f64 = snapshot
+            .resources
+            .iter()
+            .map(|r| r.weight * g.get(r.id.index()).copied().unwrap_or(0.0))
+            .sum();
+        let better = match &best {
+            None => true,
+            Some(b) => total > b.score || (total == b.score && t.task < b.task),
+        };
+        if better {
+            best = Some(Selection {
+                task: t.task,
+                key: t.key,
+                score: total,
+            });
+        }
+    }
+    best.filter(|s| s.score > 0.0)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::ids::{ResourceId, ResourceType};
+
+    /// Builds a snapshot directly from weight and gain vectors.
+    pub fn snapshot(weights: &[f64], tasks: &[(u64, &[f64])]) -> EstimatorSnapshot {
+        let resources = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| crate::estimator::ResourceSnapshot {
+                id: ResourceId(i as u32),
+                rtype: ResourceType::Lock,
+                contention: w,
+                normalized: w,
+                weight: w,
+                wait_ns: 0,
+                hold_ns: 0,
+                acquired: 0,
+                slow_amount: 0,
+            })
+            .collect();
+        let tasks = tasks
+            .iter()
+            .map(|(id, g)| TaskGainSnapshot {
+                task: TaskId(*id),
+                key: TaskKey(*id),
+                cancellable: true,
+                gains: g.to_vec(),
+                current: g.to_vec(),
+                progress: None,
+            })
+            .collect();
+        EstimatorSnapshot {
+            resources,
+            tasks,
+            t_exec_ns: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_requires_strict_improvement() {
+        assert!(dominates(&[2.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[2.0, 0.5], &[1.0, 1.0]));
+        assert!(dominates(&[5.0, 2.0], &[4.0, 1.0])); // paper's example
+    }
+
+    #[test]
+    fn non_dominated_set_keeps_pareto_front() {
+        let snap = testutil::snapshot(
+            &[0.5, 0.5],
+            &[
+                (1, &[3.0, 0.0][..]),
+                (2, &[2.0, 2.0][..]),
+                (3, &[1.0, 1.0][..]), // dominated by task 2
+                (4, &[0.0, 3.0][..]),
+            ],
+        );
+        let cands = candidates(&snap, |t| &t.gains);
+        let nd = non_dominated(&cands, |t| &t.gains);
+        let ids: Vec<u64> = nd.iter().map(|t| t.task.0).collect();
+        assert_eq!(ids, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn scalarize_matches_paper_example() {
+        // §3.5: C_mem = 0.6, C_lock = 0.4; task A = (3, 1), task B = (2, 2);
+        // A scores 2.2, B scores 2.0 → A wins.
+        let snap = testutil::snapshot(&[0.6, 0.4], &[(1, &[3.0, 1.0][..]), (2, &[2.0, 2.0][..])]);
+        let cands = candidates(&snap, |t| &t.gains);
+        let sel = scalarize(&snap, &cands, |t| &t.gains).unwrap();
+        assert_eq!(sel.task, TaskId(1));
+        assert!((sel.score - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalarize_tie_breaks_deterministically() {
+        let snap = testutil::snapshot(&[1.0], &[(7, &[1.0][..]), (3, &[1.0][..])]);
+        let cands = candidates(&snap, |t| &t.gains);
+        let sel = scalarize(&snap, &cands, |t| &t.gains).unwrap();
+        assert_eq!(sel.task, TaskId(3));
+    }
+
+    #[test]
+    fn zero_score_yields_none() {
+        let snap = testutil::snapshot(&[0.0], &[(1, &[1.0][..])]);
+        let cands = candidates(&snap, |t| &t.gains);
+        assert!(scalarize(&snap, &cands, |t| &t.gains).is_none());
+    }
+
+    #[test]
+    fn non_cancellable_tasks_are_filtered() {
+        let mut snap = testutil::snapshot(&[1.0], &[(1, &[5.0][..]), (2, &[1.0][..])]);
+        snap.tasks[0].cancellable = false;
+        let cands = candidates(&snap, |t| &t.gains);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].task, TaskId(2));
+    }
+
+    #[test]
+    fn policy_kind_builds_named_policies() {
+        assert_eq!(PolicyKind::MultiObjective.build().name(), "multi-objective");
+        assert_eq!(PolicyKind::Heuristic.build().name(), "heuristic");
+        assert_eq!(PolicyKind::CurrentUsage.build().name(), "current-usage");
+    }
+}

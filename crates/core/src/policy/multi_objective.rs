@@ -1,0 +1,82 @@
+//! The paper's Algorithm 1.
+
+use super::{candidates, non_dominated, scalarize, CancellationPolicy, Selection};
+use crate::estimator::EstimatorSnapshot;
+
+/// Multi-objective cancellation policy (§3.5, Algorithm 1).
+///
+/// 1. Restrict to cancellable tasks (lines 2–3).
+/// 2. Compute the non-dominated set over future-scaled resource gains
+///    (lines 4–10): a task stays if no other task has at-least-equal gain
+///    on every resource and strictly more on one.
+/// 3. Scalarize each surviving task with per-resource contention weights
+///    and pick the maximum (lines 12–20).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiObjectivePolicy;
+
+impl CancellationPolicy for MultiObjectivePolicy {
+    fn select(&self, snapshot: &EstimatorSnapshot) -> Option<Selection> {
+        let cands = candidates(snapshot, |t| &t.gains);
+        if cands.is_empty() {
+            return None;
+        }
+        let front = non_dominated(&cands, |t| &t.gains);
+        scalarize(snapshot, &front, |t| &t.gains)
+    }
+
+    fn name(&self) -> &'static str {
+        "multi-objective"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::snapshot;
+    use super::*;
+    use crate::ids::TaskId;
+
+    #[test]
+    fn empty_snapshot_selects_nothing() {
+        let snap = snapshot(&[1.0], &[]);
+        assert!(MultiObjectivePolicy.select(&snap).is_none());
+    }
+
+    #[test]
+    fn picks_weighted_winner_across_resources() {
+        // Task X: gain (3, 0); task Y: gain (2, 2). With balanced weights
+        // Y wins (2.0 vs 1.5); with weight on resource 0 X wins.
+        let balanced = snapshot(&[0.5, 0.5], &[(1, &[3.0, 0.0][..]), (2, &[2.0, 2.0][..])]);
+        assert_eq!(
+            MultiObjectivePolicy.select(&balanced).unwrap().task,
+            TaskId(2)
+        );
+        let skewed = snapshot(&[0.9, 0.1], &[(1, &[3.0, 0.0][..]), (2, &[2.0, 2.0][..])]);
+        assert_eq!(
+            MultiObjectivePolicy.select(&skewed).unwrap().task,
+            TaskId(1)
+        );
+    }
+
+    #[test]
+    fn dominated_task_never_wins_even_with_odd_weights() {
+        // Task 3 is dominated by task 2 and must not be selected under any
+        // weighting.
+        let snap = snapshot(&[0.0, 1.0], &[(2, &[2.0, 2.0][..]), (3, &[1.0, 1.9][..])]);
+        assert_eq!(MultiObjectivePolicy.select(&snap).unwrap().task, TaskId(2));
+    }
+
+    #[test]
+    fn only_cancellable_tasks_are_considered() {
+        let mut snap = snapshot(&[1.0], &[(1, &[9.0][..]), (2, &[1.0][..])]);
+        snap.tasks[0].cancellable = false;
+        assert_eq!(MultiObjectivePolicy.select(&snap).unwrap().task, TaskId(2));
+        snap.tasks[1].cancellable = false;
+        assert!(MultiObjectivePolicy.select(&snap).is_none());
+    }
+
+    #[test]
+    fn zero_gain_tasks_select_nothing() {
+        let snap = snapshot(&[1.0], &[(1, &[0.0][..])]);
+        assert!(MultiObjectivePolicy.select(&snap).is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! The application-resource registry (§3.2).
+//!
+//! Applications register each resource they want Atropos to manage —
+//! MySQL's buffer pool, its table-lock namespace, the InnoDB ticket queue —
+//! once at startup. Registration returns a dense [`ResourceId`] used to
+//! index per-task usage vectors on the hot path.
+
+use crate::ids::{ResourceId, ResourceType};
+
+/// Metadata about one registered application resource.
+#[derive(Debug, Clone)]
+pub struct ResourceInfo {
+    /// Dense identifier.
+    pub id: ResourceId,
+    /// Human-readable name (used in experiment output).
+    pub name: String,
+    /// Which contention model applies.
+    pub rtype: ResourceType,
+}
+
+/// Registry of application resources.
+#[derive(Debug, Default)]
+pub struct ResourceRegistry {
+    resources: Vec<ResourceInfo>,
+}
+
+impl ResourceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a resource and returns its id.
+    pub fn register(&mut self, name: impl Into<String>, rtype: ResourceType) -> ResourceId {
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(ResourceInfo {
+            id,
+            name: name.into(),
+            rtype,
+        });
+        id
+    }
+
+    /// Number of registered resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// True if no resources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Looks up a resource by id.
+    pub fn get(&self, id: ResourceId) -> Option<&ResourceInfo> {
+        self.resources.get(id.index())
+    }
+
+    /// Iterates over all resources in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ResourceInfo> {
+        self.resources.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut r = ResourceRegistry::new();
+        let a = r.register("buffer_pool", ResourceType::Memory);
+        let b = r.register("table_lock", ResourceType::Lock);
+        assert_eq!(a, ResourceId(0));
+        assert_eq!(b, ResourceId(1));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn lookup_returns_metadata() {
+        let mut r = ResourceRegistry::new();
+        let id = r.register("innodb_queue", ResourceType::Queue);
+        let info = r.get(id).unwrap();
+        assert_eq!(info.name, "innodb_queue");
+        assert_eq!(info.rtype, ResourceType::Queue);
+        assert!(r.get(ResourceId(99)).is_none());
+    }
+
+    #[test]
+    fn iter_preserves_registration_order() {
+        let mut r = ResourceRegistry::new();
+        r.register("a", ResourceType::Lock);
+        r.register("b", ResourceType::Memory);
+        let names: Vec<&str> = r.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

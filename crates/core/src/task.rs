@@ -1,0 +1,214 @@
+//! Cancellable tasks (§3.1) and the task registry.
+//!
+//! A *cancellable task* is the unit of work Atropos may cancel: a user
+//! connection, a single request, or a background job (purge, vacuum, WAL
+//! writer) — the developer chooses the aggregation when calling
+//! `create_cancel`. The registry attributes resource usage, progress, and
+//! execution activity to each task.
+
+use crate::accounting::UsageStats;
+use crate::ids::{TaskId, TaskKey};
+use crate::progress::ProgressTracker;
+
+/// Lifecycle state of a cancellable task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Registered and (potentially) executing work.
+    Running,
+    /// The cancel initiator was invoked; awaiting the application's
+    /// acknowledgement (usually `free_cancel` during rollback).
+    CancelRequested,
+}
+
+/// Per-task record maintained by the runtime manager.
+#[derive(Debug)]
+pub struct TaskRecord {
+    /// Framework-assigned id.
+    pub id: TaskId,
+    /// Application-visible key (passed to the cancel initiator).
+    pub key: TaskKey,
+    /// Lifecycle state.
+    pub state: TaskState,
+    /// Whether the policy may select this task (paper §3.5: only tasks
+    /// registered as cancellable are considered; re-executed tasks are
+    /// marked non-cancellable for fairness, §4).
+    pub cancellable: bool,
+    /// Background tasks have no SLO; their canceled work is re-executed
+    /// after a maximum wait instead of being dropped.
+    pub background: bool,
+    /// Registration time (ns).
+    pub created_at: u64,
+    /// Per-resource usage, indexed by `ResourceId::index()`.
+    pub usage: Vec<UsageStats>,
+    /// GetNext progress state.
+    pub progress: ProgressTracker,
+    /// Completed work units (requests) attributed to this task.
+    pub units_completed: u64,
+    /// Cumulative active (executing) time, ns.
+    pub total_active_ns: u64,
+    /// Child tasks spawned on behalf of this task (the distributed
+    /// extension of §4: a root request fanning out to sub-tasks).
+    /// Canceling the root propagates to all descendants.
+    pub children: Vec<TaskId>,
+    unit_since: Option<u64>,
+    w_active_ns: u64,
+    last_window_active_ns: u64,
+}
+
+impl TaskRecord {
+    /// Creates a record with usage slots for `n_resources` resources.
+    pub fn new(id: TaskId, key: TaskKey, now: u64, n_resources: usize) -> Self {
+        Self {
+            id,
+            key,
+            state: TaskState::Running,
+            cancellable: true,
+            background: false,
+            created_at: now,
+            usage: (0..n_resources).map(|_| UsageStats::default()).collect(),
+            progress: ProgressTracker::default(),
+            units_completed: 0,
+            total_active_ns: 0,
+            children: Vec::new(),
+            unit_since: None,
+            w_active_ns: 0,
+            last_window_active_ns: 0,
+        }
+    }
+
+    /// Ensures the usage vector covers `n_resources` (resources may be
+    /// registered after some tasks exist).
+    pub fn ensure_resources(&mut self, n_resources: usize) {
+        while self.usage.len() < n_resources {
+            self.usage.push(UsageStats::default());
+        }
+    }
+
+    /// Marks the start of a work unit (e.g. one query on this connection).
+    ///
+    /// Starting a unit while one is open restarts the measurement (the
+    /// previous unit is charged up to `now` and abandoned without counting
+    /// as a completion).
+    pub fn on_unit_start(&mut self, now: u64) {
+        if let Some(since) = self.unit_since {
+            let d = now.saturating_sub(since);
+            self.total_active_ns += d;
+            self.w_active_ns += d;
+        }
+        self.unit_since = Some(now);
+    }
+
+    /// Marks the end of the open work unit; returns its latency if a unit
+    /// was open.
+    pub fn on_unit_finish(&mut self, now: u64) -> Option<u64> {
+        let since = self.unit_since.take()?;
+        let d = now.saturating_sub(since);
+        self.total_active_ns += d;
+        self.w_active_ns += d;
+        self.units_completed += 1;
+        Some(d)
+    }
+
+    /// True if a work unit is currently executing.
+    pub fn is_active(&self) -> bool {
+        self.unit_since.is_some()
+    }
+
+    /// Closes the window at `now`: charges and renews the open unit,
+    /// publishes window-local active time, and rolls every usage stat.
+    pub fn roll_window(&mut self, now: u64) {
+        if let Some(since) = self.unit_since {
+            let d = now.saturating_sub(since);
+            self.total_active_ns += d;
+            self.w_active_ns += d;
+            self.unit_since = Some(now);
+        }
+        self.last_window_active_ns = self.w_active_ns;
+        self.w_active_ns = 0;
+        for u in &mut self.usage {
+            u.roll_window(now);
+        }
+    }
+
+    /// Active execution time in the most recently closed window.
+    pub fn window_active_ns(&self) -> u64 {
+        self.last_window_active_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> TaskRecord {
+        TaskRecord::new(TaskId(1), TaskKey(42), 0, 2)
+    }
+
+    #[test]
+    fn new_task_is_running_and_cancellable() {
+        let t = rec();
+        assert_eq!(t.state, TaskState::Running);
+        assert!(t.cancellable);
+        assert!(!t.background);
+        assert_eq!(t.usage.len(), 2);
+    }
+
+    #[test]
+    fn unit_latency_is_measured() {
+        let mut t = rec();
+        t.on_unit_start(100);
+        assert!(t.is_active());
+        assert_eq!(t.on_unit_finish(350), Some(250));
+        assert!(!t.is_active());
+        assert_eq!(t.units_completed, 1);
+        assert_eq!(t.total_active_ns, 250);
+    }
+
+    #[test]
+    fn finish_without_start_is_none() {
+        let mut t = rec();
+        assert_eq!(t.on_unit_finish(10), None);
+        assert_eq!(t.units_completed, 0);
+    }
+
+    #[test]
+    fn restarting_a_unit_charges_but_does_not_complete() {
+        let mut t = rec();
+        t.on_unit_start(0);
+        t.on_unit_start(100); // restart
+        assert_eq!(t.total_active_ns, 100);
+        assert_eq!(t.units_completed, 0);
+        assert_eq!(t.on_unit_finish(150), Some(50));
+    }
+
+    #[test]
+    fn active_time_renews_across_windows() {
+        let mut t = rec();
+        t.on_unit_start(0);
+        t.roll_window(100);
+        assert_eq!(t.window_active_ns(), 100);
+        t.roll_window(250);
+        assert_eq!(t.window_active_ns(), 150);
+        t.on_unit_finish(300);
+        t.roll_window(400);
+        assert_eq!(t.window_active_ns(), 50);
+        assert_eq!(t.total_active_ns, 300);
+    }
+
+    #[test]
+    fn ensure_resources_grows_only() {
+        let mut t = rec();
+        t.ensure_resources(5);
+        assert_eq!(t.usage.len(), 5);
+        t.ensure_resources(3);
+        assert_eq!(t.usage.len(), 5);
+    }
+
+    #[test]
+    fn roll_window_rolls_usage_too() {
+        let mut t = rec();
+        t.usage[0].on_get(10, 3);
+        t.roll_window(50);
+        assert_eq!(t.usage[0].window().acquired, 3);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Measurement utilities for the Atropos reproduction.
+//!
+//! This crate provides the building blocks every experiment in the paper's
+//! evaluation needs:
+//!
+//! - [`histogram::LatencyHistogram`]: a log-linear histogram for latency
+//!   quantiles (p50/p99/p999) with bounded relative error,
+//! - [`timeseries::WindowedSeries`]: per-window throughput and latency
+//!   series used by the overload detector and the figure harnesses,
+//! - [`summary::RunSummary`]: the end-of-run record (throughput, tail
+//!   latency, drop rate, cancellations) and its normalization against a
+//!   non-overloaded baseline, mirroring how Figures 4 and 9–14 report data,
+//! - [`stats`]: small numeric helpers (percentiles, mean, EWMA),
+//! - [`table::Table`]: ASCII table rendering so each benchmark prints the
+//!   same rows/series the paper reports.
+
+pub mod histogram;
+pub mod stats;
+pub mod summary;
+pub mod table;
+pub mod timeseries;
+
+pub use histogram::LatencyHistogram;
+pub use summary::{NormalizedSummary, RunSummary};
+pub use table::Table;
+pub use timeseries::WindowedSeries;

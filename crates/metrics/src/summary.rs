@@ -1,0 +1,211 @@
+//! End-of-run summaries and baseline normalization.
+//!
+//! Every figure in the paper's evaluation reports metrics *normalized
+//! against each application's baseline performance without overload*
+//! (Figures 4, 9, 10, 13, 14). [`RunSummary`] is the raw record produced by
+//! one simulation run; [`NormalizedSummary`] divides it by a baseline run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::LatencyHistogram;
+
+/// Raw results of one run (one case, one controller, one load point).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Label for the run (e.g. case id or controller name).
+    pub label: String,
+    /// Measured duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Requests offered (arrived) during the measurement interval.
+    pub offered: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests dropped (rejected at admission or aborted past SLO).
+    pub dropped: u64,
+    /// Cancellations issued (Atropos) — a canceled-then-retried request that
+    /// completes counts in `completed`, not in `dropped`.
+    pub canceled: u64,
+    /// Requests that were re-executed after cancellation.
+    pub retried: u64,
+    /// Mean end-to-end latency (ns) of completed requests.
+    pub mean_latency_ns: f64,
+    /// Median latency (ns).
+    pub p50_ns: u64,
+    /// 99th percentile latency (ns).
+    pub p99_ns: u64,
+    /// 99.9th percentile latency (ns).
+    pub p999_ns: u64,
+}
+
+impl RunSummary {
+    /// Builds a summary from counters and a latency histogram.
+    pub fn from_histogram(
+        label: impl Into<String>,
+        duration_ns: u64,
+        offered: u64,
+        dropped: u64,
+        canceled: u64,
+        retried: u64,
+        latency: &LatencyHistogram,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            duration_ns,
+            offered,
+            completed: latency.count(),
+            dropped,
+            canceled,
+            retried,
+            mean_latency_ns: latency.mean(),
+            p50_ns: latency.p50(),
+            p99_ns: latency.p99(),
+            p999_ns: latency.p999(),
+        }
+    }
+
+    /// Goodput in requests per second.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.duration_ns == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * 1e9 / self.duration_ns as f64
+    }
+
+    /// Fraction of offered requests that were dropped, in [0, 1].
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / self.offered as f64
+    }
+
+    /// Normalizes this run against a non-overloaded baseline.
+    pub fn normalized_against(&self, baseline: &RunSummary) -> NormalizedSummary {
+        let base_tp = baseline.throughput_qps();
+        let base_p99 = baseline.p99_ns as f64;
+        NormalizedSummary {
+            label: self.label.clone(),
+            throughput: if base_tp > 0.0 {
+                self.throughput_qps() / base_tp
+            } else {
+                0.0
+            },
+            p99: if base_p99 > 0.0 {
+                self.p99_ns as f64 / base_p99
+            } else {
+                0.0
+            },
+            drop_rate: self.drop_rate(),
+            canceled: self.canceled,
+        }
+    }
+}
+
+/// A run divided by its non-overloaded baseline, as plotted in the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NormalizedSummary {
+    /// Label carried over from the raw run.
+    pub label: String,
+    /// Normalized throughput (1.0 = baseline goodput).
+    pub throughput: f64,
+    /// Normalized p99 latency (1.0 = baseline tail latency).
+    pub p99: f64,
+    /// Drop rate in [0, 1] (not normalized; baseline drop rate is ~0).
+    pub drop_rate: f64,
+    /// Cancellations issued during the run.
+    pub canceled: u64,
+}
+
+impl NormalizedSummary {
+    /// Latency increase over baseline as a fraction (`p99 - 1.0`), floored
+    /// at zero. This is the y-axis of Figure 12.
+    pub fn latency_increase(&self) -> f64 {
+        (self.p99 - 1.0).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(completed: u64, offered: u64, dropped: u64, p99: u64) -> RunSummary {
+        RunSummary {
+            label: "t".into(),
+            duration_ns: 1_000_000_000,
+            offered,
+            completed,
+            dropped,
+            canceled: 0,
+            retried: 0,
+            mean_latency_ns: p99 as f64 / 2.0,
+            p50_ns: p99 / 2,
+            p99_ns: p99,
+            p999_ns: p99 * 2,
+        }
+    }
+
+    #[test]
+    fn throughput_is_completions_per_second() {
+        let s = summary(25_000, 25_000, 0, 1000);
+        assert!((s.throughput_qps() - 25_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_gives_zero_throughput() {
+        let mut s = summary(10, 10, 0, 100);
+        s.duration_ns = 0;
+        assert_eq!(s.throughput_qps(), 0.0);
+    }
+
+    #[test]
+    fn drop_rate_fraction() {
+        let s = summary(75, 100, 25, 100);
+        assert!((s.drop_rate() - 0.25).abs() < 1e-12);
+        let empty = summary(0, 0, 0, 0);
+        assert_eq!(empty.drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let base = summary(20_000, 20_000, 0, 1_000_000);
+        let over = summary(10_000, 20_000, 5_000, 2_000_000);
+        let n = over.normalized_against(&base);
+        assert!((n.throughput - 0.5).abs() < 1e-9);
+        assert!((n.p99 - 2.0).abs() < 1e-9);
+        assert!((n.drop_rate - 0.25).abs() < 1e-9);
+        assert!((n.latency_increase() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_against_zero_baseline_is_zero() {
+        let base = summary(0, 0, 0, 0);
+        let over = summary(10, 10, 0, 100);
+        let n = over.normalized_against(&base);
+        assert_eq!(n.throughput, 0.0);
+        assert_eq!(n.p99, 0.0);
+    }
+
+    #[test]
+    fn latency_increase_floors_at_zero() {
+        let base = summary(100, 100, 0, 1000);
+        let better = summary(100, 100, 0, 800);
+        let n = better.normalized_against(&base);
+        assert_eq!(n.latency_increase(), 0.0);
+    }
+
+    #[test]
+    fn from_histogram_pulls_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let s = RunSummary::from_histogram("x", 2_000_000_000, 1200, 100, 3, 2, &h);
+        assert_eq!(s.completed, 1000);
+        assert_eq!(s.offered, 1200);
+        assert_eq!(s.dropped, 100);
+        assert_eq!(s.canceled, 3);
+        assert_eq!(s.retried, 2);
+        assert!(s.p99_ns >= s.p50_ns);
+        assert!((s.throughput_qps() - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,227 @@
+//! Windowed time series of throughput and latency.
+//!
+//! The overload detector (§3.3) and every figure in the evaluation reason
+//! about performance per time window: "latency exceeds the SLO while
+//! throughput remains flat". [`WindowedSeries`] buckets completion events
+//! into fixed-size windows and exposes per-window throughput and latency
+//! quantiles.
+
+use crate::histogram::LatencyHistogram;
+
+/// Statistics for one time window.
+#[derive(Debug, Clone)]
+pub struct WindowStat {
+    /// Window start time (ns).
+    pub start: u64,
+    /// Completed requests in this window.
+    pub completed: u64,
+    /// Dropped requests in this window.
+    pub dropped: u64,
+    /// Latency distribution of requests completed in this window.
+    pub latency: LatencyHistogram,
+}
+
+impl WindowStat {
+    fn new(start: u64) -> Self {
+        Self {
+            start,
+            completed: 0,
+            dropped: 0,
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Throughput of this window in requests per second.
+    pub fn throughput_qps(&self, window_ns: u64) -> f64 {
+        self.completed as f64 * 1e9 / window_ns as f64
+    }
+}
+
+/// A series of fixed-width windows starting at a given origin.
+///
+/// Windows are created lazily and contiguously: recording an event at a time
+/// several windows ahead fills the gap with empty windows so indices always
+/// map linearly to time.
+///
+/// # Examples
+///
+/// ```
+/// use atropos_metrics::WindowedSeries;
+///
+/// let mut s = WindowedSeries::new(0, 1_000_000_000); // 1s windows from t=0
+/// s.record_completion(500_000_000, 2_000_000); // t=0.5s, latency 2ms
+/// s.record_completion(1_500_000_000, 3_000_000); // t=1.5s
+/// assert_eq!(s.windows().len(), 2);
+/// assert_eq!(s.windows()[0].completed, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedSeries {
+    origin: u64,
+    window_ns: u64,
+    windows: Vec<WindowStat>,
+}
+
+impl WindowedSeries {
+    /// Creates a series of `window_ns`-wide windows starting at `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ns` is zero.
+    pub fn new(origin: u64, window_ns: u64) -> Self {
+        assert!(window_ns > 0, "window width must be positive");
+        Self {
+            origin,
+            window_ns,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Window width in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    fn window_at(&mut self, now: u64) -> &mut WindowStat {
+        let idx = (now.saturating_sub(self.origin) / self.window_ns) as usize;
+        while self.windows.len() <= idx {
+            let start = self.origin + self.windows.len() as u64 * self.window_ns;
+            self.windows.push(WindowStat::new(start));
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Records a request completion at time `now` with the given latency.
+    pub fn record_completion(&mut self, now: u64, latency_ns: u64) {
+        let w = self.window_at(now);
+        w.completed += 1;
+        w.latency.record(latency_ns);
+    }
+
+    /// Records a request drop at time `now`.
+    pub fn record_drop(&mut self, now: u64) {
+        self.window_at(now).dropped += 1;
+    }
+
+    /// Materializes (empty) windows up to the one containing `now` without
+    /// recording anything. Readers that interpret "no window" as "no data"
+    /// must call this so a silent period (a stall) is visible as empty
+    /// windows rather than missing ones.
+    pub fn touch(&mut self, now: u64) {
+        let _ = self.window_at(now);
+    }
+
+    /// All windows recorded so far (possibly including empty gap windows).
+    pub fn windows(&self) -> &[WindowStat] {
+        &self.windows
+    }
+
+    /// The last `n` *closed* windows as of time `now` (excludes the window
+    /// containing `now`, which is still accumulating).
+    pub fn recent_closed(&self, now: u64, n: usize) -> &[WindowStat] {
+        let current = (now.saturating_sub(self.origin) / self.window_ns) as usize;
+        let end = current.min(self.windows.len());
+        let start = end.saturating_sub(n);
+        &self.windows[start..end]
+    }
+
+    /// Aggregate latency histogram across all windows.
+    pub fn total_latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for w in &self.windows {
+            h.merge(&w.latency);
+        }
+        h
+    }
+
+    /// Total completions across all windows.
+    pub fn total_completed(&self) -> u64 {
+        self.windows.iter().map(|w| w.completed).sum()
+    }
+
+    /// Total drops across all windows.
+    pub fn total_dropped(&self) -> u64 {
+        self.windows.iter().map(|w| w.dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn windows_fill_contiguously() {
+        let mut s = WindowedSeries::new(0, SEC);
+        s.record_completion(100, 10);
+        s.record_completion(5 * SEC + 1, 10);
+        assert_eq!(s.windows().len(), 6);
+        assert_eq!(s.windows()[0].completed, 1);
+        assert_eq!(s.windows()[3].completed, 0);
+        assert_eq!(s.windows()[5].completed, 1);
+        for (i, w) in s.windows().iter().enumerate() {
+            assert_eq!(w.start, i as u64 * SEC);
+        }
+    }
+
+    #[test]
+    fn origin_offsets_window_mapping() {
+        let mut s = WindowedSeries::new(10 * SEC, SEC);
+        s.record_completion(10 * SEC + 500, 1);
+        assert_eq!(s.windows().len(), 1);
+        assert_eq!(s.windows()[0].start, 10 * SEC);
+        // A time before the origin saturates into window 0 rather than
+        // panicking.
+        s.record_completion(SEC, 1);
+        assert_eq!(s.windows()[0].completed, 2);
+    }
+
+    #[test]
+    fn throughput_accounts_for_window_width() {
+        let mut s = WindowedSeries::new(0, SEC / 2);
+        for i in 0..100 {
+            s.record_completion(i * 1000, 5);
+        }
+        let w = &s.windows()[0];
+        assert!((w.throughput_qps(SEC / 2) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recent_closed_excludes_current_window() {
+        let mut s = WindowedSeries::new(0, SEC);
+        for t in 0..5u64 {
+            s.record_completion(t * SEC + 10, 7);
+        }
+        // now = 4.5s: window 4 is current; closed windows are 0..=3.
+        let recent = s.recent_closed(4 * SEC + SEC / 2, 2);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].start, 2 * SEC);
+        assert_eq!(recent[1].start, 3 * SEC);
+    }
+
+    #[test]
+    fn recent_closed_handles_short_history() {
+        let mut s = WindowedSeries::new(0, SEC);
+        s.record_completion(10, 1);
+        assert!(s.recent_closed(10, 5).is_empty()); // only current window
+        let recent = s.recent_closed(SEC + 1, 5);
+        assert_eq!(recent.len(), 1);
+    }
+
+    #[test]
+    fn totals_aggregate_all_windows() {
+        let mut s = WindowedSeries::new(0, SEC);
+        s.record_completion(1, 100);
+        s.record_completion(SEC + 1, 300);
+        s.record_drop(2 * SEC + 1);
+        assert_eq!(s.total_completed(), 2);
+        assert_eq!(s.total_dropped(), 1);
+        assert_eq!(s.total_latency().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width")]
+    fn zero_window_is_rejected() {
+        let _ = WindowedSeries::new(0, 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests for the measurement utilities.
+
+use atropos_metrics::LatencyHistogram;
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantiles of the log-linear histogram stay within the bucketing
+    /// scheme's relative error bound of the exact empirical quantile.
+    #[test]
+    fn percentile_error_is_bounded(mut values in prop::collection::vec(1u64..1_000_000_000_000, 1..400)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for pct in [1.0, 25.0, 50.0, 90.0, 99.0] {
+            let rank = ((pct / 100.0) * values.len() as f64).ceil().max(1.0) as usize;
+            let exact = values[rank - 1] as f64;
+            let got = h.percentile(pct) as f64;
+            // One sub-bucket of slack in each direction (~1.6%), plus the
+            // clamp to [min, max].
+            prop_assert!(got >= exact * 0.96 - 1.0, "p{pct}: got {got}, exact {exact}");
+            prop_assert!(got <= exact * 1.04 + 1.0, "p{pct}: got {got}, exact {exact}");
+        }
+    }
+
+    /// Merging histograms equals recording all samples in one.
+    #[test]
+    fn merge_is_union(a in prop::collection::vec(1u64..1_000_000_000, 0..200),
+                      b in prop::collection::vec(1u64..1_000_000_000, 0..200)) {
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        let mut hu = LatencyHistogram::new();
+        for &v in &a { ha.record(v); hu.record(v); }
+        for &v in &b { hb.record(v); hu.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.sum(), hu.sum());
+        prop_assert_eq!(ha.min(), hu.min());
+        prop_assert_eq!(ha.max(), hu.max());
+        for pct in [50.0, 99.0] {
+            prop_assert_eq!(ha.percentile(pct), hu.percentile(pct));
+        }
+    }
+
+    /// Percentile is monotone in the requested quantile.
+    #[test]
+    fn percentile_monotone(values in prop::collection::vec(1u64..1_000_000_000, 1..300)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0;
+        for p in (0..=100).step_by(5) {
+            let v = h.percentile(p as f64);
+            prop_assert!(v >= last);
+            last = v;
+        }
+        prop_assert!(h.percentile(100.0) == h.max());
+    }
+
+    /// Mean × count equals the sum exactly.
+    #[test]
+    fn mean_consistent(values in prop::collection::vec(1u64..1_000_000, 1..200)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mean = h.mean();
+        let expect = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((mean - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+}

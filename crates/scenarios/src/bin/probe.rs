@@ -1,0 +1,53 @@
+//! Diagnostic probe: all 16 cases under NoControl vs Atropos, one row per
+//! case — the fastest way to eyeball calibration after changing a case or
+//! a framework default. `--quick` shortens the runs.
+//!
+//! ```console
+//! $ cargo run --release -p atropos-scenarios --bin probe
+//! ```
+
+use atropos_scenarios::{all_cases, calibrate, run_with, ControllerKind, RunConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rc = if quick {
+        RunConfig::quick(42)
+    } else {
+        RunConfig::full(42)
+    };
+    let cases = all_cases();
+    let results = atropos_scenarios::runner::parallel_map(cases, |case| {
+        let baseline = calibrate(&case, &rc);
+        let none = run_with(&case, ControllerKind::None, &rc, &baseline);
+        let atr = run_with(&case, ControllerKind::Atropos, &rc, &baseline);
+        (case.id, baseline, none, atr)
+    });
+    println!(
+        "{:<5} {:>9} {:>8} | {:>6} {:>8} | {:>6} {:>8} {:>7} {:>5} {:>5}",
+        "case",
+        "base_qps",
+        "base_p99",
+        "n.tput",
+        "n.p99",
+        "a.tput",
+        "a.p99",
+        "a.drop",
+        "canc",
+        "retr"
+    );
+    for (id, b, n, a) in results {
+        println!(
+            "{:<5} {:>9.0} {:>7.1}ms | {:>6.2} {:>8.1} | {:>6.2} {:>8.1} {:>6.3}% {:>5} {:>5}",
+            id,
+            b.summary.throughput_qps(),
+            b.summary.p99_ns as f64 / 1e6,
+            n.normalized.throughput,
+            n.normalized.p99,
+            a.normalized.throughput,
+            a.normalized.p99,
+            a.normalized.drop_rate * 100.0,
+            a.summary.canceled,
+            a.summary.retried
+        );
+    }
+}

@@ -1,0 +1,732 @@
+//! The 16 real-world overload cases (paper Table 2).
+//!
+//! Each case builds a `(ServerConfig, WorkloadSpec)` pair twice — once
+//! with the noisy/culprit classes ("overload") and once without
+//! ("baseline") — so every run can be normalized against the same
+//! application's unperturbed performance, exactly as the paper normalizes
+//! its figures. The timing compresses the paper's multi-minute
+//! reproductions into ~12 s of virtual time: noisy requests are injected
+//! after warmup and recur for the rest of the run.
+
+use atropos_app::apps::kvstore::{KvStore, KvStoreConfig};
+use atropos_app::apps::minidb::{MiniDb, MiniDbConfig};
+use atropos_app::apps::search::{SearchApp, SearchConfig};
+use atropos_app::apps::webserver::{WebServer, WebServerConfig};
+use atropos_app::ids::{ClassId, ClientId, PoolId};
+use atropos_app::server::ServerConfig;
+use atropos_app::workload::WorkloadSpec;
+use atropos_sim::SimTime;
+
+/// Parameters shared by all case builders.
+#[derive(Debug, Clone)]
+pub struct CaseParams {
+    /// RNG seed.
+    pub seed: u64,
+    /// Scales the open-loop arrival rate (1.0 = the case's default load).
+    pub load_scale: f64,
+    /// Virtual time at which noisy classes start appearing.
+    pub disturb_at: SimTime,
+    /// Run length (injections repeat until here).
+    pub duration: SimTime,
+}
+
+impl Default for CaseParams {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            load_scale: 1.0,
+            disturb_at: SimTime::from_millis(2_500),
+            duration: SimTime::from_secs(12),
+        }
+    }
+}
+
+/// Hints controllers need about a built case.
+#[derive(Debug, Clone, Default)]
+pub struct CaseHints {
+    /// Noisy classes without a latency SLO (exempt from Protego's shed
+    /// set; see `baselines::protego`).
+    pub slo_exempt: Vec<ClassId>,
+    /// Quota-capable pools (for pBox and PARTIES).
+    pub pools: Vec<PoolId>,
+    /// Worker count (for DARC's reservation sizing).
+    pub workers: usize,
+}
+
+/// A built case: server + workload + controller hints.
+pub struct BuiltCase {
+    /// Server configuration (resources + traced groups).
+    pub server: ServerConfig,
+    /// The workload (with or without the noisy classes).
+    pub workload: WorkloadSpec,
+    /// Controller hints.
+    pub hints: CaseHints,
+}
+
+type Builder = fn(&CaseParams, bool) -> BuiltCase;
+
+/// Static description + builder for one case.
+#[derive(Clone)]
+pub struct CaseDef {
+    /// Case id, `c1`..`c16`.
+    pub id: &'static str,
+    /// Application (Table 2 column 2).
+    pub app: &'static str,
+    /// Resource type (Table 2 column 3).
+    pub resource_type: &'static str,
+    /// Resource detail (Table 2 column 4).
+    pub resource: &'static str,
+    /// Overload triggering condition (Table 2 column 5).
+    pub trigger: &'static str,
+    /// Default open-loop load in qps.
+    pub base_qps: f64,
+    builder: Builder,
+}
+
+impl std::fmt::Debug for CaseDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaseDef").field("id", &self.id).finish()
+    }
+}
+
+impl CaseDef {
+    /// Builds the case; `overload = false` omits the noisy classes.
+    pub fn build(&self, params: &CaseParams, overload: bool) -> BuiltCase {
+        (self.builder)(params, overload)
+    }
+}
+
+/// Repeats an injection of `class` every `every` from `params.disturb_at`
+/// until the end of the run.
+fn inject_repeating(
+    mut wl: WorkloadSpec,
+    params: &CaseParams,
+    class: ClassId,
+    every: SimTime,
+) -> WorkloadSpec {
+    let mut at = params.disturb_at;
+    while at < params.duration {
+        wl = wl.inject(at, class);
+        at += every;
+    }
+    wl
+}
+
+fn sec_ms(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+// ---- MySQL-like cases (minidb) ----
+
+fn minidb_base(seed: u64) -> MiniDb {
+    MiniDb::new(MiniDbConfig {
+        seed,
+        ..Default::default()
+    })
+}
+
+fn minidb_hints(db: &MiniDb, exempt: Vec<ClassId>) -> CaseHints {
+    CaseHints {
+        slo_exempt: exempt,
+        pools: vec![db.pool],
+        workers: db.cfg.workers,
+    }
+}
+
+/// c1 — backup behind a long scan convoys all tables.
+fn c1(params: &CaseParams, overload: bool) -> BuiltCase {
+    let db = minidb_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            db.point_select(0.65),
+            db.row_update(0.35),
+            db.table_scan(0.0, 3_000_000_000).with_client(ClientId(100)),
+            db.backup(40_000_000).with_client(ClientId(101)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = inject_repeating(wl, params, ClassId(2), sec_ms(5_000));
+        let mut at = params.disturb_at + sec_ms(400);
+        while at < params.duration {
+            wl = wl.inject(at, ClassId(3));
+            at += sec_ms(5_000);
+        }
+    }
+    BuiltCase {
+        server: db.server_config(),
+        hints: minidb_hints(&db, vec![ClassId(2), ClassId(3)]),
+        workload: wl,
+    }
+}
+
+/// c2 — slow queries monopolize the InnoDB concurrency tickets.
+fn c2(params: &CaseParams, overload: bool) -> BuiltCase {
+    let db = minidb_base(params.seed);
+    // ~2.4 slow queries/s, each pinning a concurrency ticket for ~2 s:
+    // enough to keep all four tickets occupied on average, "exceeding the
+    // concurrency limit" as the case report describes.
+    let slow_weight = if overload { 0.0003 } else { 0.0 };
+    let wl = WorkloadSpec::new(
+        vec![
+            db.point_select(0.65),
+            db.row_update(0.35),
+            db.slow_query(slow_weight, 2_000_000_000)
+                .with_client(ClientId(100)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    BuiltCase {
+        server: db.server_config(),
+        hints: minidb_hints(&db, vec![ClassId(2)]),
+        workload: wl,
+    }
+}
+
+/// c3 — background purge blocks the undo log.
+fn c3(params: &CaseParams, overload: bool) -> BuiltCase {
+    let db = minidb_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            db.point_select(0.65),
+            db.row_update(0.35),
+            db.purge(500_000_000),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = wl.recurring(ClassId(2), params.disturb_at, sec_ms(1_500));
+    }
+    BuiltCase {
+        server: db.server_config(),
+        hints: minidb_hints(&db, vec![ClassId(2)]),
+        workload: wl,
+    }
+}
+
+/// c4 — SELECT FOR UPDATE blocks other clients' writes.
+fn c4(params: &CaseParams, overload: bool) -> BuiltCase {
+    let db = minidb_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            db.point_select(0.65),
+            db.row_update(0.35),
+            db.select_for_update(3_000_000_000)
+                .with_client(ClientId(100)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = inject_repeating(wl, params, ClassId(2), sec_ms(4_500));
+    }
+    BuiltCase {
+        server: db.server_config(),
+        hints: minidb_hints(&db, vec![ClassId(2)]),
+        workload: wl,
+    }
+}
+
+/// c5 — dump queries thrash the buffer pool.
+fn c5(params: &CaseParams, overload: bool) -> BuiltCase {
+    let db = minidb_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            db.point_select(0.65),
+            db.row_update(0.35),
+            db.dump(0.0, 120_000).with_client(ClientId(100)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = inject_repeating(wl, params, ClassId(2), sec_ms(3_000));
+    }
+    BuiltCase {
+        server: db.server_config(),
+        hints: minidb_hints(&db, vec![ClassId(2)]),
+        workload: wl,
+    }
+}
+
+// ---- PostgreSQL-like cases (minidb) ----
+
+/// c6 — a bulk MVCC write slows readers of its table.
+fn c6(params: &CaseParams, overload: bool) -> BuiltCase {
+    let db = minidb_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            db.point_select(0.65),
+            db.row_update(0.35),
+            db.bulk_write(2_500_000_000).with_client(ClientId(100)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = inject_repeating(wl, params, ClassId(2), sec_ms(4_500));
+    }
+    BuiltCase {
+        server: db.server_config(),
+        hints: minidb_hints(&db, vec![ClassId(2)]),
+        workload: wl,
+    }
+}
+
+/// c7 — the background WAL writer convoys group commit.
+fn c7(params: &CaseParams, overload: bool) -> BuiltCase {
+    let db = minidb_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            db.point_select(0.55),
+            db.row_update(0.45),
+            db.wal_writer(120_000_000),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = wl.recurring(ClassId(2), params.disturb_at, sec_ms(4_000));
+    }
+    BuiltCase {
+        server: db.server_config(),
+        hints: minidb_hints(&db, vec![ClassId(2)]),
+        workload: wl,
+    }
+}
+
+/// c8 — vacuum saturates the IO device.
+fn c8(params: &CaseParams, overload: bool) -> BuiltCase {
+    let db = minidb_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            db.select_with_io(0.7, 60_000),
+            db.row_update(0.3),
+            db.vacuum(250, 10_000_000),
+        ],
+        6_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = wl.recurring(ClassId(2), params.disturb_at, sec_ms(4_000));
+    }
+    BuiltCase {
+        server: db.server_config(),
+        hints: minidb_hints(&db, vec![ClassId(2)]),
+        workload: wl,
+    }
+}
+
+// ---- Apache-like case (webserver) ----
+
+/// c9 — slow scripts exhaust the MaxClients worker pool.
+fn c9(params: &CaseParams, overload: bool) -> BuiltCase {
+    let ws = WebServer::new(WebServerConfig {
+        seed: params.seed,
+        ..Default::default()
+    });
+    let slow_weight = if overload { 0.0005 } else { 0.0 };
+    let wl = WorkloadSpec::new(
+        vec![
+            ws.http_request(1.0),
+            ws.slow_script(slow_weight, 20_000_000_000)
+                .with_client(ClientId(100)),
+        ],
+        5_000.0 * params.load_scale,
+    );
+    BuiltCase {
+        server: ws.server_config(),
+        hints: CaseHints {
+            slo_exempt: vec![ClassId(1)],
+            pools: vec![],
+            workers: ws.cfg.max_clients * 8,
+        },
+        workload: wl,
+    }
+}
+
+// ---- Elasticsearch-like cases (search) ----
+
+fn search_base(seed: u64) -> SearchApp {
+    SearchApp::new(SearchConfig {
+        seed,
+        ..Default::default()
+    })
+}
+
+fn search_hints(app: &SearchApp, exempt: Vec<ClassId>) -> CaseHints {
+    CaseHints {
+        slo_exempt: exempt,
+        pools: vec![app.cache],
+        workers: app.cfg.workers,
+    }
+}
+
+/// c10 — a large search evicts the query cache working set.
+fn c10(params: &CaseParams, overload: bool) -> BuiltCase {
+    let app = search_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            app.search(1.0),
+            app.big_search(0.0, 30_000).with_client(ClientId(100)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = inject_repeating(wl, params, ClassId(1), sec_ms(3_500));
+    }
+    BuiltCase {
+        server: app.server_config(),
+        hints: search_hints(&app, vec![ClassId(1)]),
+        workload: wl,
+    }
+}
+
+/// c11 — nested aggregations exhaust the heap and storm the GC.
+fn c11(params: &CaseParams, overload: bool) -> BuiltCase {
+    let app = search_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            app.search(1.0),
+            app.nested_agg(0.0, 2_800 << 20, 30)
+                .with_client(ClientId(100)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = inject_repeating(wl, params, ClassId(1), sec_ms(3_500));
+    }
+    BuiltCase {
+        server: app.server_config(),
+        hints: search_hints(&app, vec![ClassId(1)]),
+        workload: wl,
+    }
+}
+
+/// c12 — long-running queries monopolize the CPU cores.
+fn c12(params: &CaseParams, overload: bool) -> BuiltCase {
+    let app = search_base(params.seed);
+    let weight = if overload { 0.00025 } else { 0.0 };
+    let wl = WorkloadSpec::new(
+        vec![
+            app.search(1.0),
+            app.long_query(weight, 4_000_000_000)
+                .with_client(ClientId(100)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    BuiltCase {
+        server: app.server_config(),
+        hints: search_hints(&app, vec![ClassId(1)]),
+        workload: wl,
+    }
+}
+
+/// c13 — a large update holds the document lock.
+fn c13(params: &CaseParams, overload: bool) -> BuiltCase {
+    let app = search_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            app.search(0.7),
+            app.index_doc(0.3),
+            app.big_update(0.0, 2_200_000_000)
+                .with_client(ClientId(100)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = inject_repeating(wl, params, ClassId(2), sec_ms(4_500));
+    }
+    BuiltCase {
+        server: app.server_config(),
+        hints: search_hints(&app, vec![ClassId(2)]),
+        workload: wl,
+    }
+}
+
+// ---- Solr-like cases (search) ----
+
+/// c14 — a complex boolean query holds the index lock.
+fn c14(params: &CaseParams, overload: bool) -> BuiltCase {
+    let app = search_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            app.search(1.0),
+            app.complex_boolean(0.0, 2_000_000_000)
+                .with_client(ClientId(100)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = inject_repeating(wl, params, ClassId(1), sec_ms(4_500));
+    }
+    BuiltCase {
+        server: app.server_config(),
+        hints: search_hints(&app, vec![ClassId(1)]),
+        workload: wl,
+    }
+}
+
+/// c15 — nested range queries occupy the search thread pool.
+fn c15(params: &CaseParams, overload: bool) -> BuiltCase {
+    let app = search_base(params.seed);
+    let weight = if overload { 0.0007 } else { 0.0 };
+    let wl = WorkloadSpec::new(
+        vec![
+            app.search(1.0),
+            app.nested_range(weight, 3_000_000_000)
+                .with_client(ClientId(100)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    BuiltCase {
+        server: app.server_config(),
+        hints: search_hints(&app, vec![ClassId(1)]),
+        workload: wl,
+    }
+}
+
+// ---- etcd-like case (kvstore) ----
+
+/// c16 — a complex range read blocks writers (and, via FIFO, readers).
+fn c16(params: &CaseParams, overload: bool) -> BuiltCase {
+    let kv = KvStore::new(KvStoreConfig {
+        seed: params.seed,
+        ..Default::default()
+    });
+    let mut wl = WorkloadSpec::new(
+        vec![
+            kv.kv_get(0.8),
+            kv.kv_put(0.2),
+            kv.range_read(0.0, 2_500_000_000).with_client(ClientId(100)),
+        ],
+        3_000.0 * params.load_scale,
+    );
+    if overload {
+        wl = inject_repeating(wl, params, ClassId(2), sec_ms(4_500));
+    }
+    BuiltCase {
+        server: kv.server_config(),
+        hints: CaseHints {
+            slo_exempt: vec![ClassId(2)],
+            pools: vec![],
+            workers: kv.cfg.workers,
+        },
+        workload: wl,
+    }
+}
+
+/// All 16 cases of Table 2, in order.
+pub fn all_cases() -> Vec<CaseDef> {
+    vec![
+        CaseDef {
+            id: "c1",
+            app: "MySQL",
+            resource_type: "Synchronization",
+            resource: "Backup lock",
+            trigger:
+                "A subtle interaction causes backup queries to hold write locks for long time.",
+            base_qps: 8_000.0,
+            builder: c1,
+        },
+        CaseDef {
+            id: "c2",
+            app: "MySQL",
+            resource_type: "Thread pool",
+            resource: "InnoDB queue",
+            trigger: "Slow queries monopolize the InnoDB queue, exceeding its concurrency limit.",
+            base_qps: 8_000.0,
+            builder: c2,
+        },
+        CaseDef {
+            id: "c3",
+            app: "MySQL",
+            resource_type: "Synchronization",
+            resource: "Undo log",
+            trigger: "Background purge task blocks causes contention on the undo log.",
+            base_qps: 8_000.0,
+            builder: c3,
+        },
+        CaseDef {
+            id: "c4",
+            app: "MySQL",
+            resource_type: "Synchronization",
+            resource: "Table lock",
+            trigger: "SELECT FOR UPDATE query blocks other clients' insert query.",
+            base_qps: 8_000.0,
+            builder: c4,
+        },
+        CaseDef {
+            id: "c5",
+            app: "MySQL",
+            resource_type: "Memory",
+            resource: "Buffer pool",
+            trigger:
+                "Scan query monopolizes the buffer pool and causes contention with other queries.",
+            base_qps: 8_000.0,
+            builder: c5,
+        },
+        CaseDef {
+            id: "c6",
+            app: "PostgreSQL",
+            resource_type: "Synchronization",
+            resource: "Table lock",
+            trigger: "The write operation slows down the other query due to MVCC.",
+            base_qps: 8_000.0,
+            builder: c6,
+        },
+        CaseDef {
+            id: "c7",
+            app: "PostgreSQL",
+            resource_type: "Synchronization",
+            resource: "Write ahead log",
+            trigger: "The background WAL task causes group insertion and blocks other queries.",
+            base_qps: 8_000.0,
+            builder: c7,
+        },
+        CaseDef {
+            id: "c8",
+            app: "PostgreSQL",
+            resource_type: "System",
+            resource: "System IO",
+            trigger: "The vacuum process causes contention on IO and slows down other queries.",
+            base_qps: 6_000.0,
+            builder: c8,
+        },
+        CaseDef {
+            id: "c9",
+            app: "Apache",
+            resource_type: "Thread pool",
+            resource: "Thread pool",
+            trigger:
+                "Slow request blocks other clients' requests when the max client limit is reached.",
+            base_qps: 5_000.0,
+            builder: c9,
+        },
+        CaseDef {
+            id: "c10",
+            app: "Elasticsearch",
+            resource_type: "Memory",
+            resource: "Query cache",
+            trigger: "A large search slows down other queries due to cache contention.",
+            base_qps: 8_000.0,
+            builder: c10,
+        },
+        CaseDef {
+            id: "c11",
+            app: "Elasticsearch",
+            resource_type: "Memory",
+            resource: "Buffer memory",
+            trigger:
+                "The nested aggregation exhausts heap memory causing frequent garbage collection.",
+            base_qps: 8_000.0,
+            builder: c11,
+        },
+        CaseDef {
+            id: "c12",
+            app: "Elasticsearch",
+            resource_type: "System",
+            resource: "CPU",
+            trigger: "The long running queries cause CPU contention and slow down other requests.",
+            base_qps: 8_000.0,
+            builder: c12,
+        },
+        CaseDef {
+            id: "c13",
+            app: "Elasticsearch",
+            resource_type: "Synchronization",
+            resource: "Document lock",
+            trigger: "A large update blocks other requests.",
+            base_qps: 8_000.0,
+            builder: c13,
+        },
+        CaseDef {
+            id: "c14",
+            app: "Solr",
+            resource_type: "Synchronization",
+            resource: "Index lock",
+            trigger: "Complex boolean request slows down other requests.",
+            base_qps: 8_000.0,
+            builder: c14,
+        },
+        CaseDef {
+            id: "c15",
+            app: "Solr",
+            resource_type: "Thread pool",
+            resource: "Solr queue",
+            trigger: "Nested range queries occupy thread pool and block other requests.",
+            base_qps: 8_000.0,
+            builder: c15,
+        },
+        CaseDef {
+            id: "c16",
+            app: "etcd",
+            resource_type: "Synchronization",
+            resource: "Key-value lock",
+            trigger: "Complex read query blocks other queries.",
+            base_qps: 3_000.0,
+            builder: c16,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_cases_in_order() {
+        let cases = all_cases();
+        assert_eq!(cases.len(), 16);
+        for (i, c) in cases.iter().enumerate() {
+            assert_eq!(c.id, format!("c{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn resource_type_mix_matches_table_2() {
+        let cases = all_cases();
+        let count = |t: &str| cases.iter().filter(|c| c.resource_type == t).count();
+        assert_eq!(count("Synchronization"), 8);
+        assert_eq!(count("Thread pool"), 3);
+        assert_eq!(count("Memory"), 3);
+        assert_eq!(count("System"), 2);
+    }
+
+    #[test]
+    fn every_case_builds_both_variants() {
+        let params = CaseParams::default();
+        for case in all_cases() {
+            for overload in [false, true] {
+                let built = case.build(&params, overload);
+                assert!(
+                    !built.workload.classes.is_empty(),
+                    "{} has no classes",
+                    case.id
+                );
+                assert!(built.hints.workers > 0, "{} workers", case.id);
+                if !overload {
+                    // Baselines have no injections/recurring noise.
+                    assert!(
+                        built.workload.injections.is_empty()
+                            && built.workload.background.is_empty(),
+                        "{} baseline is disturbed",
+                        case.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overload_variants_add_noise() {
+        let params = CaseParams::default();
+        for case in all_cases() {
+            let over = case.build(&params, true);
+            let noisy = !over.workload.injections.is_empty()
+                || !over.workload.background.is_empty()
+                || over
+                    .workload
+                    .classes
+                    .iter()
+                    .zip(case.build(&params, false).workload.classes.iter())
+                    .any(|(a, b)| a.weight != b.weight);
+            assert!(noisy, "{} overload variant adds no noise", case.id);
+        }
+    }
+}

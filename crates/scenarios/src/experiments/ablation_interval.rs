@@ -1,0 +1,69 @@
+//! Ablation — the cancellation min-interval trade-off (§5.3 discussion).
+//!
+//! The paper attributes its two missed-SLO cases to the "small time
+//! interval between consecutive cancellations" that prevents excessive
+//! termination. This ablation sweeps the interval on a storm case (c3,
+//! many recurring noisy tasks) and a one-shot case (c4): a shorter
+//! interval recovers faster (lower latency increase) but issues more
+//! cancellations.
+
+use atropos_metrics::Table;
+use serde_json::json;
+
+use super::{ExpOptions, ExpReport};
+use crate::cases::all_cases;
+use crate::runner::{calibrate, parallel_map, run_with, ControllerKind};
+
+const INTERVALS_MS: [u64; 4] = [10, 50, 200, 1000];
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let cases: Vec<_> = all_cases()
+        .into_iter()
+        .filter(|c| c.id == "c3" || c.id == "c4")
+        .collect();
+    let mut jobs = Vec::new();
+    for case in cases {
+        for &ms in &INTERVALS_MS {
+            jobs.push((case.clone(), ms));
+        }
+    }
+    let base_rc = opts.run_config();
+    let results = parallel_map(jobs, move |(case, ms)| {
+        let mut rc = base_rc.clone();
+        rc.cancel_min_interval_ns = Some(ms * 1_000_000);
+        let baseline = calibrate(&case, &rc);
+        let r = run_with(&case, ControllerKind::Atropos, &rc, &baseline);
+        (case.id, ms, r)
+    });
+
+    let mut table = Table::new(vec![
+        "case",
+        "interval",
+        "norm tput",
+        "latency increase",
+        "cancels",
+    ]);
+    let mut rows = Vec::new();
+    for (id, ms, r) in &results {
+        table.row(vec![
+            id.to_string(),
+            format!("{ms}ms"),
+            format!("{:.2}", r.normalized.throughput),
+            format!("{:.1}%", r.normalized.latency_increase() * 100.0),
+            r.summary.canceled.to_string(),
+        ]);
+        rows.push(json!({
+            "case": id, "interval_ms": ms,
+            "norm_throughput": r.normalized.throughput,
+            "latency_increase": r.normalized.latency_increase(),
+            "canceled": r.summary.canceled,
+        }));
+    }
+    ExpReport {
+        id: "ablation-interval".into(),
+        title: "Ablation: cancellation min-interval (aggressiveness vs recovery)".into(),
+        text: table.render(),
+        data: json!({ "points": rows }),
+    }
+}

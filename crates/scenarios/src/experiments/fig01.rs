@@ -1,0 +1,67 @@
+//! Figure 1 — the design space for mitigating application resource
+//! overload.
+//!
+//! The paper's opening figure places existing systems on two axes: SLO
+//! attainment and request loss rate, with Atropos targeting the
+//! high-attainment / low-loss corner that neither admission control
+//! (SEDA, Breakwater, DAGOR, Protego) nor performance isolation (pBox,
+//! PARTIES, resource containers) reaches. This experiment materializes
+//! that scatter: every implemented controller runs the same resource
+//! overload (case c1) and reports its position.
+
+use atropos_metrics::Table;
+use serde_json::json;
+
+use super::{pct3, r2, ExpOptions, ExpReport};
+use crate::cases::all_cases;
+use crate::runner::{calibrate, parallel_map, run_with, ControllerKind};
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let kinds = [
+        ControllerKind::None,
+        ControllerKind::Seda,
+        ControllerKind::Breakwater,
+        ControllerKind::Dagor,
+        ControllerKind::Protego,
+        ControllerKind::PBox,
+        ControllerKind::Darc,
+        ControllerKind::Parties,
+        ControllerKind::Atropos,
+    ];
+    let case = all_cases().into_iter().next().expect("c1");
+    let rc = opts.run_config();
+    let baseline = calibrate(&case, &rc);
+    let results = parallel_map(kinds.to_vec(), |kind| {
+        let r = run_with(&case, kind, &rc, &baseline);
+        (kind, r)
+    });
+
+    let mut table = Table::new(vec![
+        "system",
+        "SLO attainment (norm tput)",
+        "norm p99",
+        "request loss",
+    ]);
+    let mut rows = Vec::new();
+    for (kind, r) in &results {
+        table.row(vec![
+            kind.label().into(),
+            r2(r.normalized.throughput),
+            r2(r.normalized.p99),
+            pct3(r.normalized.drop_rate),
+        ]);
+        rows.push(json!({
+            "system": kind.label(),
+            "norm_throughput": r.normalized.throughput,
+            "norm_p99": r.normalized.p99,
+            "drop_rate": r.normalized.drop_rate,
+        }));
+    }
+    ExpReport {
+        id: "fig1".into(),
+        title: "Figure 1: Design space — every controller on the c1 resource overload".into(),
+        text: table.render(),
+        data: json!({ "points": rows }),
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 2 — impact of dump queries on buffer pool contention.
+//!
+//! The paper's §2.1 case study: a MySQL instance with a 512 MB buffer pool
+//! over 2 GB of data, running a lightweight point-select/row-update mix,
+//! with heavy dump queries mixed in at ratios of 0 (No dump), 1:100K
+//! (0.001%), and 1:10K (0.01%). The experiment sweeps offered load and
+//! reports throughput and p99 latency per series. Expected shape: even the
+//! tiny dump ratios cut the saturation throughput far below the baseline
+//! and blow up tail latency at much lower loads.
+
+use atropos_app::apps::minidb::{MiniDb, MiniDbConfig};
+use atropos_app::server::SimServer;
+use atropos_app::workload::WorkloadSpec;
+use atropos_app::NoControl;
+use atropos_metrics::Table;
+use atropos_sim::SimTime;
+use serde_json::json;
+
+use super::{ExpOptions, ExpReport};
+use crate::runner::parallel_map;
+
+/// 2 GB of 16 KB pages.
+const DUMP_PAGES: u64 = 131_072;
+
+struct Point {
+    load: f64,
+    ratio: f64,
+    tput: f64,
+    p99_ms: f64,
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let (loads, duration, warmup) = if opts.quick {
+        (vec![10_000.0, 20_000.0, 30_000.0], 6u64, 2u64)
+    } else {
+        ((1..=8).map(|i| i as f64 * 5_000.0).collect(), 10, 2)
+    };
+    let ratios = [0.0, 1e-5, 1e-4];
+    let mut jobs = Vec::new();
+    for &load in &loads {
+        for &ratio in &ratios {
+            jobs.push((load, ratio));
+        }
+    }
+    let seed = opts.seed;
+    let points = parallel_map(jobs, move |(load, ratio)| {
+        let db = MiniDb::new(MiniDbConfig {
+            seed,
+            ..Default::default()
+        });
+        // Weights are per-arrival probabilities: the dump ratio is applied
+        // to the whole mix.
+        let light = 1.0 - ratio;
+        let wl = WorkloadSpec::new(
+            vec![
+                db.point_select(light * 0.65),
+                db.row_update(light * 0.35),
+                db.dump(ratio, DUMP_PAGES),
+            ],
+            load,
+        );
+        let m = SimServer::new(db.server_config(), wl, Box::new(NoControl))
+            .run(SimTime::from_secs(duration), SimTime::from_secs(warmup));
+        let measured = (duration - warmup) as f64;
+        Point {
+            load,
+            ratio,
+            tput: m.completed as f64 / measured,
+            p99_ms: m.latency.p99() as f64 / 1e6,
+        }
+    });
+
+    let mut table = Table::new(vec![
+        "offered (kQPS)",
+        "no-dump tput",
+        "0.001% tput",
+        "0.01% tput",
+        "no-dump p99",
+        "0.001% p99",
+        "0.01% p99",
+    ]);
+    let find = |load: f64, ratio: f64| -> &Point {
+        points
+            .iter()
+            .find(|p| p.load == load && p.ratio == ratio)
+            .expect("point exists")
+    };
+    for &load in &loads {
+        let (a, b, c) = (find(load, 0.0), find(load, 1e-5), find(load, 1e-4));
+        table.row(vec![
+            format!("{:.0}", load / 1000.0),
+            format!("{:.1}k", a.tput / 1000.0),
+            format!("{:.1}k", b.tput / 1000.0),
+            format!("{:.1}k", c.tput / 1000.0),
+            format!("{:.2}ms", a.p99_ms),
+            format!("{:.2}ms", b.p99_ms),
+            format!("{:.2}ms", c.p99_ms),
+        ]);
+    }
+    let data = json!({
+        "series": ratios,
+        "points": points.iter().map(|p| json!({
+            "load_qps": p.load, "dump_ratio": p.ratio,
+            "throughput_qps": p.tput, "p99_ms": p.p99_ms,
+        })).collect::<Vec<_>>(),
+    });
+    ExpReport {
+        id: "fig2".into(),
+        title: "Figure 2: Impact of dump queries on buffer pool contention".into(),
+        text: table.render(),
+        data,
+    }
+}

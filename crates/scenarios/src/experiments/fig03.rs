@@ -1,0 +1,129 @@
+//! Figure 3 — performance impact of table lock contention.
+//!
+//! The paper's §2.1 case 2: a mixed lightweight workload, three long table
+//! scans injected early, and a backup query injected afterwards. Series:
+//! *Lock Contention* runs both scans and backup; *Drop Scan* omits the
+//! scans; *Drop Backup* omits the backup. The expected shape: only the
+//! combination collapses throughput — removing either the scans or the
+//! backup restores it, showing the overload comes from the interaction.
+
+use atropos_app::apps::minidb::{MiniDb, MiniDbConfig};
+use atropos_app::ids::ClassId;
+use atropos_app::server::SimServer;
+use atropos_app::workload::WorkloadSpec;
+use atropos_app::NoControl;
+use atropos_metrics::Table;
+use atropos_sim::SimTime;
+use serde_json::json;
+
+use super::{ExpOptions, ExpReport};
+use crate::runner::parallel_map;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Series {
+    LockContention,
+    DropScan,
+    DropBackup,
+}
+
+impl Series {
+    fn label(self) -> &'static str {
+        match self {
+            Series::LockContention => "Lock Contention",
+            Series::DropScan => "Drop Scan",
+            Series::DropBackup => "Drop Backup",
+        }
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let (loads, duration, warmup) = if opts.quick {
+        (vec![8_000.0, 16_000.0, 24_000.0], 8u64, 2u64)
+    } else {
+        ((1..=8).map(|i| i as f64 * 4_000.0).collect(), 12, 2)
+    };
+    let series = [Series::LockContention, Series::DropScan, Series::DropBackup];
+    let mut jobs = Vec::new();
+    for &load in &loads {
+        for &s in &series {
+            jobs.push((load, s));
+        }
+    }
+    let seed = opts.seed;
+    let results = parallel_map(jobs, move |(load, s)| {
+        let db = MiniDb::new(MiniDbConfig {
+            seed,
+            ..Default::default()
+        });
+        let mut wl = WorkloadSpec::new(
+            vec![
+                db.point_select(0.65),
+                db.row_update(0.35),
+                db.table_scan(0.0, 3_000_000_000), // 3 s in-memory scan
+                db.backup(40_000_000),
+            ],
+            load,
+        );
+        // Paper schedule compressed: scans at 3/4/5 s, backup at 6 s.
+        if s != Series::DropScan {
+            wl = wl
+                .inject(SimTime::from_secs(3), ClassId(2))
+                .inject(SimTime::from_secs(4), ClassId(2))
+                .inject(SimTime::from_secs(5), ClassId(2));
+        }
+        if s != Series::DropBackup {
+            wl = wl.inject(SimTime::from_secs(6), ClassId(3));
+        }
+        let m = SimServer::new(db.server_config(), wl, Box::new(NoControl))
+            .run(SimTime::from_secs(duration), SimTime::from_secs(warmup));
+        let measured = (duration - warmup) as f64;
+        (
+            load,
+            s,
+            m.completed as f64 / measured,
+            m.latency.p99() as f64 / 1e6,
+        )
+    });
+
+    let mut table = Table::new(vec![
+        "offered (kQPS)",
+        "contention tput",
+        "drop-scan tput",
+        "drop-backup tput",
+        "contention p99",
+        "drop-scan p99",
+        "drop-backup p99",
+    ]);
+    let find = |load: f64, s: Series| {
+        results
+            .iter()
+            .find(|(l, ser, _, _)| *l == load && *ser == s)
+            .expect("point exists")
+    };
+    for &load in &loads {
+        let a = find(load, Series::LockContention);
+        let b = find(load, Series::DropScan);
+        let c = find(load, Series::DropBackup);
+        table.row(vec![
+            format!("{:.0}", load / 1000.0),
+            format!("{:.1}k", a.2 / 1000.0),
+            format!("{:.1}k", b.2 / 1000.0),
+            format!("{:.1}k", c.2 / 1000.0),
+            format!("{:.1}ms", a.3),
+            format!("{:.1}ms", b.3),
+            format!("{:.1}ms", c.3),
+        ]);
+    }
+    let data = json!({
+        "points": results.iter().map(|(l, s, t, p)| json!({
+            "load_qps": l, "series": s.label(), "throughput_qps": t, "p99_ms": p,
+        })).collect::<Vec<_>>(),
+    });
+    ExpReport {
+        id: "fig3".into(),
+        title: "Figure 3: Performance impact of table lock contention".into(),
+        text: table.render(),
+        data,
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 4 — Protego, pBox and Atropos under the table-lock overload.
+//!
+//! The paper evaluates case 2 (our case c1) across offered loads and
+//! reports throughput, p99 latency (both normalized by the non-overloaded
+//! performance at the same load) and drop rate. Expected shape: Atropos
+//! stays near 1.0 normalized throughput with ~zero drops; Protego bounds
+//! latency but loses throughput and drops heavily; pBox cannot release
+//! the held locks and recovers only partially.
+
+use atropos_metrics::Table;
+use serde_json::json;
+
+use super::{pct3, r2, ExpOptions, ExpReport};
+use crate::cases::all_cases;
+use crate::runner::{calibrate, parallel_map, run_with, ControllerKind};
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let scales: Vec<f64> = if opts.quick {
+        vec![0.5, 1.0, 2.0]
+    } else {
+        vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+    };
+    let kinds = [
+        ControllerKind::Protego,
+        ControllerKind::PBox,
+        ControllerKind::Atropos,
+    ];
+    let case = all_cases().into_iter().next().expect("c1 exists");
+    let base_rc = opts.run_config();
+    let jobs: Vec<f64> = scales.clone();
+    let results = parallel_map(jobs, |scale| {
+        let mut rc = base_rc.clone();
+        rc.load_scale = scale;
+        let baseline = calibrate(&case, &rc);
+        let per_kind: Vec<_> = kinds
+            .iter()
+            .map(|&k| (k, run_with(&case, k, &rc, &baseline)))
+            .collect();
+        (scale, baseline, per_kind)
+    });
+
+    let mut table = Table::new(vec![
+        "offered (kQPS)",
+        "system",
+        "norm tput",
+        "norm p99",
+        "drop rate",
+    ]);
+    let mut rows = Vec::new();
+    for (scale, baseline, per_kind) in &results {
+        for (k, r) in per_kind {
+            table.row(vec![
+                format!("{:.0}", scale * case.base_qps / 1000.0),
+                k.label().into(),
+                r2(r.normalized.throughput),
+                r2(r.normalized.p99),
+                pct3(r.normalized.drop_rate),
+            ]);
+            rows.push(json!({
+                "load_qps": scale * case.base_qps,
+                "baseline_qps": baseline.summary.throughput_qps(),
+                "system": k.label(),
+                "norm_throughput": r.normalized.throughput,
+                "norm_p99": r.normalized.p99,
+                "drop_rate": r.normalized.drop_rate,
+            }));
+        }
+    }
+    ExpReport {
+        id: "fig4".into(),
+        title: "Figure 4: Protego, pBox and Atropos on the table-lock overload (case c1)".into(),
+        text: table.render(),
+        data: json!({ "points": rows }),
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 9 — Atropos vs Protego, pBox, DARC and PARTIES on all cases.
+//!
+//! Normalized throughput (9a) and normalized p99 latency (9b) of each
+//! system across the reproduced cases. Expected shape (paper averages):
+//! Atropos ≈ 0.96 normalized throughput; Protego ≈ 0.51, pBox ≈ 0.54,
+//! DARC ≈ 0.36, PARTIES ≈ 0.38; Atropos bounds normalized p99 near 1,
+//! Protego bounds it on synchronization/system cases only.
+
+use atropos_metrics::Table;
+use serde_json::json;
+
+use super::{r2, ExpOptions, ExpReport};
+use crate::cases::all_cases;
+use crate::runner::{calibrate, parallel_map, run_with, CaseResult, ControllerKind};
+
+/// Runs all cases × the five compared systems. Shared with Figure 11.
+pub(crate) fn comparison_matrix(
+    opts: &ExpOptions,
+) -> Vec<(&'static str, Vec<(ControllerKind, CaseResult)>)> {
+    let rc = opts.run_config();
+    let cases = all_cases();
+    parallel_map(cases, move |case| {
+        let baseline = calibrate(&case, &rc);
+        let per_kind: Vec<_> = ControllerKind::comparison_set()
+            .iter()
+            .map(|&k| (k, run_with(&case, k, &rc, &baseline)))
+            .collect();
+        (case.id, per_kind)
+    })
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let matrix = comparison_matrix(opts);
+    let kinds = ControllerKind::comparison_set();
+
+    let mut tput = Table::new(
+        std::iter::once("case".to_string())
+            .chain(kinds.iter().map(|k| format!("{} tput", k.label())))
+            .collect(),
+    );
+    let mut p99 = Table::new(
+        std::iter::once("case".to_string())
+            .chain(kinds.iter().map(|k| format!("{} p99", k.label())))
+            .collect(),
+    );
+    let mut sums = vec![(0.0f64, 0.0f64); kinds.len()];
+    let mut rows = Vec::new();
+    for (id, per_kind) in &matrix {
+        let mut trow = vec![id.to_string()];
+        let mut prow = vec![id.to_string()];
+        for (i, (k, r)) in per_kind.iter().enumerate() {
+            trow.push(r2(r.normalized.throughput));
+            prow.push(r2(r.normalized.p99));
+            sums[i].0 += r.normalized.throughput;
+            sums[i].1 += r.normalized.p99;
+            rows.push(json!({
+                "case": id, "system": k.label(),
+                "norm_throughput": r.normalized.throughput,
+                "norm_p99": r.normalized.p99,
+                "drop_rate": r.normalized.drop_rate,
+            }));
+        }
+        tput.row(trow);
+        p99.row(prow);
+    }
+    let n = matrix.len() as f64;
+    let mut avg_t = vec!["average".to_string()];
+    let mut avg_p = vec!["average".to_string()];
+    for (st, sp) in &sums {
+        avg_t.push(r2(st / n));
+        avg_p.push(r2(sp / n));
+    }
+    tput.row(avg_t);
+    p99.row(avg_p);
+
+    let text = format!(
+        "(a) Normalized throughput\n{}\n(b) Normalized p99 latency\n{}",
+        tput.render(),
+        p99.render()
+    );
+    ExpReport {
+        id: "fig9".into(),
+        title: "Figure 9: Comparison with state-of-the-art systems".into(),
+        text,
+        data: json!({ "points": rows }),
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 10 — mitigation effectiveness across the 16 cases.
+//!
+//! Each case runs uncontrolled ("Overload") and under Atropos; both are
+//! normalized against the undisturbed baseline. Expected shape: the
+//! overload line sits well below 1.0 throughput (or far above 1.0 p99)
+//! while Atropos stays near 1.0 on both, with drop rate ≈ 0.
+
+use atropos_metrics::Table;
+use serde_json::json;
+
+use super::{pct3, r2, ExpOptions, ExpReport};
+use crate::cases::all_cases;
+use crate::runner::{calibrate, parallel_map, run_with, ControllerKind};
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let rc = opts.run_config();
+    let cases = all_cases();
+    let results = parallel_map(cases, move |case| {
+        let baseline = calibrate(&case, &rc);
+        let none = run_with(&case, ControllerKind::None, &rc, &baseline);
+        let atropos = run_with(&case, ControllerKind::Atropos, &rc, &baseline);
+        (case.id, baseline, none, atropos)
+    });
+
+    let mut table = Table::new(vec![
+        "case",
+        "overload tput",
+        "atropos tput",
+        "overload p99",
+        "atropos p99",
+        "atropos drop",
+        "cancels",
+    ]);
+    let mut rows = Vec::new();
+    let (mut sum_t, mut sum_p) = (0.0, 0.0);
+    for (id, baseline, none, atropos) in &results {
+        table.row(vec![
+            id.to_string(),
+            r2(none.normalized.throughput),
+            r2(atropos.normalized.throughput),
+            r2(none.normalized.p99),
+            r2(atropos.normalized.p99),
+            pct3(atropos.normalized.drop_rate),
+            atropos.summary.canceled.to_string(),
+        ]);
+        sum_t += atropos.normalized.throughput;
+        sum_p += atropos.normalized.p99;
+        rows.push(json!({
+            "case": id,
+            "baseline_qps": baseline.summary.throughput_qps(),
+            "overload": {
+                "norm_throughput": none.normalized.throughput,
+                "norm_p99": none.normalized.p99,
+            },
+            "atropos": {
+                "norm_throughput": atropos.normalized.throughput,
+                "norm_p99": atropos.normalized.p99,
+                "drop_rate": atropos.normalized.drop_rate,
+                "canceled": atropos.summary.canceled,
+            },
+        }));
+    }
+    let n = results.len() as f64;
+    table.row(vec![
+        "average".into(),
+        String::new(),
+        r2(sum_t / n),
+        String::new(),
+        r2(sum_p / n),
+        String::new(),
+        String::new(),
+    ]);
+    ExpReport {
+        id: "fig10".into(),
+        title: "Figure 10: Mitigation effectiveness of Atropos across 16 cases".into(),
+        text: table.render(),
+        data: json!({ "cases": rows }),
+    }
+}

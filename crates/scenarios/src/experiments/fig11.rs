@@ -1,0 +1,57 @@
+//! Figure 11 — drop rate of Atropos vs Protego.
+//!
+//! The paper plots the ten cases where Protego's victim shedding is
+//! exercised (c1, c3, c4, c6, c7, c8, c9, c12, c13, c14). Expected shape:
+//! Protego's drop rate averages ~25% while Atropos stays below 0.01–0.1%.
+
+use atropos_metrics::Table;
+use serde_json::json;
+
+use super::{pct3, ExpOptions, ExpReport};
+use crate::cases::all_cases;
+use crate::runner::{calibrate, parallel_map, run_with, ControllerKind};
+
+const FIG11_CASES: [&str; 10] = [
+    "c1", "c3", "c4", "c6", "c7", "c8", "c9", "c12", "c13", "c14",
+];
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let rc = opts.run_config();
+    let cases: Vec<_> = all_cases()
+        .into_iter()
+        .filter(|c| FIG11_CASES.contains(&c.id))
+        .collect();
+    let results = parallel_map(cases, move |case| {
+        let baseline = calibrate(&case, &rc);
+        let atropos = run_with(&case, ControllerKind::Atropos, &rc, &baseline);
+        let protego = run_with(&case, ControllerKind::Protego, &rc, &baseline);
+        (case.id, atropos, protego)
+    });
+
+    let mut table = Table::new(vec!["case", "Atropos drop", "Protego drop"]);
+    let mut rows = Vec::new();
+    let (mut sum_a, mut sum_p) = (0.0, 0.0);
+    for (id, a, p) in &results {
+        table.row(vec![
+            id.to_string(),
+            pct3(a.normalized.drop_rate),
+            pct3(p.normalized.drop_rate),
+        ]);
+        sum_a += a.normalized.drop_rate;
+        sum_p += p.normalized.drop_rate;
+        rows.push(json!({
+            "case": id,
+            "atropos_drop_rate": a.normalized.drop_rate,
+            "protego_drop_rate": p.normalized.drop_rate,
+        }));
+    }
+    let n = results.len() as f64;
+    table.row(vec!["average".into(), pct3(sum_a / n), pct3(sum_p / n)]);
+    ExpReport {
+        id: "fig11".into(),
+        title: "Figure 11: Drop rate of Atropos and Protego".into(),
+        text: table.render(),
+        data: json!({ "cases": rows }),
+    }
+}

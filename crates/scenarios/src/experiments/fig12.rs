@@ -1,0 +1,86 @@
+//! Figure 12 — SLO maintenance under different thresholds.
+//!
+//! Six cases (c1, c2, c10, c11, c14, c15) run under Atropos with SLO
+//! goals of 10%, 20%, 40% and 60% latency increase. The reported metric
+//! is the achieved latency increase (normalized p99 − 1). Expected shape:
+//! the achieved increase stays at or below the goal in every case, with
+//! more cancellations issued as the goal tightens.
+
+use atropos_metrics::Table;
+use serde_json::json;
+
+use super::{ExpOptions, ExpReport};
+use crate::cases::all_cases;
+use crate::runner::{calibrate, parallel_map, run_with, ControllerKind};
+
+const FIG12_CASES: [&str; 6] = ["c1", "c2", "c10", "c11", "c14", "c15"];
+const GOALS: [f64; 4] = [0.1, 0.2, 0.4, 0.6];
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let cases: Vec<_> = all_cases()
+        .into_iter()
+        .filter(|c| FIG12_CASES.contains(&c.id))
+        .collect();
+    let mut jobs = Vec::new();
+    for case in cases {
+        for &goal in &GOALS {
+            jobs.push((case.clone(), goal));
+        }
+    }
+    let base_rc = opts.run_config();
+    let results = parallel_map(jobs, move |(case, goal)| {
+        let mut rc = base_rc.clone();
+        rc.slo_threshold = goal;
+        let baseline = calibrate(&case, &rc);
+        let r = run_with(&case, ControllerKind::Atropos, &rc, &baseline);
+        (case.id, goal, r)
+    });
+
+    let mut table = Table::new(vec![
+        "case",
+        "goal 10%",
+        "goal 20%",
+        "goal 40%",
+        "goal 60%",
+        "cancels (10%..60%)",
+    ]);
+    let mut rows = Vec::new();
+    for id in FIG12_CASES {
+        let per_goal: Vec<_> = GOALS
+            .iter()
+            .map(|&g| {
+                results
+                    .iter()
+                    .find(|(cid, goal, _)| *cid == id && *goal == g)
+                    .expect("result exists")
+            })
+            .collect();
+        let mut row = vec![id.to_string()];
+        for (_, _, r) in &per_goal {
+            row.push(format!("{:.1}%", r.normalized.latency_increase() * 100.0));
+        }
+        row.push(
+            per_goal
+                .iter()
+                .map(|(_, _, r)| r.summary.canceled.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+        );
+        table.row(row);
+        for (_, g, r) in per_goal {
+            rows.push(json!({
+                "case": id,
+                "slo_goal": g,
+                "latency_increase": r.normalized.latency_increase(),
+                "canceled": r.summary.canceled,
+            }));
+        }
+    }
+    ExpReport {
+        id: "fig12".into(),
+        title: "Figure 12: SLO maintenance under different thresholds".into(),
+        text: table.render(),
+        data: json!({ "points": rows }),
+    }
+}

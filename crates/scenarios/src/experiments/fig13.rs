@@ -1,0 +1,69 @@
+//! Figure 13 — comparison of cancellation policies (the §5.4 ablation).
+//!
+//! All 16 cases run under Atropos with (a) the multi-objective policy,
+//! (b) the single-resource greedy heuristic, and (c) the multi-objective
+//! policy over current usage instead of future-scaled gain. The metric is
+//! normalized throughput. Expected shape: multi-objective ≥ the others,
+//! winning clearly on cases where overload spans multiple resources or
+//! where nearly-finished hogs would fool the current-usage policy.
+
+use atropos_metrics::Table;
+use serde_json::json;
+
+use super::{r2, ExpOptions, ExpReport};
+use crate::cases::all_cases;
+use crate::runner::{calibrate, parallel_map, run_with, ControllerKind};
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let rc = opts.run_config();
+    let kinds = [
+        ControllerKind::Atropos,
+        ControllerKind::AtroposHeuristic,
+        ControllerKind::AtroposCurrentUsage,
+    ];
+    let cases = all_cases();
+    let results = parallel_map(cases, move |case| {
+        let baseline = calibrate(&case, &rc);
+        let per_kind: Vec<_> = kinds
+            .iter()
+            .map(|&k| (k, run_with(&case, k, &rc, &baseline)))
+            .collect();
+        (case.id, per_kind)
+    });
+
+    let mut table = Table::new(vec![
+        "case",
+        "Multi-Objective",
+        "Heuristic",
+        "Current Usage",
+    ]);
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 3];
+    for (id, per_kind) in &results {
+        let mut row = vec![id.to_string()];
+        for (i, (k, r)) in per_kind.iter().enumerate() {
+            row.push(r2(r.normalized.throughput));
+            sums[i] += r.normalized.throughput;
+            rows.push(json!({
+                "case": id, "policy": k.label(),
+                "norm_throughput": r.normalized.throughput,
+                "norm_p99": r.normalized.p99,
+            }));
+        }
+        table.row(row);
+    }
+    let n = results.len() as f64;
+    table.row(vec![
+        "average".into(),
+        r2(sums[0] / n),
+        r2(sums[1] / n),
+        r2(sums[2] / n),
+    ]);
+    ExpReport {
+        id: "fig13".into(),
+        title: "Figure 13: Comparison of different cancellation policies".into(),
+        text: table.render(),
+        data: json!({ "points": rows }),
+    }
+}

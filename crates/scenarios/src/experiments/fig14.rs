@@ -1,0 +1,225 @@
+//! Figure 14 — runtime overhead of Atropos.
+//!
+//! Five applications run read-intensive and write-intensive workloads,
+//! each with and without resource overload, with Atropos tracing enabled
+//! but **cancellation disabled** (isolating tracing + decision cost,
+//! §5.5). Reported values are Atropos-to-uncontrolled ratios. Expected
+//! shape: under normal load the sampled-timestamp mode keeps throughput
+//! loss under ~2%; under overload the precise per-event mode costs more
+//! (paper: ~7% throughput, up to ~16% p99).
+
+use atropos::AtroposConfig;
+use atropos_app::apps::minidb::{MiniDb, MiniDbConfig};
+use atropos_app::apps::search::{SearchApp, SearchConfig};
+use atropos_app::apps::webserver::{WebServer, WebServerConfig};
+use atropos_app::glue::AtroposController;
+use atropos_app::ids::ClassId;
+use atropos_app::server::{ServerConfig, SimServer};
+use atropos_app::workload::WorkloadSpec;
+use atropos_app::NoControl;
+use atropos_metrics::Table;
+use atropos_sim::SimTime;
+use serde_json::json;
+
+use super::{ExpOptions, ExpReport};
+use crate::runner::parallel_map;
+
+const APPS: [&str; 5] = ["MySQL", "PostgreSQL", "Apache", "Elasticsearch", "Solr"];
+const WORKLOADS: [&str; 4] = ["Read", "Write", "Read Overload", "Write Overload"];
+
+fn build(app: &str, workload: &str, seed: u64, duration: SimTime) -> (ServerConfig, WorkloadSpec) {
+    let overload = workload.contains("Overload");
+    let write = workload.starts_with("Write");
+    let inject_every = SimTime::from_millis(3_000);
+    let disturb = SimTime::from_millis(2_500);
+    let inject_all = |mut wl: WorkloadSpec, class: ClassId| {
+        let mut at = disturb;
+        while at < duration {
+            wl = wl.inject(at, class);
+            at += inject_every;
+        }
+        wl
+    };
+    match app {
+        "MySQL" => {
+            let db = MiniDb::new(MiniDbConfig {
+                seed,
+                ..Default::default()
+            });
+            let mix = if write {
+                vec![
+                    db.point_select(0.2),
+                    db.row_update(0.8),
+                    db.dump(0.0, 120_000),
+                    db.select_for_update(2_000_000_000),
+                ]
+            } else {
+                vec![
+                    db.point_select(0.9),
+                    db.row_update(0.1),
+                    db.dump(0.0, 120_000),
+                    db.select_for_update(2_000_000_000),
+                ]
+            };
+            let mut wl = WorkloadSpec::new(mix, 8_000.0);
+            if overload {
+                wl = inject_all(wl, if write { ClassId(3) } else { ClassId(2) });
+            }
+            (db.server_config(), wl)
+        }
+        "PostgreSQL" => {
+            let db = MiniDb::new(MiniDbConfig {
+                seed,
+                ..Default::default()
+            });
+            let mix = if write {
+                vec![
+                    db.select_with_io(0.2, 60_000),
+                    db.row_update(0.8),
+                    db.vacuum(250, 10_000_000),
+                    db.bulk_write(2_000_000_000),
+                ]
+            } else {
+                vec![
+                    db.select_with_io(0.9, 60_000),
+                    db.row_update(0.1),
+                    db.vacuum(250, 10_000_000),
+                    db.bulk_write(2_000_000_000),
+                ]
+            };
+            let mut wl = WorkloadSpec::new(mix, 6_000.0);
+            if overload {
+                wl = if write {
+                    inject_all(wl, ClassId(3))
+                } else {
+                    wl.recurring(ClassId(2), disturb, SimTime::from_millis(4_000))
+                };
+            }
+            (db.server_config(), wl)
+        }
+        "Apache" => {
+            let ws = WebServer::new(WebServerConfig {
+                seed,
+                ..Default::default()
+            });
+            let slow_weight = if overload { 0.0005 } else { 0.0 };
+            let wl = WorkloadSpec::new(
+                vec![
+                    ws.http_request(1.0),
+                    ws.slow_script(slow_weight, 20_000_000_000),
+                ],
+                5_000.0,
+            );
+            (ws.server_config(), wl)
+        }
+        "Elasticsearch" | "Solr" => {
+            let app_ = SearchApp::new(SearchConfig {
+                seed,
+                ..Default::default()
+            });
+            let mix = if write {
+                vec![
+                    app_.search(0.3),
+                    app_.index_doc(0.7),
+                    app_.big_search(0.0, 30_000),
+                    app_.big_update(0.0, 2_000_000_000),
+                    app_.nested_range(0.0, 3_000_000_000),
+                    app_.complex_boolean(0.0, 2_000_000_000),
+                ]
+            } else {
+                vec![
+                    app_.search(0.9),
+                    app_.index_doc(0.1),
+                    app_.big_search(0.0, 30_000),
+                    app_.big_update(0.0, 2_000_000_000),
+                    app_.nested_range(0.0, 3_000_000_000),
+                    app_.complex_boolean(0.0, 2_000_000_000),
+                ]
+            };
+            let mut wl = WorkloadSpec::new(mix, 8_000.0);
+            if overload {
+                let class = match (app, write) {
+                    ("Elasticsearch", false) => ClassId(2), // big search
+                    ("Elasticsearch", true) => ClassId(3),  // big update
+                    (_, false) => ClassId(4),               // nested range (Solr)
+                    (_, true) => ClassId(5),                // complex boolean
+                };
+                wl = inject_all(wl, class);
+            }
+            (app_.server_config(), wl)
+        }
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(opts: &ExpOptions) -> ExpReport {
+    let rc = opts.run_config();
+    let (duration, warmup) = (rc.duration, rc.warmup);
+    let mut jobs = Vec::new();
+    for app in APPS {
+        for workload in WORKLOADS {
+            jobs.push((app, workload));
+        }
+    }
+    let seed = opts.seed;
+    let results = parallel_map(jobs, move |(app, workload)| {
+        let run_one = |with_atropos: bool| {
+            let (cfg, wl) = build(app, workload, seed, duration);
+            if with_atropos {
+                // Cancellation disabled: tracing + decisions only (§5.5).
+                SimServer::new_with(cfg, wl, |clock, groups| {
+                    Box::new(AtroposController::new(
+                        AtroposConfig::default().with_slo_ns(20_000_000),
+                        clock,
+                        groups,
+                        false,
+                    ))
+                })
+                .run(duration, warmup)
+            } else {
+                let (cfg, wl) = build(app, workload, seed, duration);
+                SimServer::new(cfg, wl, Box::new(NoControl)).run(duration, warmup)
+            }
+        };
+        let base = run_one(false);
+        let traced = run_one(true);
+        let tput_ratio = traced.completed as f64 / base.completed.max(1) as f64;
+        let p99_ratio = traced.latency.p99() as f64 / base.latency.p99().max(1) as f64;
+        (app, workload, tput_ratio, p99_ratio)
+    });
+
+    let mut table = Table::new(vec!["app", "workload", "tput ratio", "p99 ratio"]);
+    let mut rows = Vec::new();
+    let mut normal = Vec::new();
+    let mut over = Vec::new();
+    for (app, workload, t, p) in &results {
+        table.row(vec![
+            app.to_string(),
+            workload.to_string(),
+            format!("{t:.3}"),
+            format!("{p:.3}"),
+        ]);
+        if workload.contains("Overload") {
+            over.push(1.0 - t.min(1.0));
+        } else {
+            normal.push(1.0 - t.min(1.0));
+        }
+        rows.push(json!({
+            "app": app, "workload": workload,
+            "throughput_ratio": t, "p99_ratio": p,
+        }));
+    }
+    let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let summary = format!(
+        "average throughput reduction: normal {:.2}%, overload {:.2}%\n",
+        avg(&normal) * 100.0,
+        avg(&over) * 100.0
+    );
+    ExpReport {
+        id: "fig14".into(),
+        title: "Figure 14: Overhead of Atropos (cancellation disabled)".into(),
+        text: format!("{}{}", table.render(), summary),
+        data: json!({ "cells": rows }),
+    }
+}

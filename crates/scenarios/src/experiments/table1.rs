@@ -1,0 +1,31 @@
+//! Table 1 — prevalence of task cancellation in 151 popular applications.
+
+use atropos_metrics::Table;
+use serde_json::json;
+
+use super::{ExpOptions, ExpReport};
+
+/// Runs the experiment (summarizes the survey dataset).
+pub fn run(_opts: &ExpOptions) -> ExpReport {
+    let rows = atropos_study::summarize();
+    let mut table = Table::new(vec![
+        "Language",
+        "Applications",
+        "Supporting Cancel",
+        "With Initiator",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.language.clone(),
+            r.applications.to_string(),
+            r.supporting_cancel.to_string(),
+            r.with_initiator.to_string(),
+        ]);
+    }
+    ExpReport {
+        id: "table1".into(),
+        title: "Table 1: Prevalence of task cancellation support in 151 applications".into(),
+        text: table.render(),
+        data: json!({ "rows": rows }),
+    }
+}

@@ -1,0 +1,108 @@
+//! Structural checks over the case registry that don't require any
+//! simulation: injection schedules, noisy-class client isolation, and
+//! controller hints.
+
+use atropos_app::ids::ClientId;
+use atropos_scenarios::{all_cases, CaseParams};
+
+#[test]
+fn overload_builds_are_deterministic_in_structure() {
+    let params = CaseParams::default();
+    for case in all_cases() {
+        let a = case.build(&params, true);
+        let b = case.build(&params, true);
+        assert_eq!(
+            a.workload.injections.len(),
+            b.workload.injections.len(),
+            "{}",
+            case.id
+        );
+        assert_eq!(
+            a.workload.background.len(),
+            b.workload.background.len(),
+            "{}",
+            case.id
+        );
+        assert_eq!(a.workload.classes.len(), b.workload.classes.len());
+        assert_eq!(a.server.workers, b.server.workers);
+    }
+}
+
+#[test]
+fn injections_happen_after_the_disturb_time_and_before_the_end() {
+    let params = CaseParams::default();
+    for case in all_cases() {
+        let built = case.build(&params, true);
+        for inj in &built.workload.injections {
+            assert!(inj.at >= params.disturb_at, "{}: early injection", case.id);
+            assert!(inj.at < params.duration, "{}: late injection", case.id);
+        }
+        for bg in &built.workload.background {
+            assert!(bg.start >= params.disturb_at, "{}: early background", case.id);
+        }
+    }
+}
+
+#[test]
+fn noisy_foreground_classes_have_dedicated_clients() {
+    // Client-level isolation baselines (pBox quotas, PARTIES partitions)
+    // must be able to target the offender without collateral damage.
+    let params = CaseParams::default();
+    for case in all_cases() {
+        let built = case.build(&params, true);
+        for class_id in &built.hints.slo_exempt {
+            let spec = &built.workload.classes[class_id.0 as usize];
+            if spec.background {
+                continue; // background jobs carry no client latency
+            }
+            assert!(
+                matches!(spec.client, Some(ClientId(c)) if c >= 100),
+                "{}: noisy class {} shares a client with the victims",
+                case.id,
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn hints_reference_valid_classes_and_pools() {
+    let params = CaseParams::default();
+    for case in all_cases() {
+        let built = case.build(&params, true);
+        for class_id in &built.hints.slo_exempt {
+            assert!(
+                (class_id.0 as usize) < built.workload.classes.len(),
+                "{}: exempt class out of range",
+                case.id
+            );
+        }
+        for pool in &built.hints.pools {
+            assert!(
+                (pool.0 as usize) < built.server.pools.len(),
+                "{}: hint pool out of range",
+                case.id
+            );
+        }
+        assert_eq!(built.hints.workers, built.server.workers, "{}", case.id);
+    }
+}
+
+#[test]
+fn baseline_variant_omits_every_noisy_trigger() {
+    let params = CaseParams::default();
+    for case in all_cases() {
+        let built = case.build(&params, false);
+        assert!(built.workload.injections.is_empty(), "{}", case.id);
+        assert!(built.workload.background.is_empty(), "{}", case.id);
+        for spec in &built.workload.classes {
+            // Noisy classes exist in the baseline class list (so ids are
+            // stable) but must carry zero weight.
+            if spec.background {
+                assert_eq!(spec.weight, 0.0, "{}: weighted background", case.id);
+            }
+        }
+        let total: f64 = built.workload.classes.iter().map(|c| c.weight).sum();
+        assert!(total > 0.9, "{}: baseline mix underweighted", case.id);
+    }
+}

@@ -1,0 +1,139 @@
+//! Time sources.
+//!
+//! The Atropos runtime reads timestamps through the [`Clock`] trait so the
+//! same framework code runs against virtual time in the simulator and
+//! against the monotonic OS clock in a real process (the paper's C/C++
+//! implementation uses `rdtsc`; [`SystemClock`] is the portable analog).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::time::SimTime;
+
+/// A monotonic nanosecond time source.
+pub trait Clock: Send + Sync {
+    /// Current time in nanoseconds. Must be monotonic non-decreasing.
+    fn now_ns(&self) -> u64;
+
+    /// Current time as a [`SimTime`].
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now_ns())
+    }
+}
+
+/// A virtual clock advanced by the simulation engine.
+///
+/// Cloning shares the underlying time cell, so the simulator and every
+/// component holding the clock observe the same instant.
+///
+/// # Examples
+///
+/// ```
+/// use atropos_sim::{Clock, VirtualClock, SimTime};
+///
+/// let c = VirtualClock::new();
+/// let c2 = c.clone();
+/// c.advance_to(SimTime::from_millis(5));
+/// assert_eq!(c2.now_ns(), 5_000_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock to `t`.
+    ///
+    /// Going backwards is a simulation bug; the clock saturates at its
+    /// current value rather than rewinding (events at equal times are fine).
+    pub fn advance_to(&self, t: SimTime) {
+        self.now.fetch_max(t.as_nanos(), Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-monotonic clock, for running Atropos in real programs.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemClock {
+    /// Creates a clock whose zero is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for Arc<C> {
+    fn now_ns(&self) -> u64 {
+        (**self).now_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_starts_at_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn virtual_clock_is_shared_between_clones() {
+        let c = VirtualClock::new();
+        let c2 = c.clone();
+        c.advance_to(SimTime::from_secs(1));
+        assert_eq!(c2.now_ns(), 1_000_000_000);
+    }
+
+    #[test]
+    fn virtual_clock_never_rewinds() {
+        let c = VirtualClock::new();
+        c.advance_to(SimTime::from_secs(2));
+        c.advance_to(SimTime::from_secs(1));
+        assert_eq!(c.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn arc_clock_delegates() {
+        let c: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        assert_eq!(c.now_ns(), 0);
+    }
+}

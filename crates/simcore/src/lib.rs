@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The paper evaluates Atropos inside six real applications on a cloud
+//! testbed. This reproduction replaces that testbed with a discrete-event
+//! simulator: all concurrency is virtual, runs are bit-for-bit reproducible
+//! from a seed, and an offered-load sweep that would take hours of wall
+//! clock finishes in seconds.
+//!
+//! The kernel is intentionally tiny:
+//!
+//! - [`time::SimTime`]: nanosecond-resolution virtual time,
+//! - [`clock::Clock`]: the time source abstraction shared with the `atropos`
+//!   framework crate (virtual in simulation, monotonic in real processes),
+//! - [`rng::SimRng`]: a seeded RNG with the samplers workloads need
+//!   (exponential inter-arrivals, zipf keys, lognormal service times),
+//! - [`engine::EventQueue`]: a total-ordered future event list.
+//!
+//! Application behaviour (servers, locks, buffer pools) lives in the
+//! `atropos-app` crate on top of this kernel.
+
+pub mod clock;
+pub mod engine;
+pub mod rng;
+pub mod time;
+
+pub use clock::{Clock, SystemClock, VirtualClock};
+pub use engine::EventQueue;
+pub use rng::SimRng;
+pub use time::SimTime;

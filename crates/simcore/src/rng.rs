@@ -1,0 +1,269 @@
+//! Seeded random number generation for workloads.
+//!
+//! Every experiment run is parameterized by a single `u64` seed. `SimRng`
+//! wraps `rand::rngs::StdRng` (a seed-stable ChaCha-based generator) and
+//! provides the samplers the workload generators need: exponential
+//! inter-arrival gaps for open-loop Poisson traffic, lognormal service
+//! times, and Zipf-distributed key popularity.
+
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic RNG with workload-oriented samplers.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent RNG for a named sub-stream.
+    ///
+    /// Forking lets e.g. the arrival process and the service-time process
+    /// consume randomness independently, so adding a draw to one does not
+    /// perturb the other (critical when comparing controllers on the same
+    /// seed).
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let s = self.inner.next_u64() ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+        SimRng::new(s)
+    }
+
+    /// Uniform `u64` in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential sample with the given mean (inter-arrival gap of a
+    /// Poisson process with rate `1/mean`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+        // Inverse transform; guard the log against u == 0.
+        let u = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Lognormal sample with the given *median* `m` and shape `sigma`.
+    ///
+    /// Service times in real systems are right-skewed; the paper's
+    /// lightweight queries cluster tightly while heavy ones form the tail.
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        assert!(median > 0.0, "median must be positive");
+        median * (sigma * self.normal()).exp()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range");
+        lo + (hi - lo) * self.f64()
+    }
+}
+
+/// Zipf distribution over `{0, .., n-1}` with exponent `theta`.
+///
+/// Precomputes the CDF once so sampling is a binary search; this is the key
+/// popularity model for buffer-pool and cache workloads (a small hot set
+/// plus a long cold tail, which is what makes LRU thrash under dump
+/// queries).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        assert!(theta >= 0.0, "theta must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws one rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.below(1_000_000), b.below(1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32)
+            .filter(|_| a.below(1 << 30) == b.below(1 << 30))
+            .count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_later_draws() {
+        let mut root1 = SimRng::new(7);
+        let mut fork1 = root1.fork(1);
+        let mut root2 = SimRng::new(7);
+        let mut fork2 = root2.fork(1);
+        // Consuming the root after forking must not affect the fork.
+        let _ = root2.f64();
+        for _ in 0..16 {
+            assert_eq!(fork1.below(1 << 20), fork2.below(1 << 20));
+        }
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut rng = SimRng::new(3);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.exp(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_is_nonnegative() {
+        let mut rng = SimRng::new(4);
+        for _ in 0..10_000 {
+            assert!(rng.exp(0.001) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_mean_and_var() {
+        let mut rng = SimRng::new(5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_close() {
+        let mut rng = SimRng::new(6);
+        let mut xs: Vec<f64> = (0..20_001).map(|_| rng.lognormal(10.0, 1.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 10.0).abs() < 0.5, "median {median}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::new(8);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(2.0)); // clamped
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_most_popular() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = SimRng::new(9);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99] * 10);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SimRng::new(10);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_support() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SimRng::new(11);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn zipf_rejects_empty_support() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        let mut rng = SimRng::new(12);
+        let _ = rng.below(0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Nanosecond-resolution virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// `SimTime` is a thin newtype over `u64` with saturating subtraction so
+/// interval arithmetic around time zero cannot underflow.
+///
+/// # Examples
+///
+/// ```
+/// use atropos_sim::SimTime;
+///
+/// let t = SimTime::from_millis(2) + SimTime::from_micros(500);
+/// assert_eq!(t.as_nanos(), 2_500_000);
+/// assert_eq!(SimTime::ZERO - t, SimTime::ZERO); // saturating
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time; used as an "infinite" deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds a time from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Builds a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Builds a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Builds a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Builds a time from fractional seconds, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "time must be finite and >= 0");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// This time as nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition (useful with [`SimTime::MAX`] deadlines).
+    pub const fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Saturating: a difference that would underflow yields [`SimTime::ZERO`].
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.1}µs", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2}ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1000));
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn arithmetic_and_saturation() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(3);
+        assert_eq!(b - a, SimTime::from_secs(2));
+        assert_eq!(a - b, SimTime::ZERO);
+        assert_eq!(SimTime::MAX.saturating_add(a), SimTime::MAX);
+        let mut t = a;
+        t += a;
+        assert_eq!(t, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn roundtrip_secs_f64() {
+        let t = SimTime::from_secs_f64(1.2345);
+        assert!((t.as_secs_f64() - 1.2345).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_seconds_rejected() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimTime::from_micros(2).to_string(), "2.0µs");
+        assert_eq!(SimTime::from_millis(3).to_string(), "3.00ms");
+        assert_eq!(SimTime::from_secs(4).to_string(), "4.000s");
+    }
+
+    #[test]
+    fn ordering_is_by_nanos() {
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert!(SimTime::MAX > SimTime::from_secs(1_000_000));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the simulation kernel.
+
+use atropos_sim::rng::Zipf;
+use atropos_sim::{EventQueue, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops in (time, insertion) order regardless of the
+    /// scheduling order.
+    #[test]
+    fn event_queue_is_totally_ordered(times in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut popped = 0;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "order violated");
+            }
+            last = Some((t, i));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Canceling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_removes_exactly_the_canceled(
+        times in prop::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let tokens: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::from_nanos(t), i)))
+            .collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, tok) in &tokens {
+            if cancel_mask.get(*i).copied().unwrap_or(false) {
+                prop_assert!(q.cancel(*tok));
+            } else {
+                expect.push(*i);
+            }
+        }
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Equal seeds produce identical streams across every sampler.
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.below(1 << 40), b.below(1 << 40));
+            prop_assert_eq!(a.exp(3.0).to_bits(), b.exp(3.0).to_bits());
+            prop_assert_eq!(a.lognormal(5.0, 0.5).to_bits(), b.lognormal(5.0, 0.5).to_bits());
+        }
+    }
+
+    /// Zipf samples stay inside the support for any shape.
+    #[test]
+    fn zipf_in_support(n in 1usize..5_000, theta in 0.0f64..3.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, theta);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Exponential samples are non-negative and have the right order of
+    /// magnitude for any positive mean.
+    #[test]
+    fn exp_positive(mean in 1e-3f64..1e9, seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let mut acc = 0.0;
+        for _ in 0..256 {
+            let x = rng.exp(mean);
+            prop_assert!(x >= 0.0 && x.is_finite());
+            acc += x;
+        }
+        let sample_mean = acc / 256.0;
+        prop_assert!(sample_mean > mean * 0.5 && sample_mean < mean * 2.0,
+            "mean {mean}, sample {sample_mean}");
+    }
+
+    /// SimTime subtraction saturates rather than wrapping.
+    #[test]
+    fn simtime_sub_saturates(a in any::<u64>(), b in any::<u64>()) {
+        let d = SimTime::from_nanos(a) - SimTime::from_nanos(b);
+        prop_assert_eq!(d.as_nanos(), a.saturating_sub(b));
+    }
+}

@@ -1,0 +1,154 @@
+#![warn(missing_docs)]
+
+//! The task-cancellation prevalence survey (paper §2.4, Table 1).
+//!
+//! The paper manually reviews 151 popular open-source projects and labels
+//! each with (a) whether it implements task cancellation and (b) whether
+//! that cancellation is exposed through a *cancellation initiator* — a
+//! callable entry point (like MySQL's `KILL` / `sql_kill`) Atropos can
+//! hook. This crate encodes the survey as data so Table 1 regenerates
+//! from code. Per-project labels are best-effort reconstructions from
+//! public documentation; the per-language totals match the paper's.
+
+mod dataset;
+
+pub use dataset::DATASET;
+
+use serde::{Deserialize, Serialize};
+
+/// Implementation language groups used by Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Language {
+    /// C or C++.
+    CCpp,
+    /// Java (and JVM).
+    Java,
+    /// Go.
+    Go,
+    /// Python.
+    Python,
+}
+
+impl std::fmt::Display for Language {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Language::CCpp => "C/C++",
+            Language::Java => "Java",
+            Language::Go => "Go",
+            Language::Python => "Python",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One surveyed application.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AppEntry {
+    /// Project name.
+    pub name: &'static str,
+    /// Implementation language.
+    pub language: Language,
+    /// Implements task cancellation in its codebase.
+    pub supports_cancel: bool,
+    /// Exposes a built-in initiator for launching cancellation.
+    pub has_initiator: bool,
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LanguageSummary {
+    /// Language label.
+    pub language: String,
+    /// Applications surveyed.
+    pub applications: usize,
+    /// Applications supporting cancellation.
+    pub supporting_cancel: usize,
+    /// Applications with a built-in initiator.
+    pub with_initiator: usize,
+}
+
+/// Summarizes the dataset into Table 1's rows (one per language) plus a
+/// total row.
+pub fn summarize() -> Vec<LanguageSummary> {
+    let mut rows = Vec::new();
+    for lang in [
+        Language::CCpp,
+        Language::Java,
+        Language::Go,
+        Language::Python,
+    ] {
+        let apps: Vec<&AppEntry> = DATASET.iter().filter(|a| a.language == lang).collect();
+        rows.push(LanguageSummary {
+            language: lang.to_string(),
+            applications: apps.len(),
+            supporting_cancel: apps.iter().filter(|a| a.supports_cancel).count(),
+            with_initiator: apps.iter().filter(|a| a.has_initiator).count(),
+        });
+    }
+    rows.push(LanguageSummary {
+        language: "Total".into(),
+        applications: DATASET.len(),
+        supporting_cancel: DATASET.iter().filter(|a| a.supports_cancel).count(),
+        with_initiator: DATASET.iter().filter(|a| a.has_initiator).count(),
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table_1() {
+        let rows = summarize();
+        let total = rows.last().unwrap();
+        assert_eq!(total.applications, 151);
+        assert_eq!(total.supporting_cancel, 115);
+        assert_eq!(total.with_initiator, 109);
+    }
+
+    #[test]
+    fn per_language_rows_match_table_1() {
+        let rows = summarize();
+        let expect = [
+            ("C/C++", 60, 49, 46),
+            ("Java", 34, 25, 25),
+            ("Go", 44, 32, 29),
+            ("Python", 13, 9, 9),
+        ];
+        for (lang, apps, sup, init) in expect {
+            let row = rows.iter().find(|r| r.language == lang).unwrap();
+            assert_eq!(row.applications, apps, "{lang} apps");
+            assert_eq!(row.supporting_cancel, sup, "{lang} supporting");
+            assert_eq!(row.with_initiator, init, "{lang} initiators");
+        }
+    }
+
+    #[test]
+    fn initiator_implies_support() {
+        for a in DATASET {
+            assert!(
+                !a.has_initiator || a.supports_cancel,
+                "{} has an initiator without cancellation support",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = DATASET.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn initiator_share_is_95_percent_of_supporters() {
+        let sup = DATASET.iter().filter(|a| a.supports_cancel).count();
+        let init = DATASET.iter().filter(|a| a.has_initiator).count();
+        let share = init as f64 / sup as f64;
+        assert!((share - 0.95).abs() < 0.01, "share {share}");
+    }
+}

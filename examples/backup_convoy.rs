@@ -1,0 +1,55 @@
+//! The paper's headline scenario (case c1): a MySQL backup stuck behind a
+//! long table scan convoys every other request.
+//!
+//! Runs the simulated database three ways — uncontrolled, under Protego
+//! (victim shedding), and under Atropos (culprit cancellation) — and
+//! prints the throughput/latency/drop comparison of Figure 4.
+//!
+//! Run with: `cargo run --release --example backup_convoy`
+
+use atropos_metrics::Table;
+use atropos_scenarios::{all_cases, calibrate, run_with, ControllerKind, RunConfig};
+
+fn main() {
+    let case = all_cases().into_iter().next().expect("c1");
+    println!("case {}: {}\n", case.id, case.trigger);
+
+    let rc = RunConfig::full(42);
+    println!("calibrating baseline (no noisy classes, no control)…");
+    let baseline = calibrate(&case, &rc);
+    println!(
+        "baseline: {:.1} kQPS, p99 {:.2} ms; derived SLO = {:.2} ms\n",
+        baseline.summary.throughput_qps() / 1000.0,
+        baseline.summary.p99_ns as f64 / 1e6,
+        baseline.slo_ns as f64 / 1e6
+    );
+
+    let mut table = Table::new(vec![
+        "controller",
+        "norm tput",
+        "norm p99",
+        "drop rate",
+        "cancels",
+    ]);
+    for kind in [
+        ControllerKind::None,
+        ControllerKind::Protego,
+        ControllerKind::Atropos,
+    ] {
+        println!("running under {}…", kind.label());
+        let r = run_with(&case, kind, &rc, &baseline);
+        table.row(vec![
+            kind.label().into(),
+            format!("{:.2}", r.normalized.throughput),
+            format!("{:.2}", r.normalized.p99),
+            format!("{:.3}%", r.normalized.drop_rate * 100.0),
+            r.summary.canceled.to_string(),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!(
+        "Atropos cancels the scan (and, if needed, the backup) instead of\n\
+         shedding thousands of victims — throughput stays at baseline with\n\
+         a drop rate orders of magnitude below Protego's."
+    );
+}

@@ -1,0 +1,118 @@
+//! The distributed extension sketched in the paper's §4: a root request
+//! fans out to child tasks (as a scatter-gather query would fan out to
+//! shards), and canceling the root propagates the cancellation signal to
+//! every descendant through the same initiator.
+//!
+//! This example runs three "shard worker" threads under one root task,
+//! overloads a shared lock through the root's shard on node 0, and shows
+//! all three shards' cancel flags flipping when Atropos cancels the root.
+//!
+//! Run with: `cargo run --release --example distributed_cancel`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use atropos::{AtroposConfig, AtroposRuntime, ResourceType};
+use atropos_sim::SystemClock;
+use parking_lot::Mutex;
+
+fn main() {
+    let mut cfg = AtroposConfig::default().with_slo_ns(5_000_000);
+    cfg.cancel_min_interval_ns = 20_000_000;
+    let rt = Arc::new(AtroposRuntime::new(cfg, Arc::new(SystemClock::new())));
+    let lock_rsc = rt.register_resource("shard_lock", ResourceType::Lock);
+
+    // One cancel flag per "node"; keys 100..103 identify root + shards.
+    let flags: Arc<Vec<AtomicBool>> = Arc::new((0..4).map(|_| AtomicBool::new(false)).collect());
+    {
+        let flags = flags.clone();
+        rt.set_cancel_action(move |key| {
+            if (100..104).contains(&key.0) {
+                println!("[initiator] cancel signal for key {}", key.0);
+                flags[(key.0 - 100) as usize].store(true, Ordering::SeqCst);
+            }
+        });
+    }
+
+    // Root + three shard tasks, linked into a tree.
+    let root = rt.create_cancel(Some(100));
+    rt.unit_started(root);
+    rt.report_progress(root, 1, 100);
+    let shards: Vec<_> = (1..4)
+        .map(|i| {
+            let t = rt.create_cancel(Some(100 + i));
+            rt.unit_started(t);
+            rt.link_child(root, t);
+            t
+        })
+        .collect();
+
+    // The root's work monopolizes the shard lock; fast requests convoy.
+    let table = Arc::new(Mutex::new(()));
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let rt = rt.clone();
+            let table = table.clone();
+            let flags = flags.clone();
+            s.spawn(move || {
+                rt.slow_by_resource(root, lock_rsc, 1);
+                let guard = table.lock();
+                rt.get_resource(root, lock_rsc, 1);
+                let t0 = Instant::now();
+                while !flags[0].load(Ordering::SeqCst) && t0.elapsed() < Duration::from_secs(5) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                drop(guard);
+                rt.free_resource(root, lock_rsc, 1);
+            });
+        }
+        for w in 0..3u64 {
+            let rt = rt.clone();
+            let table = table.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let t = rt.create_cancel(Some(w));
+                    rt.unit_started(t);
+                    rt.slow_by_resource(t, lock_rsc, 1);
+                    let _g = table.lock();
+                    rt.get_resource(t, lock_rsc, 1);
+                    std::thread::sleep(Duration::from_micros(100));
+                    rt.free_resource(t, lock_rsc, 1);
+                    rt.unit_finished(t);
+                    rt.free_cancel(t);
+                }
+            });
+        }
+        {
+            let rt = rt.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(20));
+                    rt.tick();
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_secs(2));
+        stop.store(true, Ordering::SeqCst);
+    });
+
+    for shard in shards {
+        rt.free_cancel(shard);
+    }
+    let stats = rt.stats();
+    println!(
+        "cancellations: issued={} propagated={}",
+        stats.cancel.issued, stats.cancel.propagated
+    );
+    let canceled: Vec<bool> = flags.iter().map(|f| f.load(Ordering::SeqCst)).collect();
+    println!("cancel flags (root, shard1..3): {canceled:?}");
+    assert_eq!(
+        canceled,
+        vec![true, true, true, true],
+        "root cancellation must reach every shard"
+    );
+}

@@ -1,0 +1,95 @@
+//! The §3.5 worked example, live: two contended resources, two candidate
+//! hogs with different gain profiles, and Algorithm 1 choosing by
+//! contention-weighted scalarization over the non-dominated set.
+//!
+//! Task A offers most of its gain on the buffer pool; task B offers a
+//! balanced gain on pool + lock. Depending on which resource is more
+//! contended, the policy picks a different culprit — the behaviour the
+//! single-resource heuristic cannot reproduce.
+//!
+//! Run with: `cargo run --release --example multi_resource`
+
+use atropos::estimator::{EstimatorSnapshot, ResourceSnapshot, TaskGainSnapshot};
+use atropos::policy::{CancellationPolicy, HeuristicPolicy, MultiObjectivePolicy};
+use atropos::{ResourceId, ResourceType, TaskId, TaskKey};
+
+fn snapshot(c_mem: f64, c_lock: f64) -> EstimatorSnapshot {
+    let total = c_mem + c_lock;
+    let resources = vec![
+        ResourceSnapshot {
+            id: ResourceId(0),
+            rtype: ResourceType::Memory,
+            contention: c_mem,
+            normalized: c_mem,
+            weight: c_mem / total,
+            wait_ns: 0,
+            hold_ns: 0,
+            acquired: 0,
+            slow_amount: 0,
+        },
+        ResourceSnapshot {
+            id: ResourceId(1),
+            rtype: ResourceType::Lock,
+            contention: c_lock,
+            normalized: c_lock,
+            weight: c_lock / total,
+            wait_ns: 0,
+            hold_ns: 0,
+            acquired: 0,
+            slow_amount: 0,
+        },
+    ];
+    // The paper's example: task A = (3, 1), task B = (2, 2), normalized
+    // per resource to [0, 1].
+    let tasks = vec![
+        TaskGainSnapshot {
+            task: TaskId(1),
+            key: TaskKey(1),
+            cancellable: true,
+            gains: vec![1.0, 0.5],
+            current: vec![1.0, 0.5],
+            progress: Some(0.1),
+        },
+        TaskGainSnapshot {
+            task: TaskId(2),
+            key: TaskKey(2),
+            cancellable: true,
+            gains: vec![2.0 / 3.0, 1.0],
+            current: vec![2.0 / 3.0, 1.0],
+            progress: Some(0.1),
+        },
+    ];
+    EstimatorSnapshot {
+        resources,
+        tasks,
+        t_exec_ns: 1,
+    }
+}
+
+fn main() {
+    println!("task A gains (pool, lock) = (1.00, 0.50)   [the paper's (3, 1)]");
+    println!("task B gains (pool, lock) = (0.67, 1.00)   [the paper's (2, 2)]\n");
+    println!(
+        "{:<28} {:>14} {:>12}",
+        "contention (pool, lock)", "multi-objective", "heuristic"
+    );
+    for (c_mem, c_lock) in [(0.6, 0.4), (0.4, 0.6), (0.9, 0.1), (0.1, 0.9)] {
+        let snap = snapshot(c_mem, c_lock);
+        let multi = MultiObjectivePolicy
+            .select(&snap)
+            .map(|s| format!("task {}", s.task.0))
+            .unwrap_or_else(|| "-".into());
+        let heur = HeuristicPolicy
+            .select(&snap)
+            .map(|s| format!("task {}", s.task.0))
+            .unwrap_or_else(|| "-".into());
+        println!("({c_mem:.1}, {c_lock:.1}) {:>32} {:>12}", multi, heur);
+    }
+    println!(
+        "\nWith the paper's weights (0.6, 0.4) the multi-objective policy\n\
+         picks task A (score 0.6·1.0 + 0.4·0.5 = 0.80 vs B's 0.6·0.67 +\n\
+         0.4·1.0 = 0.80 — a near-tie broken deterministically); as lock\n\
+         contention rises the choice flips to task B. The heuristic only\n\
+         ever looks at the single most contended resource."
+    );
+}

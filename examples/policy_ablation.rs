@@ -1,0 +1,43 @@
+//! The §5.4 policy ablation on a handful of cases: multi-objective
+//! (Algorithm 1) vs the single-resource greedy heuristic vs current-usage
+//! gains.
+//!
+//! Run with: `cargo run --release --example policy_ablation`
+
+use atropos_metrics::Table;
+use atropos_scenarios::{all_cases, calibrate, run_with, ControllerKind, RunConfig};
+
+fn main() {
+    let picks = ["c1", "c5", "c11", "c12"];
+    let cases: Vec<_> = all_cases()
+        .into_iter()
+        .filter(|c| picks.contains(&c.id))
+        .collect();
+    let rc = RunConfig::full(42);
+    let kinds = [
+        ControllerKind::Atropos,
+        ControllerKind::AtroposHeuristic,
+        ControllerKind::AtroposCurrentUsage,
+    ];
+    let mut table = Table::new(vec![
+        "case",
+        "multi-objective",
+        "heuristic",
+        "current-usage",
+    ]);
+    for case in &cases {
+        println!("running {} under all three policies…", case.id);
+        let baseline = calibrate(case, &rc);
+        let mut row = vec![case.id.to_string()];
+        for kind in kinds {
+            let r = run_with(case, kind, &rc, &baseline);
+            row.push(format!(
+                "{:.2} / p99 {:.1}x",
+                r.normalized.throughput, r.normalized.p99
+            ));
+        }
+        table.row(row);
+    }
+    println!("\nnormalized throughput / normalized p99 per policy:\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,136 @@
+//! Quickstart: Atropos in a real multi-threaded program (no simulator).
+//!
+//! A pool of worker threads serves fast requests that briefly use a shared
+//! "table lock" resource; one hog thread grabs the same resource and sits
+//! on it. The Atropos runtime — fed by the Figure 6 tracing calls and
+//! ticked from a control thread — detects the lock overload, identifies
+//! the hog as the culprit, and invokes the registered cancellation
+//! initiator, which sets the hog's cancel flag (the application-level
+//! checkpoint pattern of §2.4).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use atropos::{AtroposConfig, AtroposRuntime, ResourceType};
+use atropos_sim::{Clock, SystemClock};
+use parking_lot::Mutex;
+
+const HOG_KEY: u64 = 999;
+
+fn main() {
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+    let mut cfg = AtroposConfig::default().with_slo_ns(5_000_000); // 5 ms SLO
+    cfg.cancel_min_interval_ns = 20_000_000;
+    let rt = Arc::new(AtroposRuntime::new(cfg, clock));
+    let lock_rsc = rt.register_resource("table_lock", ResourceType::Lock);
+
+    // The application's cancellation initiator: set the hog's cancel flag
+    // (its `sql_kill` analog). Real applications map key -> session here.
+    let hog_cancel = Arc::new(AtomicBool::new(false));
+    {
+        let flag = hog_cancel.clone();
+        rt.set_cancel_action(move |key| {
+            println!("[atropos] cancel initiator invoked for task key {}", key.0);
+            if key.0 == HOG_KEY {
+                flag.store(true, Ordering::SeqCst);
+            }
+        });
+    }
+
+    // The shared application resource.
+    let table = Arc::new(Mutex::new(()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // Fast workers: lock briefly, do 100 µs of "work", report to Atropos.
+        for w in 0..4u64 {
+            let rt = rt.clone();
+            let table = table.clone();
+            let stop = stop.clone();
+            let served = served.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let task = rt.create_cancel(Some(w));
+                    rt.unit_started(task);
+                    {
+                        rt.slow_by_resource(task, lock_rsc, 1);
+                        let _g = table.lock();
+                        rt.get_resource(task, lock_rsc, 1);
+                        std::thread::sleep(Duration::from_micros(100));
+                        rt.free_resource(task, lock_rsc, 1);
+                    }
+                    rt.unit_finished(task);
+                    rt.free_cancel(task);
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // The hog: takes the lock and holds it, polling its cancel flag at
+        // checkpoints — the cancellation pattern of §2.4.
+        {
+            let rt = rt.clone();
+            let table = table.clone();
+            let flag = hog_cancel.clone();
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(300));
+                let task = rt.create_cancel(Some(HOG_KEY));
+                rt.unit_started(task);
+                rt.report_progress(task, 1, 100); // barely started
+                println!("[hog] acquiring the table lock…");
+                rt.slow_by_resource(task, lock_rsc, 1);
+                let guard = table.lock();
+                rt.get_resource(task, lock_rsc, 1);
+                let t0 = Instant::now();
+                while !flag.load(Ordering::SeqCst) && t0.elapsed() < Duration::from_secs(10) {
+                    std::thread::sleep(Duration::from_millis(5)); // checkpoint
+                }
+                drop(guard);
+                rt.free_resource(task, lock_rsc, 1);
+                if flag.load(Ordering::SeqCst) {
+                    println!(
+                        "[hog] canceled after {:?}; rolling back and releasing the lock",
+                        t0.elapsed()
+                    );
+                } else {
+                    println!("[hog] finished uncancelled (?)");
+                }
+                rt.free_cancel(task);
+            });
+        }
+
+        // The control loop: tick the detector every 20 ms.
+        {
+            let rt = rt.clone();
+            let stop = stop.clone();
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(20));
+                    let outcome = rt.tick();
+                    if !matches!(outcome, atropos::runtime::TickOutcome::Idle) {
+                        println!("[atropos] tick -> {outcome:?}");
+                    }
+                }
+            });
+        }
+
+        std::thread::sleep(Duration::from_secs(2));
+        stop.store(true, Ordering::SeqCst);
+    });
+
+    let stats = rt.stats();
+    println!(
+        "served {} requests; cancellations issued: {}; hog canceled: {}",
+        served.load(Ordering::Relaxed),
+        stats.cancel.issued,
+        hog_cancel.load(Ordering::SeqCst)
+    );
+    assert!(
+        hog_cancel.load(Ordering::SeqCst),
+        "the hog should have been canceled"
+    );
+}

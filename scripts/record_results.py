@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Inserts a recorded `repro all` console log into EXPERIMENTS.md.
+
+Usage: python3 scripts/record_results.py /tmp/repro_final.txt
+Replaces the text between the RESULTS-BEGIN/RESULTS-END markers (or the
+placeholder block) with the cleaned console output.
+"""
+
+import re
+import sys
+
+PLACEHOLDER = "(RESULTS PLACEHOLDER — replaced by the recorded run)"
+
+
+def clean(log: str) -> str:
+    lines = []
+    for line in log.splitlines():
+        if line.startswith(("   Compiling", "    Finished", "     Running")):
+            continue
+        lines.append(line.rstrip())
+    return "\n".join(lines).strip()
+
+
+def main() -> None:
+    log_path = sys.argv[1] if len(sys.argv) > 1 else "/tmp/repro_final.txt"
+    log = clean(open(log_path).read())
+    exp = open("EXPERIMENTS.md").read()
+    block = f"<!-- RESULTS-BEGIN -->\n```text\n{log}\n```\n<!-- RESULTS-END -->"
+    if "<!-- RESULTS-BEGIN -->" in exp:
+        exp = re.sub(
+            r"<!-- RESULTS-BEGIN -->.*<!-- RESULTS-END -->",
+            block,
+            exp,
+            flags=re.S,
+        )
+    else:
+        exp = exp.replace(f"```text\n{PLACEHOLDER}\n```", block)
+    open("EXPERIMENTS.md", "w").write(exp)
+    print(f"recorded {len(log.splitlines())} lines into EXPERIMENTS.md")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the Atropos reproduction workspace.
+//!
+//! Re-exports every member crate under one roof so the examples and
+//! integration tests at the repository root can reach the whole system,
+//! and so a downstream user can depend on a single crate:
+//!
+//! - [`atropos`] — the framework itself (the paper's contribution),
+//! - [`atropos_sim`] — the deterministic discrete-event kernel,
+//! - [`atropos_metrics`] — histograms, series, run summaries,
+//! - [`atropos_app`] — the simulated applications and resources,
+//! - [`atropos_baselines`] — Protego, pBox, DARC, PARTIES, Breakwater,
+//!   SEDA, DAGOR,
+//! - [`atropos_scenarios`] — the 16 cases and the experiment harness,
+//! - [`atropos_study`] — the Table 1 survey dataset.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the architecture and
+//! the substitutions this reproduction makes.
+
+pub use atropos;
+pub use atropos_app;
+pub use atropos_baselines;
+pub use atropos_metrics;
+pub use atropos_scenarios;
+pub use atropos_sim;
+pub use atropos_study;
+
+/// Convenience prelude with the types most integrations need.
+pub mod prelude {
+    pub use atropos::{
+        AtroposConfig, AtroposRuntime, PolicyKind, ResourceId, ResourceType, TaskId, TaskKey,
+    };
+    pub use atropos_sim::{Clock, SimTime, SystemClock, VirtualClock};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_integration_surface() {
+        use super::prelude::*;
+        let clock = std::sync::Arc::new(VirtualClock::new());
+        let rt = AtroposRuntime::new(AtroposConfig::default(), clock);
+        let rid = rt.register_resource("r", ResourceType::Lock);
+        let task = rt.create_cancel(Some(1));
+        rt.get_resource(task, rid, 1);
+        rt.free_cancel(task);
+        assert_eq!(rt.stats().trace_events, 1);
+    }
+}
