@@ -394,6 +394,79 @@ mod tests {
         );
     }
 
+    /// The controller drives the runtime identically whichever ingest
+    /// path the config selects: the same hog scenario produces the same
+    /// action stream and the same event accounting under direct
+    /// per-event ingestion and sharded batch-drained ingestion.
+    #[test]
+    fn ingest_modes_produce_identical_action_streams() {
+        let drive = |mode: atropos::IngestMode| {
+            let clock = Arc::new(VirtualClock::new());
+            let groups = vec![ResourceGroupDef {
+                name: "lock".into(),
+                rtype: atropos::ResourceType::Lock,
+                members: vec![],
+            }];
+            let mut cfg = AtroposConfig::default().with_slo_ns(10_000_000);
+            cfg.cancel_min_interval_ns = 0;
+            cfg.ingest_mode = mode;
+            let mut c = AtroposController::new(cfg, clock.clone(), &groups, true);
+            let view = ServerView {
+                now: SimTime::ZERO,
+                requests: vec![],
+                recent: Default::default(),
+                client_p99: vec![],
+                queues: vec![],
+                workers_active: 0,
+                workers_queued: 0,
+            };
+            const MS: u64 = 1_000_000;
+            let mut hog = request(99);
+            hog.work_done = 5;
+            hog.work_total = 100;
+            c.on_arrival(SimTime::ZERO, &hog);
+            c.on_resource_event(
+                SimTime::ZERO,
+                &ResourceEvent {
+                    group: 0,
+                    kind: TraceKind::Get,
+                    req: hog.id,
+                    amount: 1,
+                },
+            );
+            for i in 0..10u64 {
+                let v = request(i);
+                c.on_arrival(SimTime::ZERO, &v);
+                c.on_resource_event(
+                    SimTime::ZERO,
+                    &ResourceEvent {
+                        group: 0,
+                        kind: TraceKind::Slow,
+                        req: v.id,
+                        amount: 1,
+                    },
+                );
+            }
+            let mut all_actions = Vec::new();
+            for step in 1..=20u64 {
+                clock.advance_to(atropos_sim::SimTime::from_nanos(step * 5 * MS / 2));
+                let t = request(1000 + step);
+                c.on_arrival(clock.now(), &t);
+                c.on_finish(clock.now(), &t, Outcome::Completed);
+            }
+            clock.advance_to(atropos_sim::SimTime::from_millis(100));
+            all_actions.extend(c.on_tick(clock.now(), &view));
+            clock.advance_to(atropos_sim::SimTime::from_millis(200));
+            all_actions.extend(c.on_tick(clock.now(), &view));
+            let stats = c.runtime().stats();
+            (all_actions, stats.trace_events, stats.ignored_events)
+        };
+        let direct = drive(atropos::IngestMode::Direct);
+        let sharded = drive(atropos::IngestMode::Sharded);
+        assert_eq!(direct, sharded);
+        assert!(direct.0.contains(&Action::Cancel(RequestId(99))));
+    }
+
     #[test]
     fn progress_reports_flow_to_the_runtime() {
         let mut c = controller();

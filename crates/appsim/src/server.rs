@@ -119,6 +119,9 @@ pub struct ServerMetrics {
     pub series: WindowedSeries,
     /// Trace events emitted.
     pub trace_events: u64,
+    /// Offered client requests still in flight when the run ended
+    /// (neither completed, dropped, nor canceled — the residual window).
+    pub live_at_end: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -223,6 +226,7 @@ impl SimServer {
                 latency: LatencyHistogram::new(),
                 series: WindowedSeries::new(0, window_ns),
                 trace_events: 0,
+                live_at_end: 0,
             },
             client_window: HashMap::new(),
             warmup: SimTime::ZERO,
@@ -285,6 +289,16 @@ impl SimServer {
             self.dispatch(ev);
             self.drain_runnable();
         }
+        // Requests still in flight when the run ends were counted in
+        // `offered` (unless they arrived during warmup, are background
+        // jobs, or are retries of an already-counted cancellation) but
+        // reached no outcome; surface the residual so conservation checks
+        // can balance offered against outcomes exactly.
+        self.metrics.live_at_end = self
+            .requests
+            .values()
+            .filter(|r| !r.background && !r.retry && r.arrival >= self.warmup)
+            .count() as u64;
         self.metrics
     }
 
@@ -1520,7 +1534,11 @@ mod tests {
         let m = SimServer::new(ServerConfig::default(), wl, Box::new(crate::NoControl))
             .run(sec(3), sec(2));
         // Only the final second is measured.
-        assert!((m.offered as f64 - 1_000.0).abs() < 120.0, "offered {}", m.offered);
+        assert!(
+            (m.offered as f64 - 1_000.0).abs() < 120.0,
+            "offered {}",
+            m.offered
+        );
         assert!((m.completed as f64 - 1_000.0).abs() < 120.0);
     }
 

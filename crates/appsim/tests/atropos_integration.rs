@@ -20,7 +20,7 @@ fn convoy_workload(db: &MiniDb, qps: f64) -> WorkloadSpec {
             db.point_select(0.65),
             db.row_update(0.35),
             db.table_scan(0.0, 3_000_000_000), // 3 s scan holding the table lock
-            db.backup(100_000_000),      // 0.5 s of copying once granted
+            db.backup(100_000_000),            // 0.5 s of copying once granted
         ],
         qps,
     )

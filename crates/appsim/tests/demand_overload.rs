@@ -71,11 +71,8 @@ fn atropos_without_fallback_does_not_collapse_goodput() {
     })
     .run(SimTime::from_secs(6), SimTime::from_secs(2));
     let (ws, wl) = overloaded_server();
-    let uncontrolled =
-        SimServer::new(ws.server_config(), wl, Box::new(NoControl)).run(
-            SimTime::from_secs(6),
-            SimTime::from_secs(2),
-        );
+    let uncontrolled = SimServer::new(ws.server_config(), wl, Box::new(NoControl))
+        .run(SimTime::from_secs(6), SimTime::from_secs(2));
     // Nothing to cancel helpfully: goodput must stay within a few percent
     // of the uncontrolled run (cancellation churn bounded by the rate
     // limiter), and drops bounded by the cancel-deadline path.

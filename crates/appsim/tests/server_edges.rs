@@ -199,10 +199,10 @@ fn hostile_actions_do_not_corrupt_the_server() {
     );
 }
 
-fn live_leak(_m: &atropos_app::server::ServerMetrics) -> u64 {
+fn live_leak(m: &atropos_app::server::ServerMetrics) -> u64 {
     // Requests still in flight at run end are neither completed nor
     // dropped; tolerate the small residual window.
-    0
+    m.live_at_end
 }
 
 #[test]

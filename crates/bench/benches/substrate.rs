@@ -32,6 +32,27 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    // Cancel-heavy churn: the pattern a cancellation framework's own
+    // simulator produces. 90% of scheduled events are canceled before
+    // firing; tombstone compaction keeps the heap from accumulating dead
+    // entries across rounds.
+    g.bench_function("churn_cancel_90pct_10rounds", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for round in 0..10u64 {
+                let toks: Vec<_> = (0..1_000u64)
+                    .map(|i| q.schedule(SimTime::from_nanos(round * 4096 + (i * 7919) % 4096), i))
+                    .collect();
+                for tok in &toks[..900] {
+                    q.cancel(*tok);
+                }
+                for _ in 0..100 {
+                    q.pop();
+                }
+            }
+            black_box(q.compactions())
+        })
+    });
     g.finish();
 }
 

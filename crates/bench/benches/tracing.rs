@@ -7,14 +7,23 @@
 
 use std::sync::Arc;
 
-use atropos::{AtroposConfig, AtroposRuntime, ResourceType};
+use atropos::trace::{PushOutcome, ShardedIngest};
+use atropos::{AtroposConfig, AtroposRuntime, IngestMode, ResourceType, TimestampMode};
 use atropos_sim::{Clock, SystemClock};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-fn runtime() -> (Arc<AtroposRuntime>, atropos::TaskId, atropos::ResourceId) {
+fn runtime_with(mode: IngestMode) -> Arc<AtroposRuntime> {
     let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
-    let rt = Arc::new(AtroposRuntime::new(AtroposConfig::default(), clock));
+    let cfg = AtroposConfig {
+        ingest_mode: mode,
+        ..AtroposConfig::default()
+    };
+    Arc::new(AtroposRuntime::new(cfg, clock))
+}
+
+fn runtime() -> (Arc<AtroposRuntime>, atropos::TaskId, atropos::ResourceId) {
+    let rt = runtime_with(IngestMode::Direct);
     let rid = rt.register_resource("bench", ResourceType::Memory);
     let task = rt.create_cancel(Some(1));
     rt.unit_started(task);
@@ -56,6 +65,122 @@ fn bench_tracing(c: &mut Criterion) {
     g.finish();
 }
 
+/// Full ingest cycle under producer contention: `threads` producers each
+/// emit `events` tracing calls on their own task. In `Direct` mode every
+/// call takes the runtime's global lock and lands in the accounting
+/// inline; in `Sharded` mode calls append to stripe-local buffers and the
+/// periodic replay (here the mid-window flush whenever a stripe fills) is
+/// paid inside the measured interval, so the comparison includes the
+/// drain work, not just the cheap append.
+fn contended_emit(rt: &Arc<AtroposRuntime>, threads: u64, events: u64) {
+    std::thread::scope(|s| {
+        for p in 0..threads {
+            let rt = rt.clone();
+            s.spawn(move || {
+                let task = rt.create_cancel(Some(p));
+                let rid = atropos::ResourceId(0);
+                for i in 0..events {
+                    match i % 3 {
+                        0 => rt.get_resource(task, rid, 1),
+                        1 => rt.free_resource(task, rid, 1),
+                        _ => rt.slow_by_resource(task, rid, 1),
+                    }
+                }
+                rt.free_cancel(task);
+            });
+        }
+    });
+}
+
+fn bench_contended_ingest(c: &mut Criterion) {
+    const EVENTS: u64 = 4_096;
+    let mut g = c.benchmark_group("contended_ingest");
+    g.sample_size(30);
+    for (mode, mode_name) in [
+        (IngestMode::Direct, "direct"),
+        (IngestMode::Sharded, "sharded"),
+    ] {
+        for (ts, ts_name) in [
+            (TimestampMode::Sampled, "sampled"),
+            (TimestampMode::Precise, "precise"),
+        ] {
+            for threads in [1u64, 4, 8] {
+                let rt = runtime_with(mode);
+                rt.register_resource("bench", ResourceType::Memory);
+                rt.set_timestamp_mode(ts);
+                g.throughput(Throughput::Elements(threads * EVENTS));
+                g.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{mode_name}/{ts_name}"),
+                        format!("{threads}threads"),
+                    ),
+                    &threads,
+                    |b, &threads| b.iter(|| contended_emit(&rt, threads, EVENTS)),
+                );
+                // Settle any buffered remainder so runs stay independent.
+                rt.stats();
+            }
+        }
+    }
+    g.finish();
+}
+
+/// The isolated hot-path cost the tentpole optimizes: a stripe-local
+/// bounded append (`ShardedIngest::push`) vs the direct path's
+/// global-lock-plus-inline-accounting, measured per event without any
+/// drain in the loop.
+fn bench_emit_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest_emit");
+    let ing = ShardedIngest::new(8, 1 << 14);
+    let task = atropos::TaskId(1);
+    let rid = atropos::ResourceId(0);
+    g.bench_function("sharded_push", |b| {
+        b.iter(|| {
+            match ing.push(
+                black_box(task),
+                black_box(rid),
+                1,
+                atropos::trace::EventKind::Get,
+                0,
+            ) {
+                PushOutcome::Buffered => {}
+                PushOutcome::Full(_) => {
+                    // Keep the buffer from saturating without an Inner to
+                    // drain into: empty the stripes and continue.
+                    let _ = ing.drain();
+                }
+            }
+        })
+    });
+    let (rt, task, rid) = runtime();
+    g.bench_function("direct_apply", |b| {
+        b.iter(|| rt.get_resource(black_box(task), black_box(rid), 1))
+    });
+    g.finish();
+}
+
+/// Cost of the tick-side replay: emit a batch into the stripes, then
+/// drain it through `stats()`. Per-event drain latency is this figure
+/// divided by the batch size, minus the push cost measured above.
+fn bench_tick_drain(c: &mut Criterion) {
+    const BATCH: u64 = 1_024;
+    let mut g = c.benchmark_group("tick_drain");
+    g.sample_size(50);
+    g.throughput(Throughput::Elements(BATCH));
+    let rt = runtime_with(IngestMode::Sharded);
+    let rid = rt.register_resource("bench", ResourceType::Memory);
+    let task = rt.create_cancel(Some(1));
+    g.bench_function("emit_and_drain_1024", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                rt.get_resource(task, rid, 1);
+            }
+            black_box(rt.stats().trace_events)
+        })
+    });
+    g.finish();
+}
+
 fn bench_timestamp_modes(c: &mut Criterion) {
     use atropos::trace::TimestampPolicy;
     use atropos::TimestampMode;
@@ -73,5 +198,12 @@ fn bench_timestamp_modes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tracing, bench_timestamp_modes);
+criterion_group!(
+    benches,
+    bench_tracing,
+    bench_contended_ingest,
+    bench_emit_path,
+    bench_tick_drain,
+    bench_timestamp_modes
+);
 criterion_main!(benches);

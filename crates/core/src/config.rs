@@ -16,6 +16,24 @@ pub enum PolicyKind {
     CurrentUsage,
 }
 
+/// How tracing calls reach the per-task accounting state (§3.2 hot path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IngestMode {
+    /// Every tracing call takes the runtime's global lock and updates the
+    /// accounting state inline. Simple; the baseline the sharded path is
+    /// benchmarked and equivalence-tested against.
+    Direct,
+    /// Tracing calls append a compact record to one of
+    /// [`AtroposConfig::ingest_stripes`] bounded, stripe-locked buffers;
+    /// the records are replayed into the accounting state at the next
+    /// drain point (`tick`, `stats`, `free_cancel`, `register_resource`),
+    /// stripe by stripe, preserving per-task emit order. Under the
+    /// single-threaded virtual clock this is bit-identical to `Direct`;
+    /// under concurrent producers it removes the global lock from the
+    /// request path.
+    Sharded,
+}
+
 /// Overload-detector parameters (§3.3).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DetectorConfig {
@@ -71,6 +89,16 @@ pub struct AtroposConfig {
     /// within one interval share a timestamp; under overload the runtime
     /// switches to precise per-event timestamps.
     pub sample_interval_ns: u64,
+    /// How tracing calls reach the accounting state (see [`IngestMode`]).
+    pub ingest_mode: IngestMode,
+    /// Number of ingest buffer stripes in [`IngestMode::Sharded`]
+    /// (rounded up to a power of two). More stripes reduce producer
+    /// contention; the drain replays them all.
+    pub ingest_stripes: usize,
+    /// Per-stripe record capacity in [`IngestMode::Sharded`]. A full
+    /// stripe triggers a mid-window flush, or sheds its oldest record if
+    /// the runtime state is busy.
+    pub ingest_stripe_capacity: usize,
     /// Number of consecutive overload-free windows after which canceled
     /// tasks are re-executed ("sustained resource availability", §4).
     pub reexec_quiet_windows: u32,
@@ -96,10 +124,13 @@ impl Default for AtroposConfig {
         Self {
             detector: DetectorConfig::default(),
             policy: PolicyKind::MultiObjective,
-            cancel_min_interval_ns: 50_000_000,     // 50 ms
-            sample_interval_ns: 1_000_000,          // 1 ms
-            reexec_quiet_windows: 100,              // 1 s of sustained availability
-            reexec_deadline_ns: 800_000_000,        // 0.8 s, then the task is dropped
+            cancel_min_interval_ns: 50_000_000, // 50 ms
+            sample_interval_ns: 1_000_000,      // 1 ms
+            ingest_mode: IngestMode::Sharded,
+            ingest_stripes: 8,
+            ingest_stripe_capacity: 4096,
+            reexec_quiet_windows: 100, // 1 s of sustained availability
+            reexec_deadline_ns: 800_000_000, // 0.8 s, then the task is dropped
             background_max_wait_ns: 10_000_000_000, // 10 s
             allow_thread_level_cancel: false,
             progress_floor: 0.02,
@@ -133,6 +164,12 @@ impl AtroposConfig {
         }
         if !(0.0..=100.0).contains(&self.detector.latency_quantile) {
             return Err("detector.latency_quantile must be in [0, 100]".into());
+        }
+        if !(1..=1024).contains(&self.ingest_stripes) {
+            return Err("ingest_stripes must be in 1..=1024".into());
+        }
+        if self.ingest_stripe_capacity < 8 {
+            return Err("ingest_stripe_capacity must be at least 8".into());
         }
         if self.progress_floor <= 0.0 || self.progress_floor >= 1.0 {
             return Err("progress_floor must be in (0, 1)".into());
@@ -174,6 +211,25 @@ mod tests {
         let mut c = AtroposConfig::default();
         c.detector.history = 1;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_ingest_shape() {
+        let c = AtroposConfig {
+            ingest_stripes: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().unwrap_err().contains("ingest_stripes"));
+        let c = AtroposConfig {
+            ingest_stripes: 4096,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AtroposConfig {
+            ingest_stripe_capacity: 4,
+            ..Default::default()
+        };
+        assert!(c.validate().unwrap_err().contains("stripe_capacity"));
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub mod task;
 pub mod trace;
 
 pub use cancel::CancelDecision;
-pub use config::{AtroposConfig, DetectorConfig, PolicyKind};
+pub use config::{AtroposConfig, DetectorConfig, IngestMode, PolicyKind};
 pub use detect::OverloadClass;
 pub use estimator::{EstimatorSnapshot, ResourceSnapshot, TaskGainSnapshot};
 pub use ids::{ResourceId, ResourceType, TaskId, TaskKey};

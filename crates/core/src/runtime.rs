@@ -14,14 +14,14 @@ use atropos_sim::Clock;
 use parking_lot::Mutex;
 
 use crate::cancel::{CancelDecision, CancelManager, CancelStats};
-use crate::config::AtroposConfig;
+use crate::config::{AtroposConfig, IngestMode};
 use crate::detect::{Detector, OverloadSignal};
 use crate::estimator::{estimate, EstimatorSnapshot};
 use crate::ids::{ResourceId, ResourceType, TaskId, TaskKey};
 use crate::policy::CancellationPolicy;
 use crate::resource::ResourceRegistry;
 use crate::task::{TaskRecord, TaskState};
-use crate::trace::{TimestampMode, TimestampPolicy};
+use crate::trace::{self, EventKind, PushOutcome, ShardedIngest, TimestampMode, TimestampPolicy};
 
 /// Auto-generated keys live in the top half of the key space so they never
 /// collide with developer-provided keys (which are expected to be small
@@ -48,13 +48,16 @@ pub enum TickOutcome {
 }
 
 /// Aggregate runtime counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RuntimeStats {
     /// Tracing API calls processed.
     pub trace_events: u64,
     /// Tracing API calls that referenced an unknown task/resource and were
-    /// ignored (e.g. events racing with `free_cancel`).
+    /// ignored (e.g. events racing with `free_cancel`), plus sharded-mode
+    /// records shed when a stripe overflowed with the runtime state busy.
     pub ignored_events: u64,
+    /// Sharded-mode drains triggered by a full stripe between ticks.
+    pub mid_window_flushes: u64,
     /// `tick` invocations.
     pub ticks: u64,
     /// Candidate overloads reported by the detector.
@@ -86,12 +89,90 @@ struct Inner {
     last_estimate: Option<EstimatorSnapshot>,
     regular_overload_hook: Option<Box<dyn Fn() + Send + Sync>>,
     stats: RuntimeStats,
+    /// Reusable drain buffer, swapped stripe by stripe so replay never
+    /// allocates on the steady state.
+    scratch: Vec<trace::TraceRecord>,
+}
+
+impl Inner {
+    /// Applies one tracing call to the accounting state. Shared by the
+    /// direct ingest path (at emit time) and the sharded drain (at
+    /// replay time); keeping them on one code path is what makes the two
+    /// modes behave identically.
+    fn apply_trace(
+        &mut self,
+        task: TaskId,
+        rid: ResourceId,
+        amount: u64,
+        kind: EventKind,
+        now: u64,
+    ) {
+        let stamp = self.ts.stamp(now);
+        self.apply_stamped(task, rid, amount, kind, stamp);
+    }
+
+    /// The post-timestamp half of [`Inner::apply_trace`].
+    fn apply_stamped(
+        &mut self,
+        task: TaskId,
+        rid: ResourceId,
+        amount: u64,
+        kind: EventKind,
+        stamp: u64,
+    ) {
+        if self.resources.get(rid).is_none() {
+            self.stats.ignored_events += 1;
+            return;
+        }
+        let Some(t) = self.tasks.get_mut(&task) else {
+            self.stats.ignored_events += 1;
+            return;
+        };
+        let u = &mut t.usage[rid.index()];
+        match kind {
+            EventKind::Get => u.on_get(stamp, amount),
+            EventKind::Free => u.on_free(stamp, amount),
+            EventKind::SlowBy => u.on_slow(stamp, amount),
+        }
+        self.stats.trace_events += 1;
+    }
+
+    /// Replays every buffered tracing call and folds overflow-shed
+    /// records into the ignored count.
+    ///
+    /// Stripes are replayed one after another with no global merge or
+    /// sort. That is still equivalent to emit-order replay: a task maps
+    /// to one stripe for its whole life, so each task's events apply in
+    /// emit order; the accounting state is task-local and the stats
+    /// counters commute; the resource registry and task map cannot change
+    /// mid-drain (both are mutated only under the `inner` lock we hold);
+    /// and [`trace::BatchStamper`] assigns every record the same stamp a
+    /// sequential emit-order replay would (closed form over the
+    /// time-monotone emission sequence).
+    fn drain_ingest(&mut self, ingest: &ShardedIngest) {
+        self.stats.ignored_events += ingest.take_overflow_dropped();
+        let mut stamper = self.ts.begin_batch();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for i in 0..ingest.stripe_count() {
+            ingest.swap_stripe(i, &mut scratch);
+            for rec in scratch.drain(..) {
+                let stamp = stamper.stamp(rec.now);
+                self.apply_stamped(rec.task, rec.rid, rec.amount, rec.kind, stamp);
+            }
+        }
+        self.scratch = scratch;
+        self.ts.commit_batch(stamper);
+    }
 }
 
 /// The Atropos runtime. See the [crate-level docs](crate) for an overview
 /// and a usage example.
 pub struct AtroposRuntime {
     clock: Arc<dyn Clock>,
+    /// Present iff [`AtroposConfig::ingest_mode`] is
+    /// [`IngestMode::Sharded`]: the stripe buffers tracing calls append to
+    /// without touching `inner`.
+    ingest: Option<ShardedIngest>,
     inner: Mutex<Inner>,
 }
 
@@ -122,6 +203,13 @@ impl AtroposRuntime {
     pub fn try_new(cfg: AtroposConfig, clock: Arc<dyn Clock>) -> Result<Self, String> {
         cfg.validate()?;
         let origin = clock.now_ns();
+        let ingest = match cfg.ingest_mode {
+            IngestMode::Direct => None,
+            IngestMode::Sharded => Some(ShardedIngest::new(
+                cfg.ingest_stripes,
+                cfg.ingest_stripe_capacity,
+            )),
+        };
         let inner = Inner {
             detector: Detector::new(cfg.detector.clone(), origin),
             policy: cfg.policy.build(),
@@ -134,19 +222,37 @@ impl AtroposRuntime {
             last_estimate: None,
             regular_overload_hook: None,
             stats: RuntimeStats::default(),
+            scratch: Vec::new(),
             cfg,
         };
         Ok(Self {
             clock,
+            ingest,
             inner: Mutex::new(inner),
         })
+    }
+
+    /// Locks the runtime state with every buffered tracing call replayed.
+    ///
+    /// Every method that reads or mutates state the trace events feed
+    /// (task usage, the resource registry, event counters) must go through
+    /// this, so sharded ingestion observes exactly the direct-mode state
+    /// at each drain point.
+    fn lock_drained(&self) -> parking_lot::MutexGuard<'_, Inner> {
+        let mut inner = self.inner.lock();
+        if let Some(ingest) = &self.ingest {
+            inner.drain_ingest(ingest);
+        }
+        inner
     }
 
     // ---- integration API (Figure 6a) ----
 
     /// Registers an application resource for tracking.
     pub fn register_resource(&self, name: impl Into<String>, rtype: ResourceType) -> ResourceId {
-        let mut inner = self.inner.lock();
+        // Drain first: events emitted before this call must resolve
+        // against the registry as it was when they were emitted.
+        let mut inner = self.lock_drained();
         let id = inner.resources.register(name, rtype);
         let n = inner.resources.len();
         for t in inner.tasks.values_mut() {
@@ -185,7 +291,9 @@ impl AtroposRuntime {
     /// Ends a cancellable task's scope (`freeCancel`). Unknown ids are
     /// ignored.
     pub fn free_cancel(&self, task: TaskId) {
-        let mut inner = self.inner.lock();
+        // Drain first so the task's buffered events land in its usage
+        // accounting (not in `ignored_events`) before the record goes.
+        let mut inner = self.lock_drained();
         if let Some(rec) = inner.tasks.remove(&task) {
             inner.cancel.note_finished(rec.key);
         }
@@ -263,42 +371,47 @@ impl AtroposRuntime {
 
     // ---- tracing API (Figure 6b) ----
 
-    fn trace(&self, task: TaskId, rid: ResourceId, amount: u64, kind: u8) {
+    fn trace(&self, task: TaskId, rid: ResourceId, amount: u64, kind: EventKind) {
         let now = self.clock.now_ns();
-        let mut inner = self.inner.lock();
-        let stamp = inner.ts.stamp(now);
-        if inner.resources.get(rid).is_none() {
-            inner.stats.ignored_events += 1;
-            return;
-        }
-        let Some(t) = inner.tasks.get_mut(&task) else {
-            inner.stats.ignored_events += 1;
+        let Some(ingest) = &self.ingest else {
+            // Direct mode: global lock plus inline accounting per event.
+            self.inner.lock().apply_trace(task, rid, amount, kind, now);
             return;
         };
-        let u = &mut t.usage[rid.index()];
-        match kind {
-            0 => u.on_get(stamp, amount),
-            1 => u.on_free(stamp, amount),
-            _ => u.on_slow(stamp, amount),
+        // Sharded mode: the hot path is a stripe-local bounded append.
+        if let PushOutcome::Full(rec) = ingest.push(task, rid, amount, kind, now) {
+            // The stripe filled mid-window. Flush every stripe if the
+            // runtime state is free (it always is under the
+            // single-threaded simulator, keeping replay lossless there);
+            // if another thread holds it — e.g. a concurrent tick, which
+            // is itself draining — shed the stripe's oldest record
+            // rather than block the request path.
+            match self.inner.try_lock() {
+                Some(mut inner) => {
+                    inner.stats.mid_window_flushes += 1;
+                    inner.drain_ingest(ingest);
+                    ingest.force_push(rec);
+                }
+                None => ingest.force_push(rec),
+            }
         }
-        inner.stats.trace_events += 1;
     }
 
     /// Records that `task` acquired `amount` units of resource `rid`
     /// (`getResource`).
     pub fn get_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
-        self.trace(task, rid, amount, 0);
+        self.trace(task, rid, amount, EventKind::Get);
     }
 
     /// Records that `task` released `amount` units (`freeResource`).
     pub fn free_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
-        self.trace(task, rid, amount, 1);
+        self.trace(task, rid, amount, EventKind::Free);
     }
 
     /// Records that `task` is delayed by the resource (`slowByResource`):
     /// it began waiting for a lock/queue slot or caused `amount` evictions.
     pub fn slow_by_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
-        self.trace(task, rid, amount, 2);
+        self.trace(task, rid, amount, EventKind::SlowBy);
     }
 
     /// Reports GetNext progress for a task: `done` of `total` work units.
@@ -343,7 +456,11 @@ impl AtroposRuntime {
     /// Call this periodically (the detector window is the natural period).
     pub fn tick(&self) -> TickOutcome {
         let now = self.clock.now_ns();
-        let mut inner = self.inner.lock();
+        // The tick is the principal drain point: buffered events are
+        // replayed before the windows roll, so detection, estimation and
+        // policy all see the same accounting state direct ingestion
+        // would have produced.
+        let mut inner = self.lock_drained();
         inner.stats.ticks += 1;
         // Close the accounting window on every task.
         for t in inner.tasks.values_mut() {
@@ -433,12 +550,38 @@ impl AtroposRuntime {
         self.inner.lock().last_estimate.clone()
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters. Drains any buffered trace events first so the
+    /// event counts are exact at the time of the call.
     pub fn stats(&self) -> RuntimeStats {
-        let inner = self.inner.lock();
+        let inner = self.lock_drained();
         let mut s = inner.stats;
         s.cancel = inner.cancel.stats();
         s
+    }
+
+    /// How tracing calls are ingested (fixed at construction).
+    pub fn ingest_mode(&self) -> IngestMode {
+        if self.ingest.is_some() {
+            IngestMode::Sharded
+        } else {
+            IngestMode::Direct
+        }
+    }
+
+    /// Number of trace events currently buffered and not yet replayed
+    /// (always 0 in [`IngestMode::Direct`]).
+    pub fn ingest_pending(&self) -> usize {
+        self.ingest.as_ref().map_or(0, |i| i.pending())
+    }
+
+    /// Forces the timestamp mode, overriding the detector-driven switch
+    /// until the next `tick`. Intended for benchmarks and overhead
+    /// experiments that need to pin the sampled or precise path; normal
+    /// integrations never call this. Buffered events emitted before this
+    /// call are drained first so they keep the mode they were emitted
+    /// under.
+    pub fn set_timestamp_mode(&self, mode: TimestampMode) {
+        self.lock_drained().ts.set_mode(mode);
     }
 
     /// Number of live (registered) tasks.
@@ -741,5 +884,139 @@ mod tests {
         let mut cfg = AtroposConfig::default();
         cfg.detector.window_ns = 0;
         assert!(AtroposRuntime::try_new(cfg, clock).is_err());
+    }
+
+    /// Drives a deterministic mixed workload — a lock hog, waiting
+    /// victims, healthy churn, events on freed tasks and unregistered
+    /// resources, an overload window with a cancellation — and returns
+    /// every observable: per-tick outcomes and final stats.
+    fn drive_scripted(mut cfg: AtroposConfig) -> (Vec<TickOutcome>, RuntimeStats) {
+        cfg.detector.slo_latency_ns = 10 * MS;
+        cfg.detector.window_ns = 100 * MS;
+        cfg.cancel_min_interval_ns = 0;
+        let clock = Arc::new(VirtualClock::new());
+        let rt = AtroposRuntime::new(cfg, clock.clone());
+        rt.set_cancel_action(|_| {});
+        let lock = rt.register_resource("lock", ResourceType::Lock);
+        let pool = rt.register_resource("pool", ResourceType::Memory);
+
+        let hog = rt.create_cancel(Some(99));
+        rt.unit_started(hog);
+        rt.report_progress(hog, 10, 100);
+        rt.get_resource(hog, lock, 1);
+
+        let mut victims = Vec::new();
+        for i in 0..10 {
+            let v = rt.create_cancel(Some(i));
+            rt.unit_started(v);
+            rt.slow_by_resource(v, lock, 1);
+            victims.push(v);
+        }
+
+        // A task freed with events still buffered, then posthumous events.
+        let ghost = rt.create_cancel(Some(55));
+        rt.get_resource(ghost, pool, 7);
+        rt.free_cancel(ghost);
+        rt.get_resource(ghost, pool, 7); // ignored: task gone
+        rt.get_resource(hog, ResourceId(9), 1); // ignored: unknown resource
+
+        let mut outcomes = Vec::new();
+        // Window 0: healthy completions with steady pool traffic.
+        for step in 1..=20u64 {
+            clock.advance_to(SimTime::from_nanos(step * 5 * MS / 2));
+            let t = rt.create_cancel(None);
+            rt.unit_started(t);
+            rt.get_resource(t, pool, step % 5 + 1);
+            rt.free_resource(t, pool, step % 5 + 1);
+            rt.unit_finished(t);
+            rt.free_cancel(t);
+        }
+        clock.advance_to(SimTime::from_millis(100));
+        outcomes.push(rt.tick());
+
+        // Window 1: a stall — two victims finish far over the SLO.
+        for step in 1..=10u64 {
+            clock.advance_to(SimTime::from_nanos(100 * MS + step * 9 * MS));
+            let t = rt.create_cancel(None);
+            rt.unit_started(t);
+            rt.slow_by_resource(t, lock, 1);
+            rt.unit_finished(t);
+            rt.free_cancel(t);
+        }
+        clock.advance_to(SimTime::from_millis(195));
+        rt.unit_finished(victims[0]);
+        rt.unit_finished(victims[1]);
+        clock.advance_to(SimTime::from_millis(200));
+        outcomes.push(rt.tick());
+        clock.advance_to(SimTime::from_millis(300));
+        outcomes.push(rt.tick());
+
+        (outcomes, rt.stats())
+    }
+
+    /// The tentpole's correctness contract: under the single-threaded
+    /// virtual clock, sharded batch-drained ingestion is observationally
+    /// identical to direct per-event ingestion — same tick outcomes, same
+    /// event accounting, same cancellations.
+    #[test]
+    fn sharded_ingest_matches_direct_ingest() {
+        let direct = drive_scripted(AtroposConfig {
+            ingest_mode: IngestMode::Direct,
+            ..AtroposConfig::default()
+        });
+        let sharded = drive_scripted(AtroposConfig {
+            ingest_mode: IngestMode::Sharded,
+            ..AtroposConfig::default()
+        });
+        assert_eq!(direct.0, sharded.0, "tick outcomes diverged");
+        assert_eq!(direct.1, sharded.1, "stats diverged");
+        assert!(direct.1.trace_events > 0);
+        assert_eq!(direct.1.ignored_events, 2);
+        assert_eq!(direct.1.cancel.issued, 1);
+    }
+
+    /// With stripes far smaller than the event volume, mid-window flushes
+    /// kick in; single-threaded they are lossless, so everything except
+    /// the flush counter still matches direct mode exactly.
+    #[test]
+    fn tiny_stripes_flush_mid_window_without_divergence() {
+        let direct = drive_scripted(AtroposConfig {
+            ingest_mode: IngestMode::Direct,
+            ..AtroposConfig::default()
+        });
+        let sharded = drive_scripted(AtroposConfig {
+            ingest_mode: IngestMode::Sharded,
+            ingest_stripes: 1,
+            ingest_stripe_capacity: 8,
+            ..AtroposConfig::default()
+        });
+        assert_eq!(direct.0, sharded.0, "tick outcomes diverged");
+        assert!(sharded.1.mid_window_flushes > 0);
+        let mut normalized = sharded.1;
+        normalized.mid_window_flushes = direct.1.mid_window_flushes;
+        assert_eq!(direct.1, normalized, "stats diverged beyond flush count");
+    }
+
+    #[test]
+    fn ingest_pending_drains_on_stats() {
+        let (_c, rt) = setup(10);
+        assert_eq!(rt.ingest_mode(), IngestMode::Sharded);
+        let pool = rt.register_resource("pool", ResourceType::Memory);
+        let t = rt.create_cancel(None);
+        rt.get_resource(t, pool, 1);
+        rt.get_resource(t, pool, 2);
+        assert_eq!(rt.ingest_pending(), 2);
+        let s = rt.stats();
+        assert_eq!(s.trace_events, 2);
+        assert_eq!(rt.ingest_pending(), 0);
+    }
+
+    #[test]
+    fn forced_timestamp_mode_sticks_until_tick() {
+        let (_c, rt) = setup(10);
+        rt.set_timestamp_mode(TimestampMode::Precise);
+        assert_eq!(rt.timestamp_mode(), TimestampMode::Precise);
+        rt.tick(); // a calm tick returns the detector-driven mode
+        assert_eq!(rt.timestamp_mode(), TimestampMode::Sampled);
     }
 }

@@ -21,8 +21,7 @@ fn config_roundtrips_through_json() {
 fn ids_roundtrip_through_json() {
     let ids = (TaskId(7), TaskKey(9), ResourceId(3), ResourceType::Memory);
     let json = serde_json::to_string(&ids).unwrap();
-    let back: (TaskId, TaskKey, ResourceId, ResourceType) =
-        serde_json::from_str(&json).unwrap();
+    let back: (TaskId, TaskKey, ResourceId, ResourceType) = serde_json::from_str(&json).unwrap();
     assert_eq!(back, ids);
 }
 

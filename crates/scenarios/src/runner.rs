@@ -361,11 +361,21 @@ mod tests {
         let none = run_with(case, ControllerKind::None, &rc, &baseline);
         let atropos = run_with(case, ControllerKind::Atropos, &rc, &baseline);
         let protego = run_with(case, ControllerKind::Protego, &rc, &baseline);
+        // In the short quick-mode window, the uncontrolled convoy's damage
+        // lands on whichever axis the scan straddles: completions can be
+        // suppressed (throughput collapse) or merely delayed into a
+        // catch-up burst (p99 blow-up with intact throughput). Atropos
+        // must strictly beat the uncontrolled run on the damaged axis
+        // without giving up the other.
+        let tput_gain = atropos.normalized.throughput - none.normalized.throughput;
+        let p99_ratio = none.normalized.p99 / atropos.normalized.p99.max(1e-9);
         assert!(
-            atropos.normalized.throughput > none.normalized.throughput + 0.05,
-            "atropos {:.2} vs none {:.2}",
+            tput_gain > 0.05 || (tput_gain > -0.02 && p99_ratio > 5.0),
+            "atropos tput {:.2} vs none {:.2}, p99 {:.1}x vs {:.1}x",
             atropos.normalized.throughput,
-            none.normalized.throughput
+            none.normalized.throughput,
+            atropos.normalized.p99,
+            none.normalized.p99
         );
         assert!(
             atropos.normalized.throughput > 0.85,
@@ -379,5 +389,32 @@ mod tests {
             protego.normalized.drop_rate,
             atropos.normalized.drop_rate
         );
+    }
+
+    /// Scenario-level determinism contract for the sharded ingest path:
+    /// a full case replay under sharded, batch-drained tracing produces
+    /// exactly the numbers the direct global-lock path produces, so every
+    /// experiment's pass/fail pattern is independent of the ingest mode.
+    #[test]
+    fn ingest_mode_does_not_change_case_results() {
+        let case = &all_cases()[0];
+        let rc = RunConfig::quick(7);
+        let baseline = calibrate(case, &rc);
+        let run_mode = |mode: atropos::IngestMode| {
+            let built = case.build(&rc.case_params(), true);
+            let mut cfg = AtroposConfig::default().with_slo_ns(baseline.slo_ns);
+            cfg.ingest_mode = mode;
+            SimServer::new_with(built.server, built.workload, |clock, groups| {
+                Box::new(AtroposController::new(cfg, clock, groups, true))
+            })
+            .run(rc.duration, rc.warmup)
+        };
+        let direct = run_mode(atropos::IngestMode::Direct);
+        let sharded = run_mode(atropos::IngestMode::Sharded);
+        assert_eq!(direct.completed, sharded.completed);
+        assert_eq!(direct.dropped, sharded.dropped);
+        assert_eq!(direct.canceled, sharded.canceled);
+        assert_eq!(direct.offered, sharded.offered);
+        assert_eq!(direct.latency.p99(), sharded.latency.p99());
     }
 }

@@ -25,10 +25,7 @@ fn every_case_is_classified_as_resource_overload_and_canceled() {
              (regular: {})",
             stats.regular_overloads
         );
-        assert!(
-            stats.cancel.issued > 0,
-            "{id}: no cancellation was issued"
-        );
+        assert!(stats.cancel.issued > 0, "{id}: no cancellation was issued");
         // The framework traced real usage for this case.
         assert!(
             stats.trace_events > 1_000,

@@ -38,7 +38,11 @@ fn injections_happen_after_the_disturb_time_and_before_the_end() {
             assert!(inj.at < params.duration, "{}: late injection", case.id);
         }
         for bg in &built.workload.background {
-            assert!(bg.start >= params.disturb_at, "{}: early background", case.id);
+            assert!(
+                bg.start >= params.disturb_at,
+                "{}: early background",
+                case.id
+            );
         }
     }
 }

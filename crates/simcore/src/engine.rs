@@ -57,7 +57,12 @@ pub struct EventQueue<E> {
     canceled: HashSet<u64>,
     next_seq: u64,
     popped: u64,
+    compactions: u64,
 }
+
+/// Compaction is considered only once this many tombstones accumulate, so
+/// small queues never pay the rebuild.
+const COMPACT_MIN_TOMBSTONES: usize = 64;
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
@@ -73,6 +78,7 @@ impl<E> EventQueue<E> {
             canceled: HashSet::new(),
             next_seq: 0,
             popped: 0,
+            compactions: 0,
         }
     }
 
@@ -88,12 +94,47 @@ impl<E> EventQueue<E> {
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event had not yet fired or been canceled.
-    /// Cancellation is lazy: the entry is dropped when it reaches the head.
+    /// Cancellation is lazy: the entry is dropped when it reaches the head
+    /// or when enough tombstones accumulate to trigger a compaction.
     pub fn cancel(&mut self, token: EventToken) -> bool {
         if token.0 >= self.next_seq {
             return false;
         }
-        self.canceled.insert(token.0)
+        let fresh = self.canceled.insert(token.0);
+        self.maybe_compact();
+        fresh
+    }
+
+    /// Rebuilds the heap without canceled entries once more than half of
+    /// it is dead.
+    ///
+    /// Cancel-heavy workloads (request cancellation, timer churn)
+    /// otherwise grow the heap and the tombstone set without bound: a
+    /// canceled entry is only reclaimed when it surfaces at the head, and
+    /// a tombstone for an *already-popped* event — `cancel` called after
+    /// the event fired — never matches anything and would live forever.
+    /// The rebuild drops both: live entries are re-heapified in O(n), and
+    /// any tombstone left over after the sweep is stale by construction
+    /// and discarded.
+    fn maybe_compact(&mut self) {
+        if self.canceled.len() < COMPACT_MIN_TOMBSTONES
+            || self.canceled.len() * 2 <= self.heap.len()
+        {
+            return;
+        }
+        let mut live = Vec::with_capacity(self.heap.len());
+        for Reverse(e) in std::mem::take(&mut self.heap).into_vec() {
+            if self.canceled.remove(&e.seq) {
+                continue;
+            }
+            live.push(Reverse(e));
+        }
+        // Anything still tombstoned matched no heap entry: the event
+        // already fired. Drop the stale markers and the set's capacity.
+        self.canceled.clear();
+        self.canceled.shrink_to_fit();
+        self.heap = BinaryHeap::from(live);
+        self.compactions += 1;
     }
 
     /// Removes and returns the earliest live event.
@@ -131,6 +172,22 @@ impl<E> EventQueue<E> {
     /// and benches).
     pub fn popped(&self) -> u64 {
         self.popped
+    }
+
+    /// Number of scheduled-but-unfired entries, including canceled ones
+    /// not yet reclaimed.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Number of pending cancel tombstones.
+    pub fn tombstones(&self) -> usize {
+        self.canceled.len()
+    }
+
+    /// Number of tombstone compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 }
 
@@ -208,6 +265,95 @@ mod tests {
         q.cancel(a);
         q.pop();
         assert_eq!(q.popped(), 1);
+    }
+
+    #[test]
+    fn compaction_reclaims_majority_dead_heap() {
+        let mut q = EventQueue::new();
+        let tokens: Vec<_> = (0..200).map(|i| q.schedule(t(i), i)).collect();
+        // Cancel 150 of 200. The first compaction fires once tombstones
+        // pass both the minimum count and half the heap (at 101 here),
+        // sweeping every dead entry seen so far.
+        for tok in &tokens[..150] {
+            assert!(q.cancel(*tok));
+        }
+        assert!(q.compactions() > 0);
+        assert_eq!(q.heap_len(), 99, "first sweep should leave 99 live");
+        assert!(q.tombstones() < COMPACT_MIN_TOMBSTONES);
+        // The 50 survivors pop in order.
+        for i in 150..200 {
+            assert_eq!(q.pop(), Some((t(i), i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn stale_tombstones_for_fired_events_are_dropped() {
+        let mut q = EventQueue::new();
+        let fired: Vec<_> = (0..100).map(|i| q.schedule(t(i), i)).collect();
+        for _ in 0..100 {
+            q.pop();
+        }
+        // Cancel events that already fired, staying one short of the
+        // compaction threshold: the markers match nothing and linger.
+        for tok in &fired[..COMPACT_MIN_TOMBSTONES - 1] {
+            q.cancel(*tok);
+        }
+        assert_eq!(q.tombstones(), COMPACT_MIN_TOMBSTONES - 1);
+        let live: Vec<_> = (100..110).map(|i| q.schedule(t(i), i)).collect();
+        // The threshold-crossing cancel sweeps: every stale marker is
+        // discarded and the live entries are untouched.
+        q.cancel(fired[COMPACT_MIN_TOMBSTONES - 1]);
+        assert_eq!(q.compactions(), 1);
+        assert_eq!(q.tombstones(), 0, "stale tombstones not reclaimed");
+        assert_eq!(q.heap_len(), live.len());
+        assert_eq!(q.pop(), Some((t(100), 100)));
+    }
+
+    #[test]
+    fn small_queues_never_compact() {
+        let mut q = EventQueue::new();
+        let toks: Vec<_> = (0..40).map(|i| q.schedule(t(i), i)).collect();
+        for tok in &toks {
+            q.cancel(*tok);
+        }
+        // All 40 canceled (100% dead) but below the minimum tombstone
+        // count: reclamation stays lazy.
+        assert_eq!(q.compactions(), 0);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn heavy_churn_keeps_memory_bounded() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        for round in 0..100u64 {
+            let toks: Vec<_> = (0..100)
+                .map(|i| q.schedule(t(round * 100 + i), round * 100 + i))
+                .collect();
+            // Cancel 90%, pop a few, keep the rest pending.
+            for tok in &toks[..90] {
+                q.cancel(*tok);
+            }
+            for _ in 0..5 {
+                q.pop();
+            }
+            keep.push(toks[95]);
+        }
+        // 10k scheduled, 9k canceled: without compaction the heap would
+        // hold thousands of dead entries.
+        assert!(
+            q.heap_len() < 2_000,
+            "heap holds {} entries after churn",
+            q.heap_len()
+        );
+        assert!(q.compactions() > 0);
+        // The queue still orders and serves the survivors correctly.
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            assert!(at >= last);
+            last = at;
+        }
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Minimal offline replacement for the `proptest` API surface this
+//! workspace uses.
+//!
+//! Differences from upstream proptest, deliberately accepted:
+//!
+//! - no shrinking: a failing case panics with the sampled inputs'
+//!   assertion message but is not minimized;
+//! - sampling is driven by a per-test deterministic RNG (seeded from the
+//!   test's name), so failures reproduce exactly across runs and
+//!   machines — there is no persistence file;
+//! - a fixed case count ([`CASES`]) instead of a runtime config.
+//!
+//! The surface — `Strategy`/`prop_map`/`boxed`, ranges, tuples, `Just`,
+//! `any`, `prop::collection::vec`, `prop_oneof!`, `proptest!`,
+//! `prop_assert!`/`prop_assert_eq!` — matches what the workspace's
+//! property tests import.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of sampled cases per property.
+pub const CASES: usize = 64;
+
+/// Deterministic RNG driving the sampling of every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds a generator from a test's name so each property gets a
+    /// distinct but reproducible stream.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, folded into a fixed offset basis.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+}
+
+/// A generator of values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy (result of [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+/// Strategy over the full value space of `T` (see [`Arbitrary`]).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy combinators addressed as `prop::...` by convention.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from a range.
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = if self.len.start + 1 >= self.len.end {
+                    self.len.start
+                } else {
+                    rng.inner.gen_range(self.len.clone())
+                };
+                (0..n).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+
+        /// Length specifications accepted by [`vec`]: an exact `usize`
+        /// or a `Range<usize>`.
+        pub trait IntoSizeRange {
+            /// Converts to a half-open length range.
+            fn into_size_range(self) -> std::ops::Range<usize>;
+        }
+
+        impl IntoSizeRange for usize {
+            fn into_size_range(self) -> std::ops::Range<usize> {
+                self..self + 1
+            }
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn into_size_range(self) -> std::ops::Range<usize> {
+                self
+            }
+        }
+
+        impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+            fn into_size_range(self) -> std::ops::Range<usize> {
+                *self.start()..self.end() + 1
+            }
+        }
+
+        /// Builds a vector strategy: elements from `elem`, length drawn
+        /// uniformly from `len`.
+        pub fn vec<S: Strategy>(elem: S, len: impl IntoSizeRange) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                len: len.into_size_range(),
+            }
+        }
+    }
+}
+
+/// Support types for the [`prop_oneof!`] macro.
+pub mod strategy {
+    use super::{BoxedStrategy, Strategy, TestRng};
+
+    /// Uniform choice among boxed strategies of one value type.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[idx].sample(rng)
+        }
+    }
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Property assertion (panics on failure; no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { ::std::assert!($($args)+) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { ::std::assert_eq!($($args)+) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { ... }`
+/// becomes a `#[test]` that samples [`CASES`] inputs deterministically.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::CASES {
+                    let _ = __case;
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Glob-import surface matching `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, f in 0.0f64..1.0, b in any::<bool>()) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_and_oneof_compose(
+            mut xs in prop::collection::vec(prop_oneof![1u64..5, Just(9u64),], 0..20),
+        ) {
+            xs.sort_unstable();
+            for x in xs {
+                prop_assert!((1..5).contains(&x) || x == 9, "got {x}");
+            }
+        }
+
+        #[test]
+        fn map_applies(v in (0u64..4, 0u64..4).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!(v < 34);
+            prop_assert_eq!(v, v);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Minimal offline replacement for the `serde` API surface this workspace
+//! uses.
+//!
+//! The build environment has no registry access, so instead of the real
+//! serde's visitor-based zero-copy machinery, this shim defines a single
+//! JSON-shaped [`Value`] tree and two one-method traits:
+//! [`Serialize::to_value`] and [`Deserialize::from_value`]. The companion
+//! `serde_derive` shim generates impls of these traits for plain structs
+//! and unit-variant enums (the only shapes in this workspace), and the
+//! `serde_json` shim renders/parses `Value` as JSON text.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree, shared by `serde` and `serde_json`.
+///
+/// Object keys keep insertion order (a `Vec` of pairs, not a map) so the
+/// rendered JSON is stable and human-diffable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An insertion-ordered key/value map.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer (covers `u128`).
+    U(u128),
+    /// Negative integer.
+    I(i128),
+    /// Floating point.
+    F(f64),
+}
+
+/// Error produced by [`Deserialize::from_value`] (and JSON parsing).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u128))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::U(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(concat!("integer out of range for ", stringify!($t)))),
+                    Value::Number(Number::I(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i128;
+                if n >= 0 {
+                    Value::Number(Number::U(n as u128))
+                } else {
+                    Value::Number(Number::I(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::U(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(concat!("integer out of range for ", stringify!($t)))),
+                    Value::Number(Number::I(n)) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::F(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::F(n)) => Ok(*n as $t),
+                    Value::Number(Number::U(n)) => Ok(*n as $t),
+                    Value::Number(Number::I(n)) => Ok(*n as $t),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), other))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+/// `&'static str` deserializes by leaking the owned string. This exists
+/// only so `#[derive(Deserialize)]` compiles on static-table row types
+/// (e.g. the survey's `AppEntry`); those tables are tiny and deserialized
+/// at most once per process, so the leak is bounded and intentional.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::msg(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let parsed: Result<Vec<T>, Error> = items.iter().map(T::from_value).collect();
+                parsed.map(|vec| vec.try_into().expect("length checked against N above"))
+            }
+            other => Err(Error::msg(format!("expected array of {N}, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expect = [$(stringify!($idx)),+].len();
+                        if items.len() != expect {
+                            return Err(Error::msg(format!(
+                                "expected {expect}-tuple, got array of {}", items.len())));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::msg(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Looks up a field in an object value (used by derived `Deserialize`).
+pub fn __get_field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, val)| val)
+            .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+        other => Err(Error::msg(format!("expected object, got {other:?}"))),
+    }
+}
+
+/// Indexes into an array value (used by derived `Deserialize` for tuple
+/// structs).
+pub fn __get_index(v: &Value, idx: usize) -> Result<&Value, Error> {
+    match v {
+        Value::Array(items) => items
+            .get(idx)
+            .ok_or_else(|| Error::msg(format!("missing tuple element {idx}"))),
+        other => Err(Error::msg(format!("expected array, got {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+        let v: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&v.to_value()).unwrap(), None);
+        assert_eq!(
+            Option::<u64>::from_value(&Some(7u64).to_value()).unwrap(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let big = u128::MAX - 5;
+        assert_eq!(u128::from_value(&big.to_value()).unwrap(), big);
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&xs.to_value()).unwrap(), xs);
+        let t = (1u64, "a".to_string(), true);
+        assert_eq!(<(u64, String, bool)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert!(matches!(__get_field(&v, "a"), Ok(Value::Bool(true))));
+        assert!(__get_field(&v, "b").is_err());
+    }
+}

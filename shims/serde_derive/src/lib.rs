@@ -1,0 +1,307 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the shimmed `serde`.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not
+//! available offline, so this macro parses the item's token stream by
+//! hand. It supports exactly the shapes present in this workspace:
+//!
+//! - structs with named fields,
+//! - tuple structs (newtype structs serialize transparently, wider
+//!   tuples as arrays, matching upstream serde_json's encoding),
+//! - unit structs,
+//! - enums whose variants are all unit variants (encoded as the variant
+//!   name string).
+//!
+//! Generics, data-carrying enum variants, and `#[serde(...)]` attributes
+//! are rejected with a compile-time panic so unsupported shapes fail
+//! loudly instead of silently misencoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named { name: String, fields: Vec<String> },
+    Tuple { name: String, arity: usize },
+    Unit { name: String },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` (shim version: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Named { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple { arity: 1, .. } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple { arity, .. } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit { .. } => "::serde::Value::Null".to_string(),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let name = shape_name(&shape);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (shim version: `fn from_value(&Value)`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::Named { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::__get_field(v, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!("::serde::Deserialize::from_value(::serde::__get_index(v, {i})?)?")
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+        }
+        Shape::Unit { name } => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {},\n\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                             ::std::format!(\"unknown variant `{{}}` for {name}\", other))),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"expected string for {name}, got {{:?}}\", other))),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    let name = shape_name(&shape);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}
+
+fn shape_name(shape: &Shape) -> &str {
+    match shape {
+        Shape::Named { name, .. }
+        | Shape::Tuple { name, .. }
+        | Shape::Unit { name }
+        | Shape::Enum { name, .. } => name,
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Tuple {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit { name },
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                variants: parse_unit_variants(g.stream(), &name),
+                name,
+            },
+            other => panic!("serde_derive shim: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past attributes (`#[...]`, including doc comments) and
+/// visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a named-struct body, skipping each field's
+/// type (commas nested in angle brackets don't terminate a field).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after `{field}`, got {other}"),
+        }
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Counts fields in a tuple-struct body (top-level commas, angle-bracket
+/// aware, tolerating a trailing comma).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Extracts variant names from an enum body, requiring every variant to
+/// be a unit variant.
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name in {enum_name}, got {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive shim: enum {enum_name} has data-carrying variant \
+                 `{variant}`; only unit variants are supported"
+            ),
+            Some(other) => {
+                panic!("serde_derive shim: unexpected token after {enum_name}::{variant}: {other}")
+            }
+        }
+        variants.push(variant);
+    }
+    variants
+}

@@ -1,0 +1,547 @@
+//! Minimal offline replacement for the `serde_json` API surface this
+//! workspace uses: `Value`, `json!`, `to_value`, `to_string`,
+//! `to_string_pretty`, `from_str`, and an `Error` convertible to
+//! `std::io::Error`.
+//!
+//! The value tree itself lives in the `serde` shim so derived impls and
+//! JSON rendering share one representation.
+
+pub use serde::{Number, Value};
+
+/// Error from JSON parsing or value conversion.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Lets `serde_json` results propagate through `std::io::Result` with
+/// `?`, as the upstream crate allows.
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// Infallible in this shim (the upstream failure modes — non-string map
+/// keys, unserializable floats — cannot be expressed through the shimmed
+/// data model).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to a pretty JSON string (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, indent, level, items.len(), '[', ']', |out, i| {
+            write_value(out, &items[i], indent, level + 1);
+        }),
+        Value::Object(pairs) => write_seq(out, indent, level, pairs.len(), '{', '}', |out, i| {
+            write_string(out, &pairs[i].0);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(out, &pairs[i].1, indent, level + 1);
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (level + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * level));
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::I(i) => out.push_str(&i.to_string()),
+        Number::F(f) => {
+            if f.is_finite() {
+                // `{}` on f64 round-trips (shortest representation) and
+                // renders integral floats without an exponent.
+                out.push_str(&f.to_string());
+            } else {
+                // Upstream serde_json also degrades non-finite to null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{08}'),
+                        b'f' => s.push('\u{0c}'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(Error::new("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                let n = 0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(n).ok_or_else(|| Error::new("bad surrogate"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| Error::new("bad \\u escape"))?
+                            };
+                            s.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("bad \\u escape"))?;
+        self.pos = end;
+        u32::from_str_radix(hex, 16).map_err(|_| Error::new("bad \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("bad number"))?;
+        if !is_float {
+            if let Some(rest) = text.strip_prefix('-') {
+                if let Ok(u) = rest.parse::<u128>() {
+                    if u == 0 {
+                        return Ok(Value::Number(Number::U(0)));
+                    }
+                    if let Ok(i) = text.parse::<i128>() {
+                        return Ok(Value::Number(Number::I(i)));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u128>() {
+                return Ok(Value::Number(Number::U(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F(f)))
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax, converting interpolated
+/// expressions through [`serde::Serialize`].
+#[macro_export]
+macro_rules! json {
+    // Internal object muncher: `@object <vec ident> <remaining tts>`.
+    (@object $obj:ident) => {};
+    (@object $obj:ident , $($rest:tt)*) => {
+        $crate::json!(@object $obj $($rest)*)
+    };
+    (@object $obj:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $($crate::json!(@object $obj $($rest)*);)?
+    };
+    (@object $obj:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $($crate::json!(@object $obj $($rest)*);)?
+    };
+    (@object $obj:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $($crate::json!(@object $obj $($rest)*);)?
+    };
+    (@object $obj:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $obj.push(($key.to_string(), $crate::to_value(&$value)));
+        $crate::json!(@object $obj $($rest)*);
+    };
+    (@object $obj:ident $key:literal : $value:expr) => {
+        $obj.push(($key.to_string(), $crate::to_value(&$value)));
+    };
+    // Internal array muncher: `@array <vec ident> <remaining tts>`.
+    (@array $vec:ident) => {};
+    (@array $vec:ident , $($rest:tt)*) => {
+        $crate::json!(@array $vec $($rest)*)
+    };
+    (@array $vec:ident null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $($crate::json!(@array $vec $($rest)*);)?
+    };
+    (@array $vec:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($inner)* }));
+        $($crate::json!(@array $vec $($rest)*);)?
+    };
+    (@array $vec:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+        $($crate::json!(@array $vec $($rest)*);)?
+    };
+    (@array $vec:ident $value:expr , $($rest:tt)*) => {
+        $vec.push($crate::to_value(&$value));
+        $crate::json!(@array $vec $($rest)*);
+    };
+    (@array $vec:ident $value:expr) => {
+        $vec.push($crate::to_value(&$value));
+    };
+    // Public entry points.
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut vec: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json!(@array vec $($tt)*);
+        $crate::Value::Array(vec)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut obj: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json!(@object obj $($tt)*);
+        $crate::Value::Object(obj)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_rendering() {
+        let v = json!({"k": 1, "s": "a\"b", "xs": [1, 2.5, null, true]});
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"k":1,"s":"a\"b","xs":[1,2.5,null,true]}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"k\": 1"), "pretty was: {pretty}");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let v = json!({
+            "nested": {"a": [1, -2, 3.5]},
+            "text": "line\nbreak",
+            "flag": false,
+        });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_escapes_and_unicode() {
+        let v: Value = from_str(r#""aA😀\t""#).unwrap();
+        assert_eq!(v, Value::String("aA\u{1F600}\t".to_string()));
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-42").unwrap(), -42);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<u128>(&u128::MAX.to_string()).unwrap(), u128::MAX);
+    }
+
+    #[test]
+    fn json_macro_interpolates_expressions() {
+        let rows: Vec<Value> = (0..2).map(|i| json!({"i": i})).collect();
+        let label = String::from("run");
+        let v = json!({"rows": rows, "label": label, "rate": 0.5_f64, "n": 3_u64});
+        let s = to_string(&v).unwrap();
+        assert_eq!(
+            s,
+            r#"{"rows":[{"i":0},{"i":1}],"label":"run","rate":0.5,"n":3}"#
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn error_converts_to_io_error() {
+        fn inner() -> std::io::Result<String> {
+            Ok(to_string_pretty(&json!({"k": 1}))?)
+        }
+        assert!(inner().unwrap().contains("\"k\": 1"));
+    }
+}

@@ -43,9 +43,7 @@ fn atropos_mitigates_every_case() {
         // fidelity tests in `crates/scenarios` cover them.
         let slow_building = id == "c2" || id == "c9" || id == "c15";
         assert!(
-            slow_building
-                || none.normalized.throughput < 0.97
-                || none.normalized.p99 > 3.0,
+            slow_building || none.normalized.throughput < 0.97 || none.normalized.p99 > 3.0,
             "{id}: uncontrolled run not degraded (tput {:.2}, p99 {:.1})",
             none.normalized.throughput,
             none.normalized.p99
