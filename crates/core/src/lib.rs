@@ -75,6 +75,7 @@ pub mod progress;
 pub mod resource;
 pub mod runtime;
 pub mod task;
+pub mod ticker;
 pub mod trace;
 
 pub use cancel::CancelDecision;
@@ -83,4 +84,5 @@ pub use detect::OverloadClass;
 pub use estimator::{EstimatorSnapshot, ResourceSnapshot, TaskGainSnapshot};
 pub use ids::{ResourceId, ResourceType, TaskId, TaskKey};
 pub use runtime::{AtroposRuntime, RuntimeStats};
+pub use ticker::Ticker;
 pub use trace::TimestampMode;

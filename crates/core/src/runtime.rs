@@ -449,6 +449,39 @@ impl AtroposRuntime {
         self.inner.lock().detector.record_drop(now);
     }
 
+    /// Requests cancellation of the task registered under `key`,
+    /// bypassing detection and policy but not the safeguards (rate
+    /// limiting, cancel-once fairness, re-execution bookkeeping).
+    ///
+    /// This is the operator entry point (MySQL's manual `KILL` analog):
+    /// a human or an external controller decides *what* to cancel, but
+    /// the cancellation still flows through the registered initiator so
+    /// the application observes one uniform signal path.
+    pub fn cancel_key(&self, key: TaskKey) -> CancelDecision {
+        let now = self.clock.now_ns();
+        let mut inner = self.inner.lock();
+        let task = inner
+            .tasks
+            .values()
+            .find(|t| t.key == key)
+            .map(|t| (t.id, t.background));
+        let background = match task {
+            Some((id, background)) => {
+                if let Some(t) = inner.tasks.get_mut(&id) {
+                    t.state = TaskState::CancelRequested;
+                }
+                background
+            }
+            None => false,
+        };
+        inner.cancel.request_cancel(now, key, background)
+    }
+
+    /// The clock this runtime reads timestamps from.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.clock.clone()
+    }
+
     // ---- the periodic driver ----
 
     /// Runs one detection → estimation → policy → cancellation cycle.
@@ -554,6 +587,18 @@ impl AtroposRuntime {
     /// event counts are exact at the time of the call.
     pub fn stats(&self) -> RuntimeStats {
         let inner = self.lock_drained();
+        let mut s = inner.stats;
+        s.cancel = inner.cancel.stats();
+        s
+    }
+
+    /// Aggregate counters *without* draining buffered trace events: a
+    /// cheap snapshot for monitoring threads that must not perturb the
+    /// sharded ingest (forcing a drain from a poller steals the batch
+    /// replay from the tick path and skews `mid_window_flushes`). Event
+    /// counts may lag [`AtroposRuntime::stats`] by up to one drain.
+    pub fn stats_relaxed(&self) -> RuntimeStats {
+        let inner = self.inner.lock();
         let mut s = inner.stats;
         s.cancel = inner.cancel.stats();
         s
@@ -1009,6 +1054,39 @@ mod tests {
         let s = rt.stats();
         assert_eq!(s.trace_events, 2);
         assert_eq!(rt.ingest_pending(), 0);
+    }
+
+    #[test]
+    fn cancel_key_invokes_initiator_with_safeguards() {
+        let (_c, rt) = setup(10);
+        let canceled = Arc::new(AtomicU64::new(0));
+        let c2 = canceled.clone();
+        rt.set_cancel_action(move |key| {
+            c2.store(key.0, Ordering::SeqCst);
+        });
+        let t = rt.create_cancel(Some(7));
+        assert_eq!(rt.cancel_key(TaskKey(7)), CancelDecision::Issued);
+        assert_eq!(canceled.load(Ordering::SeqCst), 7);
+        // Fairness still applies: a key is canceled at most once.
+        assert_eq!(rt.cancel_key(TaskKey(7)), CancelDecision::AlreadyCanceled);
+        // The task record observed the request.
+        assert_eq!(rt.inner.lock().tasks[&t].state, TaskState::CancelRequested);
+        // An unknown key still flows to the initiator (the task may live
+        // on another node or have just finished); fairness records it.
+        assert_eq!(rt.cancel_key(TaskKey(8)), CancelDecision::Issued);
+    }
+
+    #[test]
+    fn stats_relaxed_does_not_drain() {
+        let (_c, rt) = setup(10);
+        let pool = rt.register_resource("pool", ResourceType::Memory);
+        let t = rt.create_cancel(None);
+        rt.get_resource(t, pool, 1);
+        assert_eq!(rt.ingest_pending(), 1);
+        let s = rt.stats_relaxed();
+        assert_eq!(s.trace_events, 0, "relaxed snapshot must not replay");
+        assert_eq!(rt.ingest_pending(), 1, "buffered event must survive");
+        assert_eq!(rt.stats().trace_events, 1);
     }
 
     #[test]

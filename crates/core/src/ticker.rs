@@ -1,0 +1,177 @@
+//! A background supervisor thread driving [`AtroposRuntime::tick`].
+//!
+//! In the simulator the experiment harness calls `tick()` itself at
+//! window boundaries of virtual time. In a *real* process (the paper's
+//! MySQL/Apache integrations, this repo's `atropos-live` harness) nothing
+//! owns the clock: the runtime must be ticked from a dedicated thread at a
+//! wall-clock cadence while application threads concurrently emit tracing
+//! events. [`Ticker`] packages that supervisor-thread pattern — spawn,
+//! tick at a period, observe outcomes, stop and join — so every live
+//! integration does not reimplement it (and so the shutdown ordering,
+//! which is easy to get wrong, lives in one tested place).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::runtime::{AtroposRuntime, TickOutcome};
+
+/// Counters the ticker thread accumulates across ticks. All fields are
+/// readable while the ticker runs.
+#[derive(Debug, Default)]
+struct TickerCounters {
+    ticks: AtomicU64,
+    resource_overloads: AtomicU64,
+    regular_overloads: AtomicU64,
+    cancels_issued: AtomicU64,
+}
+
+/// Handle to a running supervisor thread. Dropping the handle stops the
+/// thread and joins it.
+pub struct Ticker {
+    stop: Arc<AtomicBool>,
+    counters: Arc<TickerCounters>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Ticker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticker")
+            .field("ticks", &self.ticks())
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+impl Ticker {
+    /// Spawns a thread that calls `rt.tick()` every `period` until
+    /// [`Ticker::stop`] (or drop). The first tick fires after one period.
+    ///
+    /// `on_outcome` is invoked on the supervisor thread after every tick;
+    /// pass `|_| {}` when only the counters are needed.
+    pub fn spawn(
+        rt: Arc<AtroposRuntime>,
+        period: Duration,
+        on_outcome: impl Fn(&TickOutcome) + Send + 'static,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(TickerCounters::default());
+        let thread_stop = stop.clone();
+        let thread_counters = counters.clone();
+        let handle = std::thread::Builder::new()
+            .name("atropos-ticker".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::Acquire) {
+                    std::thread::sleep(period);
+                    let outcome = rt.tick();
+                    thread_counters.ticks.fetch_add(1, Ordering::Relaxed);
+                    match &outcome {
+                        TickOutcome::Idle => {}
+                        TickOutcome::RegularOverload => {
+                            thread_counters
+                                .regular_overloads
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        TickOutcome::ResourceOverload { canceled, .. } => {
+                            thread_counters
+                                .resource_overloads
+                                .fetch_add(1, Ordering::Relaxed);
+                            if canceled.is_some() {
+                                thread_counters
+                                    .cancels_issued
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    on_outcome(&outcome);
+                }
+            })
+            .expect("spawn atropos-ticker thread");
+        Self {
+            stop,
+            counters,
+            handle: Some(handle),
+        }
+    }
+
+    /// Ticks completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.counters.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Ticks that confirmed a resource overload.
+    pub fn resource_overloads(&self) -> u64 {
+        self.counters.resource_overloads.load(Ordering::Relaxed)
+    }
+
+    /// Ticks classified as regular (demand) overload.
+    pub fn regular_overloads(&self) -> u64 {
+        self.counters.regular_overloads.load(Ordering::Relaxed)
+    }
+
+    /// Ticks whose resource-overload outcome issued a cancellation.
+    pub fn cancels_issued(&self) -> u64 {
+        self.counters.cancels_issued.load(Ordering::Relaxed)
+    }
+
+    /// Signals the thread to stop and joins it. Idempotent; also invoked
+    /// on drop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AtroposConfig;
+    use atropos_sim::SystemClock;
+
+    fn runtime() -> Arc<AtroposRuntime> {
+        Arc::new(AtroposRuntime::new(
+            AtroposConfig::default(),
+            Arc::new(SystemClock::new()),
+        ))
+    }
+
+    #[test]
+    fn ticker_ticks_and_stops() {
+        let rt = runtime();
+        let mut ticker = Ticker::spawn(rt.clone(), Duration::from_millis(1), |_| {});
+        while ticker.ticks() < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ticker.stop();
+        let after = rt.stats().ticks;
+        assert!(after >= 3);
+        std::thread::sleep(Duration::from_millis(10));
+        // No further ticks after stop.
+        assert_eq!(rt.stats().ticks, after);
+        ticker.stop(); // idempotent
+    }
+
+    #[test]
+    fn ticker_invokes_outcome_callback() {
+        let rt = runtime();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = seen.clone();
+        let ticker = Ticker::spawn(rt, Duration::from_millis(1), move |_| {
+            seen2.fetch_add(1, Ordering::Relaxed);
+        });
+        while ticker.ticks() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(ticker); // drop stops and joins
+        assert!(seen.load(Ordering::Relaxed) >= 2);
+    }
+}

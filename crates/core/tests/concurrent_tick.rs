@@ -1,0 +1,100 @@
+//! The supervisor-thread pattern: a [`Ticker`] drives `tick()` on its own
+//! thread at a wall-clock cadence while application threads emit tracing
+//! events and an observer polls [`AtroposRuntime::stats_relaxed`] — the
+//! exact thread topology of a live integration (`atropos-live`, or the
+//! paper's MySQL plugin). The contract under this interleaving: no
+//! panics, no lost events, counters from the relaxed snapshot never
+//! exceed the final drained truth.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use atropos::{AtroposConfig, AtroposRuntime, ResourceType, Ticker};
+use atropos_sim::SystemClock;
+
+const PRODUCERS: u64 = 4;
+const OPS_PER_PRODUCER: u64 = 5_000;
+
+#[test]
+fn ticker_thread_races_event_producers_safely() {
+    let rt = Arc::new(AtroposRuntime::new(
+        AtroposConfig::default(),
+        Arc::new(SystemClock::new()),
+    ));
+    let lock = rt.register_resource("lock", ResourceType::Lock);
+
+    // Supervisor thread: ticks every millisecond, concurrently with all
+    // producers below.
+    let mut ticker = Ticker::spawn(rt.clone(), Duration::from_millis(1), |_| {});
+
+    // Observer thread: polls the non-draining snapshot while everything
+    // races. Its only job is to not deadlock, not panic, and report
+    // monotonically plausible counters.
+    let stop_observer = Arc::new(AtomicBool::new(false));
+    let observer = {
+        let rt = rt.clone();
+        let stop = stop_observer.clone();
+        std::thread::spawn(move || {
+            let mut max_seen = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let s = rt.stats_relaxed();
+                assert!(
+                    s.trace_events >= max_seen,
+                    "applied-event counter went backwards: {} < {}",
+                    s.trace_events,
+                    max_seen
+                );
+                max_seen = s.trace_events;
+                std::thread::yield_now();
+            }
+            max_seen
+        })
+    };
+
+    let emitted = Arc::new(AtomicU64::new(0));
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let rt = rt.clone();
+            let emitted = emitted.clone();
+            std::thread::spawn(move || {
+                for i in 0..OPS_PER_PRODUCER {
+                    let task = rt.create_cancel(Some(p * OPS_PER_PRODUCER + i));
+                    rt.unit_started(task);
+                    rt.get_resource(task, lock, 1);
+                    rt.free_resource(task, lock, 1);
+                    rt.unit_finished(task);
+                    rt.free_cancel(task);
+                    emitted.fetch_add(2, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    for h in producers {
+        h.join().expect("producer panicked");
+    }
+    ticker.stop();
+    stop_observer.store(true, Ordering::Relaxed);
+    let relaxed_max = observer.join().expect("observer panicked");
+
+    let ticks_before_final = rt.stats_relaxed().ticks;
+    assert!(ticks_before_final > 0, "supervisor never ticked");
+    assert_eq!(ticker.ticks(), ticks_before_final);
+
+    // Final truth: stats() drains whatever the last tick had not. Every
+    // get/free pair emitted by every producer must be applied — all tasks
+    // and the resource were registered, so nothing may be ignored or shed.
+    let stats = rt.stats();
+    let sent = emitted.load(Ordering::Relaxed);
+    assert_eq!(sent, PRODUCERS * OPS_PER_PRODUCER * 2);
+    assert_eq!(
+        stats.trace_events + stats.ignored_events,
+        sent,
+        "event accounting leaked under ticker contention"
+    );
+    // The relaxed observer can lag but never overshoot the drained total.
+    assert!(relaxed_max <= stats.trace_events);
+    assert_eq!(rt.ingest_pending(), 0);
+    assert_eq!(rt.task_count(), 0, "task records leaked");
+}

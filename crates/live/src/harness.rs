@@ -1,0 +1,257 @@
+//! The end-to-end live harness: wire the server, workload, supervisor and
+//! report together for one wall-clock run.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use atropos::ticker::Ticker;
+use atropos::{AtroposConfig, AtroposRuntime, RuntimeStats};
+use atropos_metrics::LatencyHistogram;
+use atropos_sim::SystemClock;
+
+use crate::server::{worker_loop, CulpritKind, ServerCtx};
+use crate::token::CancelRegistry;
+use crate::workload::generate;
+
+/// Workload and service-time parameters for one run.
+///
+/// The defaults describe a small, CI-friendly serving scenario: four
+/// workers at ~500 req/s with sub-millisecond services, one lock-hog
+/// culprit injected mid-run that would otherwise convoy the server for
+/// over a second.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Wall-clock duration load is offered for (drain time comes on top).
+    pub run_for: Duration,
+    /// Open-loop spacing between normal arrivals.
+    pub interarrival: Duration,
+    /// Lock hold time of a normal request.
+    pub normal_hold: Duration,
+    /// Hot pages a normal request touches.
+    pub pages_per_request: usize,
+    /// Size of the hot page range normal requests cycle over.
+    pub hot_pages: u64,
+    /// LRU buffer capacity in pages (≥ `hot_pages` keeps steady state
+    /// all-hit).
+    pub lru_capacity: usize,
+    /// Simulated load cost per page miss.
+    pub miss_penalty: Duration,
+    /// Concurrency tickets (QUEUE resource capacity).
+    pub tickets: usize,
+    /// When the first culprit is injected.
+    pub culprit_after: Duration,
+    /// Spacing of further culprits (`None` = a single culprit).
+    pub culprit_every: Option<Duration>,
+    /// Which culprit behaviour to inject.
+    pub culprit_kind: CulpritKind,
+    /// Maximum time a culprit runs if never canceled.
+    pub culprit_hold: Duration,
+    /// Pages a Scan culprit sweeps (bounded by `culprit_hold`).
+    pub scan_pages: u64,
+    /// Interval between a culprit's cancellation checkpoints.
+    pub checkpoint: Duration,
+    /// Supervisor tick period (Atropos mode only).
+    pub tick_period: Duration,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            run_for: Duration::from_millis(1800),
+            interarrival: Duration::from_millis(2),
+            normal_hold: Duration::from_micros(100),
+            pages_per_request: 4,
+            hot_pages: 128,
+            lru_capacity: 256,
+            miss_penalty: Duration::from_micros(50),
+            tickets: 4,
+            culprit_after: Duration::from_millis(500),
+            culprit_every: None,
+            culprit_kind: CulpritKind::LockHog,
+            culprit_hold: Duration::from_millis(1200),
+            scan_pages: 1 << 16,
+            checkpoint: Duration::from_millis(1),
+            tick_period: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Whether the run is overload-controlled.
+#[derive(Debug, Clone)]
+pub enum ControlMode {
+    /// Atropos runs: the supervisor ticks the runtime and the token
+    /// registry is installed as the cancellation initiator.
+    Atropos(AtroposConfig),
+    /// Tracing still flows (so overheads are comparable) but nothing ever
+    /// ticks the runtime and no initiator is registered: the baseline.
+    NoControl,
+}
+
+/// An [`AtroposConfig`] tuned for the live harness' time scales: 50 ms
+/// detector windows, a 10 ms victim SLO, and a 50 ms floor between
+/// cancellations.
+pub fn live_atropos_config() -> AtroposConfig {
+    let mut cfg = AtroposConfig::default();
+    cfg.detector.window_ns = 50_000_000;
+    cfg.detector.slo_latency_ns = 10_000_000;
+    cfg.detector.history = 8;
+    cfg.cancel_min_interval_ns = 50_000_000;
+    cfg
+}
+
+/// Latency digest of one request class.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Completions recorded.
+    pub count: u64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// Median latency (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_ns: u64,
+    /// Maximum latency (ns).
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    fn from_histogram(h: &LatencyHistogram) -> Self {
+        Self {
+            count: h.count(),
+            mean_ns: h.mean(),
+            p50_ns: h.p50(),
+            p99_ns: h.p99(),
+            max_ns: h.max(),
+        }
+    }
+}
+
+/// Everything one harness run observed.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// Latencies of normal (victim-class) requests, enqueue → completion.
+    pub victim: LatencySummary,
+    /// Latencies of culprit requests.
+    pub culprit: LatencySummary,
+    /// Requests the generator offered.
+    pub offered: u64,
+    /// Culprit requests that began executing.
+    pub culprits_started: u64,
+    /// Culprit requests that observed their cancel token and unwound.
+    pub culprits_canceled: u64,
+    /// Wall-clock delay from the first culprit starting to the initiator
+    /// reaching its token, if a cancellation was delivered.
+    pub time_to_cancel: Option<Duration>,
+    /// Cancellations the registry delivered to a live token.
+    pub cancellations_delivered: u64,
+    /// Supervisor ticks executed (0 in [`ControlMode::NoControl`]).
+    pub ticks: u64,
+    /// Final runtime counters.
+    pub runtime: RuntimeStats,
+}
+
+/// Runs one complete wall-clock serving session and reports it.
+///
+/// The sequencing matters and is the reason this lives in one place:
+/// offered load stops first, then the stop flag makes culprits release at
+/// their next checkpoint, then the queue closes and workers drain the
+/// backlog (so every accepted request's latency is measured — in a
+/// convoy, the backlog *is* the damage), and only then does the
+/// supervisor stop ticking.
+pub fn run(cfg: LiveConfig, mode: ControlMode) -> LiveReport {
+    let clock = Arc::new(SystemClock::new());
+    let atropos_cfg = match &mode {
+        ControlMode::Atropos(c) => c.clone(),
+        ControlMode::NoControl => live_atropos_config(),
+    };
+    let rt = Arc::new(AtroposRuntime::new(atropos_cfg, clock));
+    let registry = Arc::new(CancelRegistry::new());
+    let controlled = matches!(mode, ControlMode::Atropos(_));
+    if controlled {
+        registry.install(&rt);
+    }
+    let ctx = Arc::new(ServerCtx::new(rt.clone(), registry.clone(), cfg.clone()));
+    let mut ticker = controlled.then(|| Ticker::spawn(rt.clone(), cfg.tick_period, |_| {}));
+
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for i in 0..cfg.workers {
+            let ctx = ctx.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("live-worker-{i}"))
+                    .spawn_scoped(s, move || worker_loop(&ctx))
+                    .expect("spawn worker"),
+            );
+        }
+        let gen_ctx = ctx.clone();
+        let generator = std::thread::Builder::new()
+            .name("live-loadgen".into())
+            .spawn_scoped(s, move || generate(&gen_ctx))
+            .expect("spawn loadgen");
+
+        std::thread::sleep(cfg.run_for);
+        ctx.stop.store(true, Ordering::Release);
+        generator.join().expect("loadgen panicked");
+        ctx.queue.close();
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+    });
+
+    let ticks = match ticker.as_mut() {
+        Some(t) => {
+            t.stop();
+            t.ticks()
+        }
+        None => 0,
+    };
+
+    let time_to_cancel = registry.first_delivery_ns().and_then(|cancel_ns| {
+        let start_ns = ctx.metrics.first_culprit_start_ns.load(Ordering::Acquire);
+        (start_ns != 0 && cancel_ns >= start_ns).then(|| Duration::from_nanos(cancel_ns - start_ns))
+    });
+
+    let victim = LatencySummary::from_histogram(&ctx.metrics.victim.lock());
+    let culprit = LatencySummary::from_histogram(&ctx.metrics.culprit.lock());
+    LiveReport {
+        victim,
+        culprit,
+        offered: ctx.metrics.offered.load(Ordering::Relaxed),
+        culprits_started: ctx.metrics.culprits_started.load(Ordering::Relaxed),
+        culprits_canceled: ctx.metrics.culprits_canceled.load(Ordering::Relaxed),
+        time_to_cancel,
+        cancellations_delivered: registry.delivered(),
+        ticks,
+        runtime: rt.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A short no-culprit, no-control smoke run: the harness serves load,
+    /// drains cleanly, and measures sane latencies.
+    #[test]
+    fn smoke_run_without_culprit() {
+        let cfg = LiveConfig {
+            run_for: Duration::from_millis(300),
+            culprit_after: Duration::from_secs(3600), // never
+            ..LiveConfig::default()
+        };
+        let report = run(cfg, ControlMode::NoControl);
+        assert!(report.victim.count >= 50, "served {}", report.victim.count);
+        assert_eq!(report.culprits_started, 0);
+        assert_eq!(report.culprits_canceled, 0);
+        assert_eq!(report.ticks, 0);
+        assert_eq!(report.runtime.cancel.issued, 0);
+        assert!(report.victim.p99_ns > 0);
+        // Backlog fully drained: offered == completed.
+        assert_eq!(report.offered, report.victim.count);
+    }
+}

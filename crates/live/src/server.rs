@@ -1,0 +1,329 @@
+//! The mini-server: a bounded worker pool serving classed requests over
+//! the traced resources.
+//!
+//! Workers pull [`Request`]s from a shared [`WorkQueue`] and execute them
+//! with real blocking on the shared [`TracedLock`], [`TicketSemaphore`]
+//! and [`LruBuffer`]. The `Culprit` classes are the live analogs of the
+//! paper's culprit studies: a lock hog (MySQL's blocked-writes case
+//! family) and a buffer-sweeping scan (the Figure 2 dump), both
+//! cancellable only at their own checkpoints via [`CancelToken`].
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use atropos::{AtroposRuntime, TaskId};
+use atropos_metrics::LatencyHistogram;
+use atropos_sim::Clock;
+use parking_lot::{Condvar, Mutex};
+
+use crate::harness::LiveConfig;
+use crate::resources::{LruBuffer, TicketSemaphore, TracedLock};
+use crate::token::CancelRegistry;
+
+/// Which long-running culprit behaviour a culprit request exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CulpritKind {
+    /// Takes the table lock and sits on it (checkpointing for
+    /// cancellation): the backup/DDL convoy family.
+    LockHog,
+    /// Sweeps the LRU buffer with cold pages, evicting the hot set: the
+    /// full-table-dump family.
+    Scan,
+}
+
+/// Request classes the load generator produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// A short victim-class request: ticket → brief lock hold → a few hot
+    /// pages.
+    Normal,
+    /// A rare long-running request that monopolizes a resource.
+    Culprit(CulpritKind),
+}
+
+/// One unit of offered load.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Class determining the handler.
+    pub class: RequestClass,
+    /// Application task key (unique per request).
+    pub key: u64,
+    /// Runtime-clock stamp at enqueue, for end-to-end latency.
+    pub enqueued_ns: u64,
+}
+
+/// An unbounded MPMC queue feeding the worker pool (open-loop load:
+/// arrivals never block, backlog is visible latency).
+#[derive(Default)]
+pub struct WorkQueue {
+    state: Mutex<QueueState>,
+    nonempty: Condvar,
+}
+
+#[derive(Default)]
+struct QueueState {
+    q: VecDeque<Request>,
+    closed: bool,
+}
+
+impl WorkQueue {
+    /// Enqueues a request; returns false (dropping it) once closed.
+    pub fn push(&self, req: Request) -> bool {
+        let mut st = self.state.lock();
+        if st.closed {
+            return false;
+        }
+        st.q.push_back(req);
+        drop(st);
+        self.nonempty.notify_one();
+        true
+    }
+
+    /// Blocks for the next request. Returns `None` once the queue is
+    /// closed *and* drained — workers run the backlog down before exiting
+    /// so every accepted request is measured.
+    pub fn pop(&self) -> Option<Request> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(req) = st.q.pop_front() {
+                return Some(req);
+            }
+            if st.closed {
+                return None;
+            }
+            self.nonempty.wait(&mut st);
+        }
+    }
+
+    /// Closes the queue and wakes every blocked worker.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Requests currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().q.len()
+    }
+
+    /// True if no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-class completion metrics, shared across workers.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// End-to-end (enqueue → completion) latency of Normal requests.
+    pub victim: Mutex<LatencyHistogram>,
+    /// End-to-end latency of culprit requests.
+    pub culprit: Mutex<LatencyHistogram>,
+    /// Requests accepted into the queue by the generator.
+    pub offered: AtomicU64,
+    /// Normal requests completed.
+    pub victims_completed: AtomicU64,
+    /// Culprit requests whose handler started executing.
+    pub culprits_started: AtomicU64,
+    /// Culprit requests completed (canceled or not).
+    pub culprits_completed: AtomicU64,
+    /// Culprit requests that observed their cancel token and unwound.
+    pub culprits_canceled: AtomicU64,
+    /// Runtime-clock stamp when the first culprit began executing
+    /// (0 = none yet).
+    pub first_culprit_start_ns: AtomicU64,
+}
+
+/// Everything a worker thread needs, bundled for `Arc` sharing.
+pub struct ServerCtx {
+    /// The Atropos runtime every component traces into.
+    pub rt: Arc<AtroposRuntime>,
+    /// The runtime's clock (shared so latency stamps and cancellation
+    /// stamps are comparable).
+    pub clock: Arc<dyn Clock>,
+    /// Token registry; installed as the cancel initiator in Atropos mode.
+    pub registry: Arc<CancelRegistry>,
+    /// The shared table lock (LOCK resource).
+    pub table: TracedLock<()>,
+    /// Concurrency tickets (QUEUE resource).
+    pub tickets: TicketSemaphore,
+    /// The LRU page buffer (MEMORY resource).
+    pub buffer: LruBuffer,
+    /// The offered-load queue.
+    pub queue: WorkQueue,
+    /// Global shutdown flag: culprits release at their next checkpoint.
+    pub stop: AtomicBool,
+    /// Service-time and workload parameters.
+    pub cfg: LiveConfig,
+    /// Completion metrics.
+    pub metrics: ServerMetrics,
+}
+
+impl ServerCtx {
+    /// Builds the server state over `rt`, registering the three traced
+    /// resources.
+    pub fn new(rt: Arc<AtroposRuntime>, registry: Arc<CancelRegistry>, cfg: LiveConfig) -> Self {
+        let clock = rt.clock();
+        let table = TracedLock::new(rt.clone(), "table_lock", ());
+        let tickets = TicketSemaphore::new(rt.clone(), "tickets", cfg.tickets);
+        let buffer = LruBuffer::new(rt.clone(), "buffer_pool", cfg.lru_capacity);
+        Self {
+            rt,
+            clock,
+            registry,
+            table,
+            tickets,
+            buffer,
+            queue: WorkQueue::default(),
+            stop: AtomicBool::new(false),
+            cfg,
+            metrics: ServerMetrics::default(),
+        }
+    }
+
+    /// True once shutdown has been signaled.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// The worker-thread body: serve until the queue closes and drains.
+pub fn worker_loop(ctx: &ServerCtx) {
+    while let Some(req) = ctx.queue.pop() {
+        handle(ctx, req);
+    }
+}
+
+fn handle(ctx: &ServerCtx, req: Request) {
+    let task = ctx.rt.create_cancel(Some(req.key));
+    ctx.rt.unit_started(task);
+    match req.class {
+        RequestClass::Normal => handle_normal(ctx, task, req.key),
+        RequestClass::Culprit(kind) => handle_culprit(ctx, task, req.key, kind),
+    }
+    ctx.rt.unit_finished(task);
+    ctx.rt.free_cancel(task);
+    let latency = ctx.clock.now_ns().saturating_sub(req.enqueued_ns);
+    match req.class {
+        RequestClass::Normal => {
+            ctx.metrics.victim.lock().record(latency);
+            ctx.metrics
+                .victims_completed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        RequestClass::Culprit(_) => {
+            ctx.metrics.culprit.lock().record(latency);
+            ctx.metrics
+                .culprits_completed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn handle_normal(ctx: &ServerCtx, task: TaskId, key: u64) {
+    let _permit = ctx.tickets.acquire(task);
+    {
+        let _g = ctx.table.lock(task);
+        std::thread::sleep(ctx.cfg.normal_hold);
+    }
+    // A small strided window over the hot page range.
+    let n = ctx.cfg.pages_per_request as u64;
+    let base = (key * n) % ctx.cfg.hot_pages.max(1);
+    let pages: Vec<u64> = (0..n)
+        .map(|i| (base + i) % ctx.cfg.hot_pages.max(1))
+        .collect();
+    let stats = ctx.buffer.access(task, &pages);
+    if stats.misses > 0 {
+        // Model the load cost of a miss (the disk read the simulator
+        // charges as virtual time).
+        std::thread::sleep(ctx.cfg.miss_penalty * stats.misses as u32);
+    }
+}
+
+fn handle_culprit(ctx: &ServerCtx, task: TaskId, key: u64, kind: CulpritKind) {
+    ctx.metrics.culprits_started.fetch_add(1, Ordering::Relaxed);
+    let _ = ctx.metrics.first_culprit_start_ns.compare_exchange(
+        0,
+        ctx.clock.now_ns().max(1),
+        Ordering::AcqRel,
+        Ordering::Acquire,
+    );
+    let token = ctx.registry.register(key);
+    // Barely-started progress: the GetNext signal that makes the policy
+    // prefer canceling this task over nearly-done victims.
+    ctx.rt.report_progress(task, 1, 100);
+    let started = Instant::now();
+    match kind {
+        CulpritKind::LockHog => {
+            let guard = ctx.table.lock(task);
+            while !token.is_canceled()
+                && !ctx.stopping()
+                && started.elapsed() < ctx.cfg.culprit_hold
+            {
+                std::thread::sleep(ctx.cfg.checkpoint);
+            }
+            drop(guard);
+        }
+        CulpritKind::Scan => {
+            let _permit = ctx.tickets.acquire(task);
+            let mut page = ctx.cfg.hot_pages; // cold range: never hits
+            let mut scanned = 0u64;
+            while !token.is_canceled()
+                && !ctx.stopping()
+                && scanned < ctx.cfg.scan_pages
+                && started.elapsed() < ctx.cfg.culprit_hold
+            {
+                let stats = ctx.buffer.access(task, &[page]);
+                if stats.misses > 0 {
+                    std::thread::sleep(ctx.cfg.miss_penalty);
+                }
+                page += 1;
+                scanned += 1;
+            }
+        }
+    }
+    if token.is_canceled() {
+        ctx.metrics
+            .culprits_canceled
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    ctx.registry.unregister(key);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn queue_fifo_and_close_semantics() {
+        let q = WorkQueue::default();
+        let req = |key| Request {
+            class: RequestClass::Normal,
+            key,
+            enqueued_ns: 0,
+        };
+        assert!(q.push(req(1)));
+        assert!(q.push(req(2)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().key, 1);
+        q.close();
+        assert!(!q.push(req(3)), "closed queue rejects new work");
+        // Backlog still drains after close.
+        assert_eq!(q.pop().unwrap().key, 2);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(WorkQueue::default());
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+    }
+}

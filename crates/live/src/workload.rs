@@ -1,0 +1,113 @@
+//! Open-loop load generation.
+//!
+//! Arrivals are paced against the wall clock on a fixed schedule: request
+//! `n` is *due* at `start + n * interarrival` whether or not the server
+//! keeps up (the open-loop discipline the paper's clients use — backlog
+//! shows up as queueing latency rather than silently thinning the load).
+//! A rare culprit request is injected on its own schedule: once at
+//! `culprit_after`, then every `culprit_every` if configured.
+
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use crate::server::{Request, RequestClass, ServerCtx};
+
+/// Key range reserved for culprit requests, so reports and logs can tell
+/// the classes apart at a glance. Stays far below the runtime's
+/// auto-generated key region (`1 << 63`).
+pub const CULPRIT_KEY_BASE: u64 = 1 << 40;
+
+/// Runs the generator until the harness raises the stop flag. Returns the
+/// number of requests offered (accepted into the queue).
+pub fn generate(ctx: &ServerCtx) -> u64 {
+    let cfg = &ctx.cfg;
+    let start = Instant::now();
+    let mut offered = 0u64;
+    let mut seq = 0u64;
+    let mut culprit_seq = 0u64;
+    let mut next_culprit = Some(cfg.culprit_after);
+    while !ctx.stopping() {
+        let due = cfg.interarrival * seq as u32;
+        let elapsed = start.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+            if ctx.stopping() {
+                break;
+            }
+        }
+        if let Some(at) = next_culprit {
+            if start.elapsed() >= at {
+                let accepted = ctx.queue.push(Request {
+                    class: RequestClass::Culprit(cfg.culprit_kind),
+                    key: CULPRIT_KEY_BASE + culprit_seq,
+                    enqueued_ns: ctx.clock.now_ns(),
+                });
+                if accepted {
+                    offered += 1;
+                }
+                culprit_seq += 1;
+                next_culprit = cfg.culprit_every.map(|every| at + every);
+            }
+        }
+        let accepted = ctx.queue.push(Request {
+            class: RequestClass::Normal,
+            key: seq,
+            enqueued_ns: ctx.clock.now_ns(),
+        });
+        if accepted {
+            offered += 1;
+        }
+        seq += 1;
+    }
+    ctx.metrics.offered.fetch_add(offered, Ordering::Relaxed);
+    offered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::LiveConfig;
+    use crate::token::CancelRegistry;
+    use atropos::{AtroposConfig, AtroposRuntime};
+    use atropos_sim::SystemClock;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn generator_paces_and_injects_culprits() {
+        let rt = Arc::new(AtroposRuntime::new(
+            AtroposConfig::default(),
+            Arc::new(SystemClock::new()),
+        ));
+        let cfg = LiveConfig {
+            interarrival: Duration::from_millis(2),
+            culprit_after: Duration::from_millis(10),
+            culprit_every: Some(Duration::from_millis(30)),
+            ..LiveConfig::default()
+        };
+        let ctx = Arc::new(ServerCtx::new(rt, Arc::new(CancelRegistry::new()), cfg));
+        let ctx2 = ctx.clone();
+        let gen = std::thread::spawn(move || generate(&ctx2));
+        std::thread::sleep(Duration::from_millis(80));
+        ctx.stop.store(true, std::sync::atomic::Ordering::Release);
+        let offered = gen.join().unwrap();
+        // ~40 normals over 80 ms at 2 ms spacing, plus 2-3 culprits.
+        assert!(offered >= 20, "offered only {offered}");
+        let mut culprits = 0;
+        let mut normals = 0;
+        while let Some(req) = {
+            ctx.queue.close();
+            ctx.queue.pop()
+        } {
+            match req.class {
+                RequestClass::Normal => normals += 1,
+                RequestClass::Culprit(_) => {
+                    assert!(req.key >= CULPRIT_KEY_BASE);
+                    culprits += 1;
+                }
+            }
+        }
+        assert!(normals >= 20);
+        assert!((2..=4).contains(&culprits), "culprits: {culprits}");
+    }
+}

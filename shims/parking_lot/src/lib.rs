@@ -3,12 +3,13 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors tiny shims for its external dependencies. This one provides
-//! `Mutex` and `RwLock` with parking_lot's panic-free, non-poisoning
-//! guard API (`lock()` returns the guard directly; a poisoned std lock is
-//! recovered rather than propagated, matching parking_lot's semantics of
-//! not poisoning at all).
+//! `Mutex`, `RwLock` and `Condvar` with parking_lot's panic-free,
+//! non-poisoning guard API (`lock()` returns the guard directly; a
+//! poisoned std lock is recovered rather than propagated, matching
+//! parking_lot's semantics of not poisoning at all).
 
 use std::sync::TryLockError;
+use std::time::Duration;
 
 /// A mutual exclusion primitive (non-poisoning `lock()` API).
 #[derive(Debug, Default)]
@@ -147,6 +148,103 @@ impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
     }
 }
 
+/// Result of a timed [`Condvar::wait_for`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed (rather than a
+    /// notification).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable usable with this shim's [`Mutex`] (parking_lot's
+/// `&mut MutexGuard` API, non-poisoning).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Runs `f` on the std guard taken out of `guard`, putting the guard
+    /// `f` returns back in place. `std`'s condvar consumes and returns the
+    /// guard while parking_lot mutates it in place; the `ptr::read`/`write`
+    /// pair bridges the two. Safe because `f` (a condvar wait) only returns
+    /// by yielding a live guard for the same mutex, and the poisoned-guard
+    /// branch recovers rather than unwinding, so the moved-out slot is
+    /// always rewritten before anyone can observe it.
+    fn bridge<'a, T, R>(
+        guard: &mut MutexGuard<'a, T>,
+        f: impl FnOnce(std::sync::MutexGuard<'a, T>) -> (std::sync::MutexGuard<'a, T>, R),
+    ) -> R {
+        unsafe {
+            let std_guard = std::ptr::read(&guard.inner);
+            let (new_guard, out) = f(std_guard);
+            std::ptr::write(&mut guard.inner, new_guard);
+            out
+        }
+    }
+
+    /// Blocks until another thread calls [`Condvar::notify_one`] or
+    /// [`Condvar::notify_all`]. Spurious wakeups are possible, as with any
+    /// condition variable.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        Self::bridge(guard, |g| {
+            let g = match self.inner.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            (g, ())
+        });
+    }
+
+    /// Blocks until notified or until `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        Self::bridge(guard, |g| match self.inner.wait_timeout(g, timeout) {
+            Ok((g, t)) => (
+                g,
+                WaitTimeoutResult {
+                    timed_out: t.timed_out(),
+                },
+            ),
+            Err(p) => {
+                let (g, t) = p.into_inner();
+                (
+                    g,
+                    WaitTimeoutResult {
+                        timed_out: t.timed_out(),
+                    },
+                )
+            }
+        })
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +272,66 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 7;
         assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            *ready
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_one();
+        }
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+        drop(g);
+        assert!(
+            m.try_lock().is_some(),
+            "guard must still be live after wait"
+        );
+    }
+
+    #[test]
+    fn condvar_notify_all_wakes_everyone() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pair = pair.clone();
+            handles.push(std::thread::spawn(move || {
+                let (m, cv) = &*pair;
+                let mut n = m.lock();
+                while *n == 0 {
+                    cv.wait(&mut n);
+                }
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = 1;
+            cv.notify_all();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -1,3 +1,5 @@
+#![allow(clippy::vec_init_then_push)] // the json! muncher pushes into a fresh Vec by construction
+
 //! Minimal offline replacement for the `serde_json` API surface this
 //! workspace uses: `Value`, `json!`, `to_value`, `to_string`,
 //! `to_string_pretty`, `from_str`, and an `Error` convertible to
