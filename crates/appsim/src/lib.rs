@@ -40,5 +40,5 @@ pub use controller::{Action, AdmitDecision, Controller, NoControl, RequestView, 
 pub use ids::{ClassId, ClientId, LockId, PoolId, QueueId, RequestId};
 pub use op::{LockMode, Op, Plan};
 pub use request::{Outcome, Request, RequestState};
-pub use server::{ServerConfig, SimServer};
+pub use server::{CancelRecord, ServerConfig, SimServer};
 pub use workload::{ClassSpec, Injection, WorkloadSpec};

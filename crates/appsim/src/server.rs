@@ -122,6 +122,25 @@ pub struct ServerMetrics {
     /// Offered client requests still in flight when the run ended
     /// (neither completed, dropped, nor canceled — the residual window).
     pub live_at_end: u64,
+    /// Every executed cancellation in issue order, with the canceled
+    /// request's identity — the *decision trace* differential tests
+    /// compare against the live harness (who was canceled, in what
+    /// order). Includes warmup-period cancellations: identity questions
+    /// ("was the culprit class targeted?") are not windowed.
+    pub cancel_log: Vec<CancelRecord>,
+}
+
+/// One executed cancellation (see [`ServerMetrics::cancel_log`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CancelRecord {
+    /// The canceled request.
+    pub req: RequestId,
+    /// Its workload class (culprit classes are known per scenario).
+    pub class: ClassId,
+    /// Its client.
+    pub client: ClientId,
+    /// Virtual time the cancellation was executed.
+    pub at: SimTime,
 }
 
 #[derive(Debug, Clone)]
@@ -227,6 +246,7 @@ impl SimServer {
                 series: WindowedSeries::new(0, window_ns),
                 trace_events: 0,
                 live_at_end: 0,
+                cancel_log: Vec::new(),
             },
             client_window: HashMap::new(),
             warmup: SimTime::ZERO,
@@ -877,6 +897,12 @@ impl SimServer {
                 if now >= self.warmup {
                     self.metrics.canceled += 1;
                 }
+                self.metrics.cancel_log.push(CancelRecord {
+                    req: id,
+                    class: req.class,
+                    client: req.client,
+                    at: now,
+                });
                 if !req.background && !req.retry {
                     self.parked.insert(
                         id,

@@ -1,0 +1,127 @@
+//! Long-soak chaos driver.
+//!
+//! Runs seeded fault plans through the scripted scenarios with every
+//! invariant checked after every tick, and exits nonzero with a seed +
+//! minimized plan on the first violation.
+//!
+//! ```text
+//! chaos [--scenario lock_hog|buffer_scan|all] [--seed N] [--plans N]
+//!       [--load N] [--quiet-only]
+//! ```
+//!
+//! The base seed defaults to `$CHAOS_SEED` (so CI can randomize per run),
+//! then 42. Plan `i` uses seed `base + i`. The chosen base seed is always
+//! printed, so any CI failure is replayable with `--seed`.
+
+use std::process::ExitCode;
+
+use atropos_chaos::{run_checked, FaultPlan, ScenarioKind};
+
+struct Args {
+    scenarios: Vec<ScenarioKind>,
+    seed: u64,
+    plans: u64,
+    load: u64,
+    quiet_only: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenarios: ScenarioKind::ALL.to_vec(),
+        seed: std::env::var("CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(42),
+        plans: 100,
+        load: 1,
+        quiet_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--scenario" => {
+                let v = value("--scenario")?;
+                args.scenarios = match v.as_str() {
+                    "lock_hog" | "lock-hog" => vec![ScenarioKind::LockHog],
+                    "buffer_scan" | "buffer-scan" => vec![ScenarioKind::BufferScan],
+                    "all" => ScenarioKind::ALL.to_vec(),
+                    other => return Err(format!("unknown scenario {other:?}")),
+                };
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--plans" => {
+                args.plans = value("--plans")?
+                    .parse()
+                    .map_err(|e| format!("--plans: {e}"))?
+            }
+            "--load" => {
+                args.load = value("--load")?
+                    .parse()
+                    .map_err(|e| format!("--load: {e}"))?
+            }
+            "--quiet-only" => args.quiet_only = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "chaos soak: base seed {} | {} plan(s) per scenario | load x{} | scenarios: {}",
+        args.seed,
+        args.plans,
+        args.load,
+        args.scenarios
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let mut runs = 0u64;
+    for scenario in &args.scenarios {
+        for i in 0..args.plans {
+            let seed = args.seed.wrapping_add(i);
+            let plan = if args.quiet_only {
+                FaultPlan::quiet(seed)
+            } else {
+                FaultPlan::sample(seed)
+            };
+            match run_checked(*scenario, &plan, args.load) {
+                Ok(out) => {
+                    runs += 1;
+                    if i == 0 || (i + 1) % 25 == 0 {
+                        println!(
+                            "  {} seed {} ok: {} faults armed, {} ticks, {} candidates, \
+                             hog_canceled={}",
+                            scenario.name(),
+                            seed,
+                            plan.faults.len(),
+                            out.ticks,
+                            out.candidates,
+                            out.hog_canceled
+                        );
+                    }
+                }
+                Err(report) => {
+                    eprintln!("chaos: FAILED after {runs} clean runs\n{report}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!("chaos soak: all {runs} runs clean");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,294 @@
+//! Runtime-wide invariants, checked after every tick.
+//!
+//! The checker compares the runtime's [`DebugSnapshot`] against the
+//! injector's ground [`Truth`]. Each invariant is stated *relative to the
+//! injected damage*: with a quiet plan every bound collapses to exact
+//! equality, and with faults armed the runtime is allowed to be wrong by
+//! at most the injected loss budget — anything beyond that is a real
+//! accounting bug (lost ingest, double-application, stale windows).
+//!
+//! The invariants (numbering used in failure output and DESIGN.md §10):
+//!
+//! - **I1 delivery conservation** — for every live task, cumulative
+//!   `acquired`/`freed`/`slow_amount` equal exactly the units the
+//!   injector delivered. The transport may lie; the runtime may not.
+//! - **I2 no negative holds** — `held <= acquired` (underflow would wrap).
+//! - **I3 hold conservation** — `held + freed >= acquired`: units never
+//!   vanish without a free.
+//! - **I4 loss-budget bound** — observed `held` stays within
+//!   `[app_held − dup − pending_gets,`
+//!   `app_held + dropped + pending_frees + disorder]`: injected damage
+//!   explains the full deviation from the application's own accounting.
+//! - **I5 cancel liveness** — no cancellation ever targets a key whose
+//!   task already called `free_cancel`.
+//! - **I6 detector sanity** — one evaluation per tick, `candidates <=
+//!   evaluations`, both monotonically non-decreasing.
+//! - **I7 blame bounded by time** — per-(task, resource) cumulative
+//!   wait/hold time never exceeds elapsed time, and each estimator
+//!   window's per-resource blame is bounded by `live_tasks × window`.
+
+use std::fmt;
+
+use atropos::{AtroposRuntime, DebugSnapshot, ResourceId, TaskId};
+
+use crate::injector::Truth;
+
+/// One violated invariant, with enough detail to debug from the log line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant (I1..I7).
+    pub invariant: &'static str,
+    /// Human-readable specifics: task, resource, observed vs bound.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant {} violated: {}", self.invariant, self.detail)
+    }
+}
+
+fn violation(invariant: &'static str, detail: String) -> Result<(), Violation> {
+    Err(Violation { invariant, detail })
+}
+
+/// Stateful invariant checker; call [`InvariantChecker::after_tick`] once
+/// after every injector tick.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    prev_evaluations: u64,
+    prev_candidates: u64,
+    prev_now_ns: u64,
+    max_gap_ns: u64,
+    max_live_tasks: u64,
+    checks: u64,
+}
+
+impl InvariantChecker {
+    /// A fresh checker (use one per run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of `after_tick` calls so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Verifies every invariant against the current runtime state and the
+    /// injector's ground truth. Returns the first violation found.
+    pub fn after_tick(&mut self, rt: &AtroposRuntime, truth: &Truth) -> Result<(), Violation> {
+        let snap = rt.debug_snapshot();
+        self.checks += 1;
+        let gap = snap.now_ns.saturating_sub(self.prev_now_ns);
+        self.max_gap_ns = self.max_gap_ns.max(gap);
+        self.prev_now_ns = snap.now_ns;
+        self.max_live_tasks = self.max_live_tasks.max(snap.tasks.len() as u64);
+
+        self.check_accounting(&snap, truth)?;
+        self.check_cancel_liveness(truth)?;
+        self.check_detector(&snap)?;
+        self.check_blame(rt, &snap)?;
+        Ok(())
+    }
+
+    fn check_accounting(&self, snap: &DebugSnapshot, truth: &Truth) -> Result<(), Violation> {
+        for task in &snap.tasks {
+            for (idx, u) in task.usage.iter().enumerate() {
+                let rid = ResourceId(idx as u32);
+                let t = truth
+                    .per
+                    .get(&(TaskId(task.id.0), rid))
+                    .copied()
+                    .unwrap_or_default();
+                // I1: the runtime heard exactly what the wire carried.
+                if u.acquired != t.delivered_gets
+                    || u.freed != t.delivered_frees
+                    || u.slow_amount != t.delivered_slows
+                {
+                    return violation(
+                        "I1",
+                        format!(
+                            "task {:?} resource {idx}: runtime saw get/free/slow = \
+                             {}/{}/{} but injector delivered {}/{}/{}",
+                            task.key,
+                            u.acquired,
+                            u.freed,
+                            u.slow_amount,
+                            t.delivered_gets,
+                            t.delivered_frees,
+                            t.delivered_slows
+                        ),
+                    );
+                }
+                // I2: held never exceeds what was acquired.
+                if u.held > u.acquired {
+                    return violation(
+                        "I2",
+                        format!(
+                            "task {:?} resource {idx}: held {} > acquired {}",
+                            task.key, u.held, u.acquired
+                        ),
+                    );
+                }
+                // I3: no unit vanishes without a free.
+                if u.held + u.freed < u.acquired {
+                    return violation(
+                        "I3",
+                        format!(
+                            "task {:?} resource {idx}: held {} + freed {} < acquired {}",
+                            task.key, u.held, u.freed, u.acquired
+                        ),
+                    );
+                }
+                // I4: deviation from app truth is explained by injected
+                // damage. All in i128: app truth can be transiently
+                // "negative" from the runtime's viewpoint.
+                let app_held = t.app_gets as i128 - t.app_frees as i128;
+                let held = u.held as i128;
+                let upper = app_held
+                    + t.dropped_free_units as i128
+                    + t.pending_free_units as i128
+                    + t.disorder_units as i128;
+                let lower = app_held - t.dup_free_units as i128 - t.pending_get_units as i128;
+                if held > upper || held < lower {
+                    return violation(
+                        "I4",
+                        format!(
+                            "task {:?} resource {idx}: held {held} outside loss budget \
+                             [{lower}, {upper}] (app_held {app_held}, dropped {}, dup {}, \
+                             pending get/free {}/{}, disorder {})",
+                            task.key,
+                            t.dropped_free_units,
+                            t.dup_free_units,
+                            t.pending_get_units,
+                            t.pending_free_units,
+                            t.disorder_units
+                        ),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_cancel_liveness(&self, truth: &Truth) -> Result<(), Violation> {
+        for obs in &truth.cancel_log {
+            if obs.was_finished {
+                return violation(
+                    "I5",
+                    format!(
+                        "cancel issued at tick {} targets key {} whose task already \
+                         called free_cancel",
+                        obs.tick, obs.key
+                    ),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn check_detector(&mut self, snap: &DebugSnapshot) -> Result<(), Violation> {
+        let d = &snap.detector;
+        if d.evaluations != snap.stats.ticks {
+            return violation(
+                "I6",
+                format!(
+                    "detector ran {} evaluations over {} ticks (must be 1:1)",
+                    d.evaluations, snap.stats.ticks
+                ),
+            );
+        }
+        if d.candidates > d.evaluations {
+            return violation(
+                "I6",
+                format!(
+                    "candidates {} > evaluations {}",
+                    d.candidates, d.evaluations
+                ),
+            );
+        }
+        if d.evaluations < self.prev_evaluations || d.candidates < self.prev_candidates {
+            return violation(
+                "I6",
+                format!(
+                    "detector counters regressed: evaluations {} -> {}, candidates {} -> {}",
+                    self.prev_evaluations, d.evaluations, self.prev_candidates, d.candidates
+                ),
+            );
+        }
+        self.prev_evaluations = d.evaluations;
+        self.prev_candidates = d.candidates;
+        Ok(())
+    }
+
+    fn check_blame(&self, rt: &AtroposRuntime, snap: &DebugSnapshot) -> Result<(), Violation> {
+        // Cumulative wait/hold per (task, resource) cannot outrun the clock.
+        for task in &snap.tasks {
+            for (idx, u) in task.usage.iter().enumerate() {
+                if u.total_wait_ns > snap.now_ns || u.total_hold_ns > snap.now_ns {
+                    return violation(
+                        "I7",
+                        format!(
+                            "task {:?} resource {idx}: wait {} / hold {} ns exceed \
+                             elapsed time {} ns",
+                            task.key, u.total_wait_ns, u.total_hold_ns, snap.now_ns
+                        ),
+                    );
+                }
+            }
+        }
+        // Estimator window blame: each resource's attributed waiting time
+        // is at most (every live task waiting the entire window).
+        if let Some(est) = rt.last_estimate() {
+            let bound = self.max_live_tasks.saturating_mul(self.max_gap_ns);
+            for r in &est.resources {
+                if r.wait_ns > bound {
+                    return violation(
+                        "I7",
+                        format!(
+                            "estimator blames {} ns of waiting on resource {:?} but at \
+                             most {} tasks × {} ns window = {} ns were observable",
+                            r.wait_ns, r.id, self.max_live_tasks, self.max_gap_ns, bound
+                        ),
+                    );
+                }
+                if !(0.0..=1.000_001).contains(&r.weight) {
+                    return violation(
+                        "I7",
+                        format!("resource {:?} weight {} outside [0, 1]", r.id, r.weight),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Paired-run detector monotonicity: under the same seed and script, a
+/// strictly heavier load must flag at least as many candidate overloads.
+/// Both snapshots must cover the same number of evaluations.
+pub fn check_detector_monotonicity(
+    base: &DebugSnapshot,
+    loaded: &DebugSnapshot,
+) -> Result<(), Violation> {
+    if base.detector.evaluations != loaded.detector.evaluations {
+        return Err(Violation {
+            invariant: "I6",
+            detail: format!(
+                "monotonicity runs disagree on evaluations: {} vs {}",
+                base.detector.evaluations, loaded.detector.evaluations
+            ),
+        });
+    }
+    if loaded.detector.candidates < base.detector.candidates {
+        return Err(Violation {
+            invariant: "I6",
+            detail: format!(
+                "added load lowered candidate count: {} -> {}",
+                base.detector.candidates, loaded.detector.candidates
+            ),
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,189 @@
+//! Sim ↔ live differential: the same overload, two execution substrates.
+//!
+//! The simulator (`atropos-app` on a virtual clock) and the live harness
+//! (`atropos-live` on real threads) both reproduce the two culprit kinds
+//! of [`atropos_scenarios::chaos`]: a lock-hog convoy and a buffer-pool
+//! scan. This module replays each through both substrates and compares
+//! the *decision trace* — who was blamed, who was canceled, in what
+//! order.
+//!
+//! ## What must agree, and the timing tolerance
+//!
+//! Exact tick-for-tick agreement is impossible: the simulator runs 10 ms
+//! detector windows on a virtual clock, the live harness 50 ms windows on
+//! the wall clock with scheduler noise. The contract is therefore scoped
+//! to the **decision episode** — the span from disturbance onset to the
+//! first cancellation that lands on the culprit:
+//!
+//! 1. **Culprit identity is exact.** Within the episode, every canceled
+//!    task belongs to the culprit — the culprit workload classes in the
+//!    sim, keys `>= CULPRIT_KEY_BASE` in the live harness. A victim
+//!    canceled *before* the culprit is misblame and fails the test.
+//! 2. **Timing agrees within [`DECISION_TOLERANCE_NS`]** (2 s, ~a few
+//!    dozen detector windows in either domain): each substrate issues its
+//!    first cancellation within that budget of its own disturbance start,
+//!    measured on its own clock. The budget is wide because it absorbs
+//!    wall-clock scheduling noise; healthy runs decide within a few
+//!    windows.
+//!
+//! After the episode resolves, the two substrates intentionally diverge:
+//! the live run is a single culprit pulse and simply drains, while the
+//! sim's sustained workload re-injects the culprit every few seconds and
+//! may shed load during the thrash-recovery gap between instances
+//! (latency is still over SLO while the cache refills, so the policy
+//! keeps relieving the still-overloaded resource). That post-resolution
+//! shedding is load regulation, not decision disagreement; what it must
+//! never do — target a completed task — is invariant **I5**'s job
+//! ([`crate::checker`]).
+
+use std::time::Duration;
+
+use atropos_app::ids::ClassId;
+use atropos_live::{
+    live_atropos_config, run, ControlMode, CulpritKind, LiveConfig, CULPRIT_KEY_BASE,
+};
+use atropos_scenarios::chaos::{run_variant, variant_for, ChaosCulprit};
+
+/// Both substrates must issue their first cancellation within this much
+/// of the disturbance, on their own clock (virtual for the sim, wall for
+/// the live harness).
+pub const DECISION_TOLERANCE_NS: u64 = 2_000_000_000;
+
+/// A substrate-neutral decision trace for one decision episode.
+#[derive(Debug)]
+pub struct DecisionTrace {
+    /// Which substrate produced it (for error messages).
+    pub substrate: &'static str,
+    /// Cancellations that hit the culprit (whole run).
+    pub culprit_cancels: u64,
+    /// Victims canceled *within the decision episode* — before the first
+    /// cancellation reached the culprit (must stay 0).
+    pub victim_cancels: u64,
+    /// Whether the first cancellation targeted the culprit.
+    pub first_is_culprit: bool,
+    /// Delay from disturbance start to the first cancellation (own
+    /// clock), if any cancellation happened.
+    pub first_cancel_delay_ns: Option<u64>,
+}
+
+/// Runs a chaos variant through the simulator and extracts its decision
+/// trace from the server's cancellation log. The victim count is scoped
+/// to the decision episode (see the module docs): records after the
+/// first culprit cancellation are post-resolution load regulation in the
+/// sustained sim workload, not part of the decision under comparison.
+pub fn sim_trace(culprit: ChaosCulprit, seed: u64) -> DecisionTrace {
+    let variant = variant_for(culprit);
+    let run = run_variant(&variant, seed);
+    let log = &run.metrics.cancel_log;
+    let is_culprit = |class: ClassId| variant.is_culprit_class(class);
+    let culprit_cancels = log.iter().filter(|r| is_culprit(r.class)).count() as u64;
+    let victim_cancels = log.iter().take_while(|r| !is_culprit(r.class)).count() as u64;
+    DecisionTrace {
+        substrate: "sim",
+        culprit_cancels,
+        victim_cancels,
+        first_is_culprit: log.first().map(|r| is_culprit(r.class)).unwrap_or(false),
+        first_cancel_delay_ns: log
+            .first()
+            .map(|r| r.at.as_nanos().saturating_sub(run.disturb_at.as_nanos())),
+    }
+}
+
+/// Live-harness configuration whose scan culprit actually convoys.
+///
+/// The scan geometry is deliberate: the hot set (128 pages, re-touched
+/// every ~30 ms at the offered rate) is much larger than the LRU slack
+/// (4 frames), so the pages the sweep pushes out are *stale victim
+/// pages*, not the sweep's own — victims thrash and re-load while the
+/// scan also pins one of two concurrency tickets, so the backlog behind
+/// the remaining ticket blows the 10 ms SLO. The miss penalty (1 ms) is
+/// sized so cache warmup alone (≤ 8 misses ≈ 8 ms) stays under SLO and
+/// cannot trigger a pre-disturbance misblame.
+fn live_config(culprit: ChaosCulprit) -> LiveConfig {
+    match culprit {
+        ChaosCulprit::LockHog => LiveConfig {
+            culprit_kind: CulpritKind::LockHog,
+            culprit_after: Duration::from_millis(400),
+            culprit_hold: Duration::from_millis(1200),
+            ..LiveConfig::default()
+        },
+        ChaosCulprit::BufferScan => LiveConfig {
+            culprit_kind: CulpritKind::Scan,
+            culprit_after: Duration::from_millis(400),
+            culprit_hold: Duration::from_millis(1200),
+            hot_pages: 128,
+            pages_per_request: 8,
+            lru_capacity: 132,
+            miss_penalty: Duration::from_micros(1000),
+            scan_pages: 1 << 16,
+            tickets: 2,
+            ..LiveConfig::default()
+        },
+    }
+}
+
+/// Runs the live analog of a chaos variant and extracts its decision
+/// trace from the runtime's issued-cancellation key log: culprit keys
+/// are `>= CULPRIT_KEY_BASE` by construction of the live workload, so
+/// classification is exact. The delivered-count cross-check (victims
+/// never register cancel tokens, so only culprit cancellations can be
+/// delivered) guards the classification.
+pub fn live_trace(culprit: ChaosCulprit) -> DecisionTrace {
+    let report = run(
+        live_config(culprit),
+        ControlMode::Atropos(live_atropos_config()),
+    );
+    let keys = &report.canceled_keys;
+    let is_culprit = |k: u64| k >= CULPRIT_KEY_BASE;
+    let culprit_cancels = keys.iter().filter(|&&k| is_culprit(k)).count() as u64;
+    assert!(
+        report.cancellations_delivered <= culprit_cancels,
+        "delivered {} cancellations but only {} targeted culprit keys",
+        report.cancellations_delivered,
+        culprit_cancels
+    );
+    DecisionTrace {
+        substrate: "live",
+        culprit_cancels,
+        victim_cancels: keys.iter().take_while(|&&k| !is_culprit(k)).count() as u64,
+        first_is_culprit: keys.first().map(|&k| is_culprit(k)).unwrap_or(false),
+        first_cancel_delay_ns: report.time_to_cancel.map(|d| d.as_nanos() as u64),
+    }
+}
+
+/// Asserts one substrate's trace is a correct decision, returning a
+/// description of the first disagreement with the contract.
+fn check_trace(t: &DecisionTrace) -> Result<(), String> {
+    if t.culprit_cancels == 0 {
+        return Err(format!("{}: culprit was never canceled", t.substrate));
+    }
+    if !t.first_is_culprit {
+        return Err(format!(
+            "{}: first cancellation did not target the culprit",
+            t.substrate
+        ));
+    }
+    if t.victim_cancels > 0 {
+        return Err(format!(
+            "{}: {} victim(s) canceled before the culprit",
+            t.substrate, t.victim_cancels
+        ));
+    }
+    match t.first_cancel_delay_ns {
+        None => Err(format!("{}: no cancellation recorded", t.substrate)),
+        Some(d) if d > DECISION_TOLERANCE_NS => Err(format!(
+            "{}: first cancellation {d} ns after disturbance exceeds tolerance {} ns",
+            t.substrate, DECISION_TOLERANCE_NS
+        )),
+        Some(_) => Ok(()),
+    }
+}
+
+/// The differential judgment: both substrates individually satisfy the
+/// decision contract (culprit-only, within tolerance), which makes their
+/// decision traces equal modulo the documented timing tolerance.
+pub fn compare(sim: &DecisionTrace, live: &DecisionTrace) -> Result<(), String> {
+    check_trace(sim)?;
+    check_trace(live)?;
+    Ok(())
+}

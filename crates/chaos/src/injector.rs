@@ -1,0 +1,640 @@
+//! The fault injector: a faulty transport between an app and the runtime.
+//!
+//! [`FaultInjector`] mirrors the Figure 6 tracing API of
+//! [`AtroposRuntime`] and sits where the wire would be: every protocol
+//! event the application emits passes through it, and every cancellation
+//! the runtime issues passes back through it. Faults from the armed
+//! [`FaultPlan`] corrupt that transport — frees are dropped or
+//! duplicated, events are held across tick boundaries and reordered,
+//! cancellations are swallowed or delivered late, ticks fire late.
+//!
+//! Every decision comes from a per-fault [`FaultSite`] forked off the
+//! plan seed, so (a) a plan replays bit-for-bit, and (b) removing one
+//! fault during shrinking never re-randomizes the others.
+//!
+//! The injector simultaneously keeps the *ground truth* the
+//! [`crate::checker::InvariantChecker`] compares the runtime against:
+//! what the app emitted, what was actually delivered, and per-(task,
+//! resource) budgets for each kind of injected damage.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use atropos::{AtroposRuntime, ResourceId, TaskId, TickOutcome};
+use atropos_sim::{FaultSite, SimRng, TickJitter};
+use parking_lot::Mutex;
+
+use crate::plan::{Fault, FaultPlan};
+
+// Sub-stream constants for forking the plan seed: one stream per fault
+// kind, so each site draws from an independent deterministic sequence.
+const STREAM_DROP: u64 = 1;
+const STREAM_DUP: u64 = 2;
+const STREAM_DELAY: u64 = 3;
+const STREAM_REORDER: u64 = 4;
+const STREAM_FAIL_CANCEL: u64 = 5;
+const STREAM_SHUFFLE: u64 = 6;
+const STREAM_JITTER: u64 = 7;
+
+/// Per-(task, resource) ground truth: emitted vs delivered units, plus
+/// the damage budgets the invariant bounds are stated in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceTruth {
+    /// Units the application emitted as `get_resource`.
+    pub app_gets: u64,
+    /// Units the application emitted as `free_resource`.
+    pub app_frees: u64,
+    /// Units the application emitted as `slow_by_resource`.
+    pub app_slows: u64,
+    /// Get units actually forwarded to the runtime.
+    pub delivered_gets: u64,
+    /// Free units actually forwarded (duplicates counted twice).
+    pub delivered_frees: u64,
+    /// Slow units actually forwarded.
+    pub delivered_slows: u64,
+    /// Free units dropped outright.
+    pub dropped_free_units: u64,
+    /// Extra free units delivered by duplication.
+    pub dup_free_units: u64,
+    /// Get units currently diverted and not yet delivered.
+    pub pending_get_units: u64,
+    /// Free units currently diverted and not yet delivered.
+    pub pending_free_units: u64,
+    /// Slow units currently diverted and not yet delivered.
+    pub pending_slow_units: u64,
+    /// Units (gets and frees) that were delivered out of emission order;
+    /// a permanent budget, since out-of-order frees can be lost to the
+    /// runtime's saturating subtraction forever.
+    pub disorder_units: u64,
+}
+
+/// One cancellation observed at the initiator boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct CancelObservation {
+    /// The task key the runtime asked to cancel.
+    pub key: u64,
+    /// Injector tick index at which the runtime issued it.
+    pub tick: u64,
+    /// Whether the application had already called `free_cancel` for this
+    /// key when the cancellation was issued. True = invariant violation.
+    pub was_finished: bool,
+}
+
+/// Aggregate counts of what the injector actually did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InjectionLog {
+    /// `free_resource` events dropped.
+    pub frees_dropped: u64,
+    /// `free_resource` events duplicated.
+    pub frees_duplicated: u64,
+    /// Trace events diverted into held batches.
+    pub events_diverted: u64,
+    /// Cancellations swallowed.
+    pub cancels_failed: u64,
+    /// Cancellations delivered late.
+    pub cancels_delayed: u64,
+    /// Total tick lateness injected (ns).
+    pub skew_ns: u64,
+}
+
+impl InjectionLog {
+    /// True if any fault actually fired.
+    pub fn any(&self) -> bool {
+        self.frees_dropped
+            + self.frees_duplicated
+            + self.events_diverted
+            + self.cancels_failed
+            + self.cancels_delayed
+            + self.skew_ns
+            > 0
+    }
+}
+
+/// Ground-truth snapshot for the invariant checker.
+#[derive(Debug, Clone, Default)]
+pub struct Truth {
+    /// Per-(task, resource) delivery accounting.
+    pub per: HashMap<(TaskId, ResourceId), ResourceTruth>,
+    /// Keys the application has `free_cancel`ed (and not re-registered).
+    pub finished_keys: HashSet<u64>,
+    /// Every cancellation seen at the initiator boundary, in order.
+    pub cancel_log: Vec<CancelObservation>,
+    /// What the injector did.
+    pub log: InjectionLog,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TraceKind {
+    Get,
+    Free,
+    Slow,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeldEvent {
+    due_tick: u64,
+    task: TaskId,
+    rid: ResourceId,
+    amount: u64,
+    kind: TraceKind,
+}
+
+struct State {
+    drop_free: FaultSite,
+    dup_free: FaultSite,
+    delay: FaultSite,
+    delay_ticks: u64,
+    reorder: FaultSite,
+    shuffle_on_release: bool,
+    shuffle_rng: SimRng,
+    fail_cancel: FaultSite,
+    delay_cancel_ticks: u64,
+    jitter: TickJitter,
+    tick_index: u64,
+    held: Vec<HeldEvent>,
+    delayed_cancels: Vec<(u64, u64)>, // (due_tick, key)
+    app_cb: Option<Arc<dyn Fn(u64) + Send + Sync>>,
+    task_keys: HashMap<TaskId, u64>,
+    truth: Truth,
+}
+
+impl State {
+    fn entry(&mut self, task: TaskId, rid: ResourceId) -> &mut ResourceTruth {
+        self.truth.per.entry((task, rid)).or_default()
+    }
+}
+
+/// Routing decision for one trace event, made under the state lock and
+/// executed against the runtime outside it.
+enum Route {
+    Forward,
+    Twice,
+    Swallowed,
+    Held,
+}
+
+/// The faulty transport. See module docs.
+pub struct FaultInjector {
+    rt: Arc<AtroposRuntime>,
+    st: Arc<Mutex<State>>,
+}
+
+impl FaultInjector {
+    /// Arms `plan` in front of `rt`. Call [`FaultInjector::install_initiator`]
+    /// before the first tick if the application wants cancellations.
+    pub fn new(rt: Arc<AtroposRuntime>, plan: &FaultPlan) -> Self {
+        let mut root = SimRng::new(plan.seed ^ 0xFA17_FA17_FA17_FA17);
+        let mut drop_free = FaultSite::disabled();
+        let mut dup_free = FaultSite::disabled();
+        let mut delay = FaultSite::disabled();
+        let mut delay_ticks = 0;
+        let mut reorder = FaultSite::disabled();
+        let mut shuffle_on_release = false;
+        let mut fail_cancel = FaultSite::disabled();
+        let mut delay_cancel_ticks = 0;
+        let mut jitter = TickJitter::disabled();
+        for fault in &plan.faults {
+            match *fault {
+                Fault::DropFree {
+                    probability,
+                    budget,
+                } => drop_free = FaultSite::new(&mut root, STREAM_DROP, probability, budget),
+                Fault::DupFree {
+                    probability,
+                    budget,
+                } => dup_free = FaultSite::new(&mut root, STREAM_DUP, probability, budget),
+                Fault::DelayBatch {
+                    probability,
+                    budget,
+                    ticks,
+                } => {
+                    delay = FaultSite::new(&mut root, STREAM_DELAY, probability, budget);
+                    delay_ticks = ticks;
+                }
+                Fault::ReorderBatch {
+                    probability,
+                    budget,
+                } => {
+                    reorder = FaultSite::new(&mut root, STREAM_REORDER, probability, budget);
+                    shuffle_on_release = true;
+                }
+                Fault::FailCancel { budget } => {
+                    fail_cancel = FaultSite::new(&mut root, STREAM_FAIL_CANCEL, 1.0, budget)
+                }
+                Fault::DelayCancel { ticks } => delay_cancel_ticks = ticks,
+                Fault::SkewTick { max_skew_ns } => {
+                    jitter = TickJitter::new(&mut root, STREAM_JITTER, max_skew_ns)
+                }
+            }
+        }
+        let shuffle_rng = root.fork(STREAM_SHUFFLE);
+        Self {
+            rt,
+            st: Arc::new(Mutex::new(State {
+                drop_free,
+                dup_free,
+                delay,
+                delay_ticks,
+                reorder,
+                shuffle_on_release,
+                shuffle_rng,
+                fail_cancel,
+                delay_cancel_ticks,
+                jitter,
+                tick_index: 0,
+                held: Vec::new(),
+                delayed_cancels: Vec::new(),
+                app_cb: None,
+                task_keys: HashMap::new(),
+                truth: Truth::default(),
+            })),
+        }
+    }
+
+    /// The wrapped runtime (for `debug_snapshot` and configuration).
+    pub fn runtime(&self) -> &Arc<AtroposRuntime> {
+        &self.rt
+    }
+
+    /// Installs `app` as the application's cancel initiator, wrapped in
+    /// the fail/delay faults. The callback must not call back into the
+    /// injector synchronously (record the key, act on the next event).
+    pub fn install_initiator(&self, app: impl Fn(u64) + Send + Sync + 'static) {
+        self.st.lock().app_cb = Some(Arc::new(app));
+        let st = self.st.clone();
+        self.rt.set_cancel_action(move |key| {
+            let key = key.0;
+            let (deliver, cb) = {
+                let mut s = st.lock();
+                let was_finished = s.truth.finished_keys.contains(&key);
+                let tick = s.tick_index;
+                s.truth.cancel_log.push(CancelObservation {
+                    key,
+                    tick,
+                    was_finished,
+                });
+                if s.fail_cancel.fires() {
+                    s.truth.log.cancels_failed += 1;
+                    (false, None)
+                } else if s.delay_cancel_ticks > 0 {
+                    let due = s.tick_index + s.delay_cancel_ticks;
+                    s.delayed_cancels.push((due, key));
+                    s.truth.log.cancels_delayed += 1;
+                    (false, None)
+                } else {
+                    (true, s.app_cb.clone())
+                }
+            };
+            if deliver {
+                if let Some(cb) = cb {
+                    cb(key);
+                }
+            }
+        });
+    }
+
+    /// Mirrors [`AtroposRuntime::create_cancel`]. Keys are tracked for
+    /// the cancel-liveness invariant; prefer explicit keys in scripts.
+    pub fn create_cancel(&self, key: Option<u64>) -> TaskId {
+        let task = self.rt.create_cancel(key);
+        if let Some(k) = key {
+            let mut s = self.st.lock();
+            s.task_keys.insert(task, k);
+            s.truth.finished_keys.remove(&k);
+        }
+        task
+    }
+
+    /// Mirrors [`AtroposRuntime::free_cancel`], recording the key as
+    /// finished *before* forwarding — any cancellation issued after this
+    /// point that targets the key is an invariant violation.
+    pub fn free_cancel(&self, task: TaskId) {
+        {
+            let mut s = self.st.lock();
+            if let Some(k) = s.task_keys.get(&task).copied() {
+                s.truth.finished_keys.insert(k);
+            }
+        }
+        self.rt.free_cancel(task);
+    }
+
+    /// Mirrors [`AtroposRuntime::unit_started`] (never faulted).
+    pub fn unit_started(&self, task: TaskId) {
+        self.rt.unit_started(task);
+    }
+
+    /// Mirrors [`AtroposRuntime::unit_finished`] (never faulted).
+    pub fn unit_finished(&self, task: TaskId) {
+        self.rt.unit_finished(task);
+    }
+
+    /// Mirrors [`AtroposRuntime::report_progress`] (never faulted).
+    pub fn report_progress(&self, task: TaskId, done: u64, total: u64) {
+        self.rt.report_progress(task, done, total);
+    }
+
+    /// Mirrors [`AtroposRuntime::get_resource`], subject to delay and
+    /// reorder faults.
+    pub fn get_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
+        self.trace(task, rid, amount, TraceKind::Get);
+    }
+
+    /// Mirrors [`AtroposRuntime::free_resource`], subject to drop,
+    /// duplicate, delay and reorder faults.
+    pub fn free_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
+        self.trace(task, rid, amount, TraceKind::Free);
+    }
+
+    /// Mirrors [`AtroposRuntime::slow_by_resource`], subject to delay and
+    /// reorder faults.
+    pub fn slow_by_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
+        self.trace(task, rid, amount, TraceKind::Slow);
+    }
+
+    fn trace(&self, task: TaskId, rid: ResourceId, amount: u64, kind: TraceKind) {
+        let route = {
+            let mut s = self.st.lock();
+            // Every site consumes its decision on every opportunity it
+            // applies to, regardless of earlier sites' outcomes: streams
+            // stay aligned when shrinking removes a fault.
+            let (dropped, dup) = match kind {
+                TraceKind::Free => (s.drop_free.fires(), s.dup_free.fires()),
+                _ => (false, false),
+            };
+            let delayed = s.delay.fires();
+            let reordered = s.reorder.fires();
+            let e = s.entry(task, rid);
+            match kind {
+                TraceKind::Get => e.app_gets += amount,
+                TraceKind::Free => e.app_frees += amount,
+                TraceKind::Slow => e.app_slows += amount,
+            }
+            // Precedence: drop > dup > delay > reorder > pass-through.
+            if dropped {
+                s.entry(task, rid).dropped_free_units += amount;
+                s.truth.log.frees_dropped += 1;
+                Route::Swallowed
+            } else if dup {
+                let e = s.entry(task, rid);
+                e.delivered_frees += 2 * amount;
+                e.dup_free_units += amount;
+                s.truth.log.frees_duplicated += 1;
+                Route::Twice
+            } else if delayed || reordered {
+                // ReorderBatch diverts into the very next boundary;
+                // DelayBatch holds for its configured tick count.
+                let ticks = if delayed { s.delay_ticks } else { 0 };
+                let due_tick = s.tick_index + ticks;
+                let e = s.entry(task, rid);
+                match kind {
+                    TraceKind::Get => e.pending_get_units += amount,
+                    TraceKind::Free => e.pending_free_units += amount,
+                    TraceKind::Slow => e.pending_slow_units += amount,
+                }
+                s.truth.log.events_diverted += 1;
+                s.held.push(HeldEvent {
+                    due_tick,
+                    task,
+                    rid,
+                    amount,
+                    kind,
+                });
+                Route::Held
+            } else {
+                let e = s.entry(task, rid);
+                match kind {
+                    TraceKind::Get => e.delivered_gets += amount,
+                    TraceKind::Free => e.delivered_frees += amount,
+                    TraceKind::Slow => e.delivered_slows += amount,
+                }
+                Route::Forward
+            }
+        };
+        match route {
+            Route::Forward => self.deliver(task, rid, amount, kind),
+            Route::Twice => {
+                self.deliver(task, rid, amount, kind);
+                self.deliver(task, rid, amount, kind);
+            }
+            Route::Swallowed | Route::Held => {}
+        }
+    }
+
+    fn deliver(&self, task: TaskId, rid: ResourceId, amount: u64, kind: TraceKind) {
+        match kind {
+            TraceKind::Get => self.rt.get_resource(task, rid, amount),
+            TraceKind::Free => self.rt.free_resource(task, rid, amount),
+            TraceKind::Slow => self.rt.slow_by_resource(task, rid, amount),
+        }
+    }
+
+    /// The lateness to add to this tick's scheduled time. The driver owns
+    /// the clock, so it asks for the skew, advances the clock past the
+    /// boundary by that much, then calls [`FaultInjector::tick`].
+    pub fn tick_skew_ns(&self) -> u64 {
+        let mut s = self.st.lock();
+        let skew = s.jitter.next_skew_ns();
+        s.truth.log.skew_ns += skew;
+        skew
+    }
+
+    /// A tick boundary: releases held batches and delayed cancellations
+    /// that have come due, runs the runtime's tick, and advances the
+    /// injector's tick index.
+    pub fn tick(&self) -> TickOutcome {
+        let (due, cancels, cb) = {
+            let mut s = self.st.lock();
+            let now_tick = s.tick_index;
+            let mut due = Vec::new();
+            let mut keep = Vec::new();
+            for ev in s.held.drain(..) {
+                if ev.due_tick <= now_tick {
+                    due.push(ev);
+                } else {
+                    keep.push(ev);
+                }
+            }
+            s.held = keep;
+            if s.shuffle_on_release && due.len() > 1 {
+                // Fisher–Yates off the dedicated shuffle stream.
+                for i in (1..due.len()).rev() {
+                    let j = s.shuffle_rng.below(i as u64 + 1) as usize;
+                    due.swap(i, j);
+                }
+            }
+            for ev in &due {
+                let e = s.entry(ev.task, ev.rid);
+                match ev.kind {
+                    TraceKind::Get => {
+                        e.pending_get_units -= ev.amount;
+                        e.delivered_gets += ev.amount;
+                    }
+                    TraceKind::Free => {
+                        e.pending_free_units -= ev.amount;
+                        e.delivered_frees += ev.amount;
+                    }
+                    TraceKind::Slow => {
+                        e.pending_slow_units -= ev.amount;
+                        e.delivered_slows += ev.amount;
+                    }
+                }
+                if !matches!(ev.kind, TraceKind::Slow) {
+                    e.disorder_units += ev.amount;
+                }
+            }
+            let mut due_cancels = Vec::new();
+            let mut keep_cancels = Vec::new();
+            for (due_tick, key) in s.delayed_cancels.drain(..) {
+                if due_tick <= now_tick {
+                    due_cancels.push(key);
+                } else {
+                    keep_cancels.push((due_tick, key));
+                }
+            }
+            s.delayed_cancels = keep_cancels;
+            (due, due_cancels, s.app_cb.clone())
+        };
+        for ev in due {
+            self.deliver(ev.task, ev.rid, ev.amount, ev.kind);
+        }
+        if let Some(cb) = &cb {
+            for key in cancels {
+                cb(key);
+            }
+        }
+        let out = self.rt.tick();
+        self.st.lock().tick_index += 1;
+        out
+    }
+
+    /// Ground-truth snapshot for invariant checking.
+    pub fn truth(&self) -> Truth {
+        self.st.lock().truth.clone()
+    }
+
+    /// What the injector actually did so far.
+    pub fn injection_log(&self) -> InjectionLog {
+        self.st.lock().truth.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos::{AtroposConfig, ResourceType};
+    use atropos_sim::{Clock, SimTime, VirtualClock};
+
+    fn setup(plan: &FaultPlan) -> (Arc<VirtualClock>, FaultInjector) {
+        let clock = Arc::new(VirtualClock::new());
+        let rt = Arc::new(AtroposRuntime::new(
+            AtroposConfig::default(),
+            clock.clone() as Arc<dyn Clock>,
+        ));
+        (clock, FaultInjector::new(rt, plan))
+    }
+
+    #[test]
+    fn quiet_plan_is_pure_pass_through() {
+        let (clock, inj) = setup(&FaultPlan::quiet(1));
+        let rid = inj.runtime().register_resource("r", ResourceType::Memory);
+        let t = inj.create_cancel(Some(10));
+        inj.unit_started(t);
+        inj.get_resource(t, rid, 5);
+        inj.free_resource(t, rid, 3);
+        inj.slow_by_resource(t, rid, 2);
+        clock.advance_to(SimTime::from_millis(100));
+        inj.tick();
+        let snap = inj.runtime().debug_snapshot();
+        let task = snap.task_by_key(atropos::TaskKey(10)).expect("task live");
+        let u = &task.usage[rid.index()];
+        assert_eq!((u.acquired, u.freed, u.held, u.slow_amount), (5, 3, 2, 2));
+        assert!(!inj.injection_log().any());
+    }
+
+    #[test]
+    fn dropped_free_inflates_held_within_budget() {
+        let plan = FaultPlan {
+            seed: 9,
+            faults: vec![Fault::DropFree {
+                probability: 1.0,
+                budget: 1,
+            }],
+        };
+        let (clock, inj) = setup(&plan);
+        let rid = inj.runtime().register_resource("r", ResourceType::Memory);
+        let t = inj.create_cancel(Some(10));
+        inj.unit_started(t);
+        inj.get_resource(t, rid, 4);
+        inj.free_resource(t, rid, 4); // dropped (budget 1)
+        inj.get_resource(t, rid, 2);
+        inj.free_resource(t, rid, 2); // budget exhausted: delivered
+        clock.advance_to(SimTime::from_millis(100));
+        inj.tick();
+        let snap = inj.runtime().debug_snapshot();
+        let u = &snap.task_by_key(atropos::TaskKey(10)).unwrap().usage[rid.index()];
+        assert_eq!(u.held, 4, "dropped free must leak held units");
+        let truth = inj.truth();
+        let e = truth.per[&(t, rid)];
+        assert_eq!(e.dropped_free_units, 4);
+        assert_eq!(e.delivered_frees, 2);
+        assert_eq!(inj.injection_log().frees_dropped, 1);
+    }
+
+    #[test]
+    fn delayed_events_arrive_at_their_tick_boundary() {
+        let plan = FaultPlan {
+            seed: 9,
+            faults: vec![Fault::DelayBatch {
+                probability: 1.0,
+                budget: 1,
+                ticks: 2,
+            }],
+        };
+        let (clock, inj) = setup(&plan);
+        let rid = inj.runtime().register_resource("r", ResourceType::Memory);
+        let t = inj.create_cancel(Some(10));
+        inj.unit_started(t);
+        inj.get_resource(t, rid, 7); // diverted, due at tick index 2
+        for tick in 1..=3u64 {
+            clock.advance_to(SimTime::from_millis(100 * tick));
+            inj.tick();
+            let snap = inj.runtime().debug_snapshot();
+            let u = &snap.task_by_key(atropos::TaskKey(10)).unwrap().usage[rid.index()];
+            if tick <= 2 {
+                assert_eq!(u.acquired, 0, "event leaked early at tick {tick}");
+            } else {
+                assert_eq!(u.acquired, 7, "event not delivered by tick {tick}");
+            }
+        }
+        let truth = inj.truth();
+        let e = truth.per[&(t, rid)];
+        assert_eq!(e.pending_get_units, 0);
+        assert_eq!(e.disorder_units, 7);
+    }
+
+    #[test]
+    fn same_plan_same_seed_is_bitwise_deterministic() {
+        let run = || {
+            let plan = FaultPlan::sample(77);
+            let (clock, inj) = setup(&plan);
+            let rid = inj.runtime().register_resource("r", ResourceType::Lock);
+            let mut log = Vec::new();
+            for i in 0..40u64 {
+                let t = inj.create_cancel(Some(100 + i));
+                inj.unit_started(t);
+                inj.get_resource(t, rid, 1 + i % 3);
+                inj.free_resource(t, rid, 1 + i % 3);
+                inj.unit_finished(t);
+                inj.free_cancel(t);
+                if i % 10 == 9 {
+                    clock.advance_to(SimTime::from_millis(10 * (i + 1)));
+                    inj.tick();
+                }
+            }
+            let l = inj.injection_log();
+            log.push((l.frees_dropped, l.frees_duplicated, l.events_diverted));
+            (log, format!("{:?}", inj.truth().per.len()))
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,452 @@
+//! Fault plans: what to inject, sampled from a seed, shrinkable on failure.
+//!
+//! A [`FaultPlan`] is the complete description of one chaos experiment:
+//! a seed (driving both the workload script and every fault decision) and
+//! a set of [`Fault`]s to arm. Plans are *values* — they can be sampled,
+//! printed, replayed, and minimized. The vendored proptest shim does not
+//! shrink, so [`FaultPlan::minimize`] implements greedy delta-debugging
+//! directly: drop whole faults, then halve their parameters, keeping every
+//! step that still reproduces the failure. Any test failure reports the
+//! seed plus the minimized plan as JSON, which can be replayed with the
+//! `chaos` binary.
+
+use atropos_sim::SimRng;
+use std::fmt;
+
+/// One injected fault, with its trigger parameters.
+///
+/// Probabilities are per-opportunity (per matching protocol event);
+/// budgets cap how many times the fault fires over a run, so a shrunk
+/// plan can pin a failure to "exactly one dropped free".
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Drop a `free_resource` event entirely (the app thinks it freed,
+    /// the runtime never hears about it).
+    DropFree {
+        /// Per-free probability of dropping.
+        probability: f64,
+        /// Maximum number of drops over the run.
+        budget: u64,
+    },
+    /// Deliver a `free_resource` event twice.
+    DupFree {
+        /// Per-free probability of duplicating.
+        probability: f64,
+        /// Maximum number of duplications over the run.
+        budget: u64,
+    },
+    /// Divert a trace event (get/free/slow) into a held batch delivered
+    /// `ticks` tick boundaries later.
+    DelayBatch {
+        /// Per-event probability of diversion.
+        probability: f64,
+        /// Maximum number of diverted events.
+        budget: u64,
+        /// How many tick boundaries to hold the event for.
+        ticks: u64,
+    },
+    /// Divert a trace event into the *next* tick boundary's batch and
+    /// shuffle the batch before delivery (reordering relative to
+    /// pass-through events and within the batch).
+    ReorderBatch {
+        /// Per-event probability of diversion.
+        probability: f64,
+        /// Maximum number of diverted events.
+        budget: u64,
+    },
+    /// Make the cancel initiator silently swallow a cancellation: the
+    /// runtime believes it fired, the application never sees it.
+    FailCancel {
+        /// Maximum number of swallowed cancellations.
+        budget: u64,
+    },
+    /// Deliver every cancellation `ticks` tick boundaries late.
+    DelayCancel {
+        /// Delivery delay in tick boundaries.
+        ticks: u64,
+    },
+    /// Fire each tick up to `max_skew_ns` late (uniform, additive-only),
+    /// desynchronizing the control loop from the detector's window grid.
+    SkewTick {
+        /// Maximum per-tick lateness in nanoseconds.
+        max_skew_ns: u64,
+    },
+}
+
+impl Fault {
+    /// Stable name of the fault kind (used in logs and JSON).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::DropFree { .. } => "drop_free",
+            Fault::DupFree { .. } => "dup_free",
+            Fault::DelayBatch { .. } => "delay_batch",
+            Fault::ReorderBatch { .. } => "reorder_batch",
+            Fault::FailCancel { .. } => "fail_cancel",
+            Fault::DelayCancel { .. } => "delay_cancel",
+            Fault::SkewTick { .. } => "skew_tick",
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            Fault::DropFree {
+                probability,
+                budget,
+            }
+            | Fault::DupFree {
+                probability,
+                budget,
+            } => format!(
+                "{{\"kind\":\"{}\",\"probability\":{probability:.4},\"budget\":{budget}}}",
+                self.kind()
+            ),
+            Fault::DelayBatch {
+                probability,
+                budget,
+                ticks,
+            } => format!(
+                "{{\"kind\":\"delay_batch\",\"probability\":{probability:.4},\"budget\":{budget},\"ticks\":{ticks}}}"
+            ),
+            Fault::ReorderBatch {
+                probability,
+                budget,
+            } => format!(
+                "{{\"kind\":\"reorder_batch\",\"probability\":{probability:.4},\"budget\":{budget}}}"
+            ),
+            Fault::FailCancel { budget } => {
+                format!("{{\"kind\":\"fail_cancel\",\"budget\":{budget}}}")
+            }
+            Fault::DelayCancel { ticks } => {
+                format!("{{\"kind\":\"delay_cancel\",\"ticks\":{ticks}}}")
+            }
+            Fault::SkewTick { max_skew_ns } => {
+                format!("{{\"kind\":\"skew_tick\",\"max_skew_ns\":{max_skew_ns}}}")
+            }
+        }
+    }
+
+    /// Smaller variants of this fault (halved parameters), for shrinking.
+    fn shrunk(&self) -> Vec<Fault> {
+        let mut out = Vec::new();
+        let mut push = |f: Fault| {
+            if &f != self {
+                out.push(f);
+            }
+        };
+        match *self {
+            Fault::DropFree {
+                probability,
+                budget,
+            } => {
+                if budget > 1 {
+                    push(Fault::DropFree {
+                        probability,
+                        budget: budget / 2,
+                    });
+                }
+                if probability > 0.02 {
+                    push(Fault::DropFree {
+                        probability: probability / 2.0,
+                        budget,
+                    });
+                }
+            }
+            Fault::DupFree {
+                probability,
+                budget,
+            } => {
+                if budget > 1 {
+                    push(Fault::DupFree {
+                        probability,
+                        budget: budget / 2,
+                    });
+                }
+                if probability > 0.02 {
+                    push(Fault::DupFree {
+                        probability: probability / 2.0,
+                        budget,
+                    });
+                }
+            }
+            Fault::DelayBatch {
+                probability,
+                budget,
+                ticks,
+            } => {
+                if budget > 1 {
+                    push(Fault::DelayBatch {
+                        probability,
+                        budget: budget / 2,
+                        ticks,
+                    });
+                }
+                if ticks > 1 {
+                    push(Fault::DelayBatch {
+                        probability,
+                        budget,
+                        ticks: ticks / 2,
+                    });
+                }
+                if probability > 0.02 {
+                    push(Fault::DelayBatch {
+                        probability: probability / 2.0,
+                        budget,
+                        ticks,
+                    });
+                }
+            }
+            Fault::ReorderBatch {
+                probability,
+                budget,
+            } => {
+                if budget > 1 {
+                    push(Fault::ReorderBatch {
+                        probability,
+                        budget: budget / 2,
+                    });
+                }
+                if probability > 0.02 {
+                    push(Fault::ReorderBatch {
+                        probability: probability / 2.0,
+                        budget,
+                    });
+                }
+            }
+            Fault::FailCancel { budget } => {
+                if budget > 1 {
+                    push(Fault::FailCancel { budget: budget / 2 });
+                }
+            }
+            Fault::DelayCancel { ticks } => {
+                if ticks > 1 {
+                    push(Fault::DelayCancel { ticks: ticks / 2 });
+                }
+            }
+            Fault::SkewTick { max_skew_ns } => {
+                if max_skew_ns > 1_000_000 {
+                    push(Fault::SkewTick {
+                        max_skew_ns: max_skew_ns / 2,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A complete, replayable chaos experiment description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed driving the workload script and every fault decision.
+    pub seed: u64,
+    /// The armed faults. Empty = quiet plan (pure pass-through).
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: the injector becomes a pass-through and
+    /// every invariant bound collapses to exact equality.
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Samples a random plan from `seed`: each fault kind is armed
+    /// independently with probability 1/2 and its parameters drawn from
+    /// deliberately wide ranges.
+    pub fn sample(seed: u64) -> Self {
+        let mut rng = SimRng::new(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        let mut faults = Vec::new();
+        let prob = |r: &mut SimRng| r.range_f64(0.05, 0.5);
+        let budget = |r: &mut SimRng| r.below(16) + 1;
+        if rng.chance(0.5) {
+            faults.push(Fault::DropFree {
+                probability: prob(&mut rng),
+                budget: budget(&mut rng),
+            });
+        }
+        if rng.chance(0.5) {
+            faults.push(Fault::DupFree {
+                probability: prob(&mut rng),
+                budget: budget(&mut rng),
+            });
+        }
+        if rng.chance(0.5) {
+            faults.push(Fault::DelayBatch {
+                probability: prob(&mut rng),
+                budget: budget(&mut rng),
+                ticks: rng.below(3) + 1,
+            });
+        }
+        if rng.chance(0.5) {
+            faults.push(Fault::ReorderBatch {
+                probability: prob(&mut rng),
+                budget: budget(&mut rng),
+            });
+        }
+        if rng.chance(0.5) {
+            faults.push(Fault::FailCancel {
+                budget: rng.below(4) + 1,
+            });
+        }
+        if rng.chance(0.5) {
+            faults.push(Fault::DelayCancel {
+                ticks: rng.below(3) + 1,
+            });
+        }
+        if rng.chance(0.5) {
+            faults.push(Fault::SkewTick {
+                max_skew_ns: (rng.below(30) + 1) * 1_000_000,
+            });
+        }
+        Self { seed, faults }
+    }
+
+    /// One-step-smaller candidate plans, largest reductions first: every
+    /// single-fault removal, then every single-parameter halving.
+    pub fn shrink_candidates(&self) -> Vec<FaultPlan> {
+        let mut out = Vec::new();
+        for i in 0..self.faults.len() {
+            let mut faults = self.faults.clone();
+            faults.remove(i);
+            out.push(FaultPlan {
+                seed: self.seed,
+                faults,
+            });
+        }
+        for (i, f) in self.faults.iter().enumerate() {
+            for smaller in f.shrunk() {
+                let mut faults = self.faults.clone();
+                faults[i] = smaller;
+                out.push(FaultPlan {
+                    seed: self.seed,
+                    faults,
+                });
+            }
+        }
+        out
+    }
+
+    /// Greedy delta-debugging: repeatedly replace the plan with the first
+    /// shrink candidate for which `still_fails` returns true, until no
+    /// candidate reproduces the failure. `still_fails(&self)` is assumed
+    /// true on entry.
+    pub fn minimize(mut self, mut still_fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+        'outer: loop {
+            for cand in self.shrink_candidates() {
+                if still_fails(&cand) {
+                    self = cand;
+                    continue 'outer;
+                }
+            }
+            return self;
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let faults: Vec<String> = self.faults.iter().map(Fault::to_json).collect();
+        write!(
+            f,
+            "{{\"seed\":{},\"faults\":[{}]}}",
+            self.seed,
+            faults.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        assert_eq!(FaultPlan::sample(7), FaultPlan::sample(7));
+        // Not all seeds give the same plan.
+        let distinct = (0..32)
+            .map(FaultPlan::sample)
+            .collect::<Vec<_>>()
+            .windows(2)
+            .any(|w| w[0].faults != w[1].faults);
+        assert!(distinct, "32 consecutive seeds produced identical plans");
+    }
+
+    #[test]
+    fn minimize_isolates_the_culpable_fault() {
+        // Failure reproduces iff the plan contains a DropFree — minimize
+        // must strip everything else and shrink DropFree to budget 1.
+        let plan = FaultPlan {
+            seed: 3,
+            faults: vec![
+                Fault::SkewTick {
+                    max_skew_ns: 8_000_000,
+                },
+                Fault::DropFree {
+                    probability: 0.4,
+                    budget: 8,
+                },
+                Fault::FailCancel { budget: 4 },
+            ],
+        };
+        let min = plan.minimize(|p| p.faults.iter().any(|f| matches!(f, Fault::DropFree { .. })));
+        assert_eq!(min.faults.len(), 1);
+        match &min.faults[0] {
+            Fault::DropFree { budget, .. } => assert_eq!(*budget, 1),
+            other => panic!("expected DropFree to survive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimize_keeps_interacting_fault_pairs() {
+        // Failure needs both DropFree and FailCancel: neither may be
+        // removed, but both shrink to budget 1.
+        let plan = FaultPlan {
+            seed: 3,
+            faults: vec![
+                Fault::DropFree {
+                    probability: 0.4,
+                    budget: 8,
+                },
+                Fault::ReorderBatch {
+                    probability: 0.2,
+                    budget: 4,
+                },
+                Fault::FailCancel { budget: 4 },
+            ],
+        };
+        let min = plan.minimize(|p| {
+            let drop = p.faults.iter().any(|f| matches!(f, Fault::DropFree { .. }));
+            let fail = p
+                .faults
+                .iter()
+                .any(|f| matches!(f, Fault::FailCancel { .. }));
+            drop && fail
+        });
+        assert_eq!(min.faults.len(), 2);
+        assert!(min.faults.iter().all(|f| matches!(
+            f,
+            Fault::DropFree { budget: 1, .. } | Fault::FailCancel { budget: 1 }
+        )));
+    }
+
+    #[test]
+    fn display_renders_replayable_json() {
+        let plan = FaultPlan {
+            seed: 42,
+            faults: vec![
+                Fault::DropFree {
+                    probability: 0.25,
+                    budget: 2,
+                },
+                Fault::DelayCancel { ticks: 3 },
+            ],
+        };
+        let s = plan.to_string();
+        assert!(s.contains("\"seed\":42"), "{s}");
+        assert!(s.contains("\"kind\":\"drop_free\""), "{s}");
+        assert!(s.contains("\"ticks\":3"), "{s}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Sim ↔ live differential tests: the simulator and the wall-clock
+//! harness, given the same culprit kind, reach the same decision — the
+//! culprit is canceled, victims are spared, within the documented timing
+//! tolerance ([`atropos_chaos::differential::DECISION_TOLERANCE_NS`]).
+//!
+//! These run real threads on the live side; margins follow the live
+//! crate's e2e test (structural contrast far above scheduler noise).
+
+use atropos_chaos::differential::{compare, live_trace, sim_trace};
+use atropos_scenarios::ChaosCulprit;
+
+#[test]
+fn sim_and_live_agree_on_the_lock_hog_culprit() {
+    let sim = sim_trace(ChaosCulprit::LockHog, 42);
+    let live = live_trace(ChaosCulprit::LockHog);
+    if let Err(e) = compare(&sim, &live) {
+        panic!("decision traces disagree: {e}\n  sim: {sim:?}\n  live: {live:?}");
+    }
+}
+
+#[test]
+fn sim_and_live_agree_on_the_buffer_scan_culprit() {
+    let sim = sim_trace(ChaosCulprit::BufferScan, 42);
+    let live = live_trace(ChaosCulprit::BufferScan);
+    if let Err(e) = compare(&sim, &live) {
+        panic!("decision traces disagree: {e}\n  sim: {sim:?}\n  live: {live:?}");
+    }
+}

@@ -1,0 +1,159 @@
+//! The chaos invariant suite: every runtime-wide invariant holds across
+//! hundreds of seeded, shrinkable fault plans per scenario.
+//!
+//! Any failure here prints the seed and a minimized fault plan (via
+//! [`atropos_chaos::FailureReport`]) that reproduces it, replayable with
+//! the `chaos` binary.
+
+use atropos_chaos::{
+    check_detector_monotonicity, run_checked, run_scenario, Fault, FaultPlan, InvariantChecker,
+    ScenarioKind, HOG_KEY,
+};
+use proptest::prelude::*;
+
+/// 128 sampled plans per scenario (> the 100 the acceptance bar asks
+/// for), each fully invariant-checked after every tick.
+fn soak(kind: ScenarioKind) {
+    for seed in 0..128u64 {
+        if let Err(report) = run_checked(kind, &FaultPlan::sample(seed), 1) {
+            panic!("{report}");
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_across_128_fault_plans_lock_hog() {
+    soak(ScenarioKind::LockHog);
+}
+
+#[test]
+fn invariants_hold_across_128_fault_plans_buffer_scan() {
+    soak(ScenarioKind::BufferScan);
+}
+
+proptest! {
+    /// Property form over the full seed space: any sampled plan keeps
+    /// every invariant, in both scenarios.
+    #[test]
+    fn invariants_hold_for_sampled_plans(seed in any::<u64>()) {
+        for kind in ScenarioKind::ALL {
+            if let Err(report) = run_checked(kind, &FaultPlan::sample(seed), 1) {
+                panic!("{report}");
+            }
+        }
+    }
+
+    /// Heavier load never hides an overload: same script, same seed,
+    /// double arrivals — the detector must flag at least as many
+    /// candidates (cancellation suppressed so both runs stay overloaded
+    /// the whole time).
+    #[test]
+    fn detector_is_monotone_under_added_load(seed in 0u64..1024) {
+        let plan = FaultPlan {
+            seed,
+            faults: vec![Fault::FailCancel { budget: u64::MAX }],
+        };
+        let base = run_scenario(ScenarioKind::LockHog, &plan, 1);
+        let loaded = run_scenario(ScenarioKind::LockHog, &plan, 2);
+        prop_assert!(base.violation.is_none(), "base: {:?}", base.violation);
+        prop_assert!(loaded.violation.is_none(), "loaded: {:?}", loaded.violation);
+        if let Err(v) =
+            check_detector_monotonicity(&base.final_snapshot, &loaded.final_snapshot)
+        {
+            panic!("seed {seed}: {v}");
+        }
+    }
+}
+
+#[test]
+fn swallowed_cancellations_leave_the_convoy_standing_but_invariants_hold() {
+    let plan = FaultPlan {
+        seed: 7,
+        faults: vec![Fault::FailCancel { budget: u64::MAX }],
+    };
+    let out = run_checked(ScenarioKind::LockHog, &plan, 1).unwrap_or_else(|r| panic!("{r}"));
+    assert!(
+        !out.hog_canceled,
+        "initiator failure must suppress delivery"
+    );
+    assert!(
+        out.issued_keys.contains(&HOG_KEY),
+        "runtime still issues the cancellation: {:?}",
+        out.issued_keys
+    );
+    assert!(
+        out.candidates >= 5,
+        "unresolved convoy must keep flagging candidates, got {}",
+        out.candidates
+    );
+}
+
+#[test]
+fn delayed_cancellation_arrives_late_but_still_lands_on_the_hog() {
+    let plan = FaultPlan {
+        seed: 7,
+        faults: vec![Fault::DelayCancel { ticks: 2 }],
+    };
+    let out = run_checked(ScenarioKind::LockHog, &plan, 1).unwrap_or_else(|r| panic!("{r}"));
+    assert!(out.hog_canceled, "delayed cancel never delivered: {out:?}");
+    assert!(!out.victim_canceled, "victim canceled: {out:?}");
+}
+
+#[test]
+fn checker_catches_a_lying_transport() {
+    // Meta-test: the invariants must be falsifiable. Bypass the injector
+    // for one event — the runtime now "knows" more than was delivered —
+    // and I1 must fire.
+    use atropos::{AtroposConfig, AtroposRuntime, ResourceType};
+    use atropos_chaos::FaultInjector;
+    use atropos_sim::{Clock, SimTime, VirtualClock};
+    use std::sync::Arc;
+
+    let clock = Arc::new(VirtualClock::new());
+    let rt = Arc::new(AtroposRuntime::new(
+        AtroposConfig::default(),
+        clock.clone() as Arc<dyn Clock>,
+    ));
+    let inj = FaultInjector::new(rt.clone(), &FaultPlan::quiet(1));
+    let rid = rt.register_resource("r", ResourceType::Memory);
+    let t = inj.create_cancel(Some(10));
+    inj.unit_started(t);
+    inj.get_resource(t, rid, 3);
+    rt.get_resource(t, rid, 2); // smuggled past the injector
+    clock.advance_to(SimTime::from_millis(100));
+    inj.tick();
+    let mut checker = InvariantChecker::new();
+    let err = checker
+        .after_tick(&rt, &inj.truth())
+        .expect_err("checker must notice the smuggled event");
+    assert_eq!(err.invariant, "I1", "{err}");
+}
+
+#[test]
+fn failure_reports_carry_seed_and_minimized_plan() {
+    // Drive the real minimization path with a predicate-style harness:
+    // sample a big plan, minimize against "still contains a DelayCancel",
+    // and confirm the rendered report style (seed + JSON plan) holds.
+    let plan = FaultPlan {
+        seed: 99,
+        faults: vec![
+            Fault::DropFree {
+                probability: 0.3,
+                budget: 6,
+            },
+            Fault::DelayCancel { ticks: 3 },
+            Fault::SkewTick {
+                max_skew_ns: 16_000_000,
+            },
+        ],
+    };
+    let min = plan.clone().minimize(|p| {
+        p.faults
+            .iter()
+            .any(|f| matches!(f, Fault::DelayCancel { .. }))
+    });
+    assert_eq!(min.faults.len(), 1);
+    let rendered = min.to_string();
+    assert!(rendered.contains("\"seed\":99"), "{rendered}");
+    assert!(rendered.contains("delay_cancel"), "{rendered}");
+}

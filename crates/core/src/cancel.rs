@@ -274,6 +274,22 @@ impl CancelManager {
         self.pending.len()
     }
 
+    /// Every key canceled so far, paired with the time the initiator was
+    /// invoked, ordered by issue time (keys canceled by propagation carry
+    /// time 0 and sort first). Exposed for invariant checkers.
+    pub fn canceled_keys(&self) -> Vec<(TaskKey, u64)> {
+        let mut v: Vec<(TaskKey, u64)> =
+            self.canceled_keys.iter().map(|(k, at)| (*k, *at)).collect();
+        v.sort_by_key(|&(k, at)| (at, k.0));
+        v
+    }
+
+    /// The serialized re-execution currently in flight, if any. Exposed
+    /// for invariant checkers.
+    pub fn outstanding_reexec(&self) -> Option<TaskKey> {
+        self.outstanding_reexec
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CancelStats {
         self.stats

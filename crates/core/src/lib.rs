@@ -66,6 +66,7 @@
 pub mod accounting;
 pub mod cancel;
 pub mod config;
+pub mod debug;
 pub mod detect;
 pub mod estimator;
 pub mod guide;
@@ -80,9 +81,10 @@ pub mod trace;
 
 pub use cancel::CancelDecision;
 pub use config::{AtroposConfig, DetectorConfig, IngestMode, PolicyKind};
+pub use debug::DebugSnapshot;
 pub use detect::OverloadClass;
 pub use estimator::{EstimatorSnapshot, ResourceSnapshot, TaskGainSnapshot};
 pub use ids::{ResourceId, ResourceType, TaskId, TaskKey};
-pub use runtime::{AtroposRuntime, RuntimeStats};
+pub use runtime::{AtroposRuntime, RuntimeStats, TickOutcome};
 pub use ticker::Ticker;
 pub use trace::TimestampMode;

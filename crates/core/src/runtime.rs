@@ -634,6 +634,69 @@ impl AtroposRuntime {
         self.inner.lock().tasks.len()
     }
 
+    /// A consistent plain-data copy of the runtime's internal state for
+    /// invariant checkers (see [`crate::debug`]). Buffered trace events
+    /// are drained first, so accounting counters are exact at the call
+    /// point — the same state a tick at this instant would observe.
+    pub fn debug_snapshot(&self) -> crate::debug::DebugSnapshot {
+        use crate::debug::*;
+        let now_ns = self.clock.now_ns();
+        let inner = self.lock_drained();
+        let (evaluations, candidates) = inner.detector.counters();
+        let mut tasks: Vec<TaskDebug> = inner
+            .tasks
+            .values()
+            .map(|t| TaskDebug {
+                id: t.id,
+                key: t.key,
+                cancel_requested: t.state == TaskState::CancelRequested,
+                cancellable: t.cancellable,
+                background: t.background,
+                progress: t.progress.progress(0.0),
+                usage: t
+                    .usage
+                    .iter()
+                    .map(|u| UsageDebug {
+                        acquired: u.acquired,
+                        freed: u.freed,
+                        held: u.held,
+                        slow_events: u.slow_events,
+                        slow_amount: u.slow_amount,
+                        total_wait_ns: u.total_wait_ns,
+                        total_hold_ns: u.total_hold_ns,
+                    })
+                    .collect(),
+            })
+            .collect();
+        tasks.sort_by_key(|t| t.id);
+        let mut stats = inner.stats;
+        stats.cancel = inner.cancel.stats();
+        DebugSnapshot {
+            now_ns,
+            resources: inner
+                .resources
+                .iter()
+                .map(|r| ResourceDebug {
+                    id: r.id,
+                    name: r.name.clone(),
+                    rtype: r.rtype,
+                })
+                .collect(),
+            tasks,
+            detector: DetectorDebug {
+                evaluations,
+                candidates,
+            },
+            cancel: CancelDebug {
+                canceled_keys: inner.cancel.canceled_keys(),
+                pending_reexec: inner.cancel.pending_reexec(),
+                outstanding_reexec: inner.cancel.outstanding_reexec(),
+                stats: inner.cancel.stats(),
+            },
+            stats,
+        }
+    }
+
     /// The configuration the runtime was built with.
     pub fn config(&self) -> AtroposConfig {
         self.inner.lock().cfg.clone()

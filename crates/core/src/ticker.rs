@@ -160,6 +160,36 @@ mod tests {
         ticker.stop(); // idempotent
     }
 
+    /// Regression: `stop()` must *join* the supervisor thread, not merely
+    /// signal it. If stop returned before the join, the runtime could be
+    /// dropped while a final `tick()` still runs on the supervisor — the
+    /// Arc keeps that from being a use-after-free, but a tick would be
+    /// observable after `stop()` returned, which live harnesses rely on
+    /// never happening (they read final counters right after stopping).
+    #[test]
+    fn stop_joins_thread_before_runtime_drop() {
+        let rt = runtime();
+        let mut ticker = Ticker::spawn(rt.clone(), Duration::from_millis(1), |_| {});
+        while ticker.ticks() < 2 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ticker.stop();
+        // The supervisor thread held the only other clone of the runtime
+        // handle; a joined stop() means that clone is gone, so dropping
+        // `rt` here cannot race a concurrent tick.
+        assert_eq!(
+            Arc::strong_count(&rt),
+            1,
+            "ticker thread still holds the runtime after stop()"
+        );
+        let after = rt.stats().ticks;
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rt.stats().ticks, after, "tick observed after stop()");
+        // Ticker outlives the runtime handle without re-spawning anything.
+        drop(rt);
+        drop(ticker);
+    }
+
     #[test]
     fn ticker_invokes_outcome_callback() {
         let rt = runtime();

@@ -148,6 +148,9 @@ pub struct LiveReport {
     pub time_to_cancel: Option<Duration>,
     /// Cancellations the registry delivered to a live token.
     pub cancellations_delivered: u64,
+    /// Task keys the runtime issued cancellations for, in issue order —
+    /// the run's decision trace (culprit keys are `>= CULPRIT_KEY_BASE`).
+    pub canceled_keys: Vec<u64>,
     /// Supervisor ticks executed (0 in [`ControlMode::NoControl`]).
     pub ticks: u64,
     /// Final runtime counters.
@@ -226,6 +229,13 @@ pub fn run(cfg: LiveConfig, mode: ControlMode) -> LiveReport {
         culprits_canceled: ctx.metrics.culprits_canceled.load(Ordering::Relaxed),
         time_to_cancel,
         cancellations_delivered: registry.delivered(),
+        canceled_keys: rt
+            .debug_snapshot()
+            .cancel
+            .canceled_keys
+            .iter()
+            .map(|(k, _)| k.0)
+            .collect(),
         ticks,
         runtime: rt.stats(),
     }

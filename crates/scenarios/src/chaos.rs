@@ -1,0 +1,150 @@
+//! Chaos variants of the case studies.
+//!
+//! The chaos harness (`atropos-chaos`) stresses the runtime with injected
+//! protocol faults and cross-checks the simulator against the live
+//! harness. Both uses need the same thing from this crate: a *named
+//! subset* of the Table 2 cases whose culprit has a live-harness analog,
+//! with the culprit's workload classes identified so a decision trace
+//! ("who was canceled, in what order") can be classified as
+//! culprit-targeted or victim-harming.
+//!
+//! Two case families qualify:
+//!
+//! - **lock hog** — c1's backup-behind-scan convoy (a long scan holds the
+//!   table locks; `atropos-live` reproduces it as `CulpritKind::LockHog`),
+//! - **buffer scan** — c5's full-table dump sweeping the buffer pool
+//!   (`CulpritKind::Scan` in the live harness, the paper's Figure 2 bug).
+
+use std::sync::Arc;
+
+use atropos::AtroposRuntime;
+use atropos_app::ids::ClassId;
+use atropos_app::server::ServerMetrics;
+use atropos_app::SimServer;
+use atropos_sim::SimTime;
+
+use crate::cases::{all_cases, CaseDef};
+use crate::runner::{calibrate, RunConfig};
+
+/// Which live-harness culprit a chaos variant corresponds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosCulprit {
+    /// A long-running task sitting on a synchronization resource
+    /// (`atropos_live::CulpritKind::LockHog`).
+    LockHog,
+    /// A cold sweep evicting the hot set of a memory resource
+    /// (`atropos_live::CulpritKind::Scan`).
+    BufferScan,
+}
+
+/// One chaos-ready case: the base case plus culprit identity.
+#[derive(Debug, Clone)]
+pub struct ChaosVariant {
+    /// The underlying Table 2 case.
+    pub case: CaseDef,
+    /// Live-harness culprit analog.
+    pub culprit: ChaosCulprit,
+    /// Workload classes that *are* the culprit: a correct decision trace
+    /// cancels only these.
+    pub culprit_classes: Vec<ClassId>,
+}
+
+impl ChaosVariant {
+    /// True if `class` belongs to the culprit.
+    pub fn is_culprit_class(&self, class: ClassId) -> bool {
+        self.culprit_classes.contains(&class)
+    }
+}
+
+/// The chaos-ready variants of the case suite.
+pub fn chaos_variants() -> Vec<ChaosVariant> {
+    let case = |id: &str| {
+        all_cases()
+            .into_iter()
+            .find(|c| c.id == id)
+            .unwrap_or_else(|| panic!("case {id} not defined"))
+    };
+    vec![
+        ChaosVariant {
+            case: case("c1"),
+            culprit: ChaosCulprit::LockHog,
+            // ClassId(2) = the 3 s table scan, ClassId(3) = the backup it
+            // convoys; both are the disturbance, neither is a victim.
+            culprit_classes: vec![ClassId(2), ClassId(3)],
+        },
+        ChaosVariant {
+            case: case("c5"),
+            culprit: ChaosCulprit::BufferScan,
+            // ClassId(2) = the full-table dump sweeping the buffer pool.
+            culprit_classes: vec![ClassId(2)],
+        },
+    ]
+}
+
+/// The variant matching a culprit kind.
+pub fn variant_for(culprit: ChaosCulprit) -> ChaosVariant {
+    chaos_variants()
+        .into_iter()
+        .find(|v| v.culprit == culprit)
+        .expect("both culprit kinds have a variant")
+}
+
+/// Result of one seeded chaos-variant run under Atropos.
+pub struct ChaosRun {
+    /// Full server metrics, including the cancellation decision trace
+    /// (`metrics.cancel_log`).
+    pub metrics: ServerMetrics,
+    /// The Atropos runtime, for `debug_snapshot()` inspection.
+    pub runtime: Arc<AtroposRuntime>,
+    /// The SLO the run was calibrated to.
+    pub slo_ns: u64,
+    /// When the disturbance (culprit injection) began.
+    pub disturb_at: SimTime,
+}
+
+/// Runs a chaos variant under Atropos on `seed` and returns the decision
+/// trace alongside the runtime handle.
+///
+/// Uses the quick run configuration (7 s of virtual time): chaos and
+/// differential tests care about decision identity and invariants, not
+/// about figure-grade latency curves.
+pub fn run_variant(variant: &ChaosVariant, seed: u64) -> ChaosRun {
+    let rc = RunConfig::quick(seed);
+    let baseline = calibrate(&variant.case, &rc);
+    let params = rc.case_params();
+    let disturb_at = params.disturb_at;
+    let built = variant.case.build(&params, true);
+    let cfg = atropos::AtroposConfig::default().with_slo_ns(baseline.slo_ns);
+    let handle = Arc::new(parking_lot::Mutex::new(None));
+    let h2 = handle.clone();
+    let metrics = SimServer::new_with(built.server, built.workload, move |clock, groups| {
+        let c = atropos_app::glue::AtroposController::new(cfg, clock, groups, true);
+        *h2.lock() = Some(c.runtime());
+        Box::new(c)
+    })
+    .run(rc.duration, rc.warmup);
+    let runtime = handle.lock().take().expect("controller constructed");
+    ChaosRun {
+        metrics,
+        runtime,
+        slo_ns: baseline.slo_ns,
+        disturb_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_cover_both_culprit_kinds() {
+        let vs = chaos_variants();
+        assert_eq!(vs.len(), 2);
+        assert!(vs.iter().any(|v| v.culprit == ChaosCulprit::LockHog));
+        assert!(vs.iter().any(|v| v.culprit == ChaosCulprit::BufferScan));
+        let hog = variant_for(ChaosCulprit::LockHog);
+        assert_eq!(hog.case.id, "c1");
+        assert!(hog.is_culprit_class(ClassId(2)));
+        assert!(!hog.is_culprit_class(ClassId(0)));
+    }
+}

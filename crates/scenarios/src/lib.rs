@@ -10,8 +10,10 @@
 //! ([`experiments`]).
 
 pub mod cases;
+pub mod chaos;
 pub mod experiments;
 pub mod runner;
 
 pub use cases::{all_cases, CaseDef, CaseHints, CaseParams};
+pub use chaos::{chaos_variants, ChaosCulprit, ChaosVariant};
 pub use runner::{calibrate, run_with, Baseline, CaseResult, ControllerKind, RunConfig};

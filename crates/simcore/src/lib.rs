@@ -15,17 +15,22 @@
 //!   framework crate (virtual in simulation, monotonic in real processes),
 //! - [`rng::SimRng`]: a seeded RNG with the samplers workloads need
 //!   (exponential inter-arrivals, zipf keys, lognormal service times),
-//! - [`engine::EventQueue`]: a total-ordered future event list.
+//! - [`engine::EventQueue`]: a total-ordered future event list,
+//! - [`fault::FaultSite`] / [`fault::TickJitter`]: seeded fault-decision
+//!   hooks the chaos harness drives its deterministic fault injection
+//!   with.
 //!
 //! Application behaviour (servers, locks, buffer pools) lives in the
 //! `atropos-app` crate on top of this kernel.
 
 pub mod clock;
 pub mod engine;
+pub mod fault;
 pub mod rng;
 pub mod time;
 
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use engine::EventQueue;
+pub use fault::{FaultSite, TickJitter};
 pub use rng::SimRng;
 pub use time::SimTime;

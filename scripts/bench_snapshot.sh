@@ -18,15 +18,25 @@ raw="$(mktemp)"
 live_raw="$(mktemp)"
 trap 'rm -f "$raw" "$live_raw"' EXIT
 
-for bench in tracing policy; do
+# Runs one bench and appends its BENCHRESULT lines to $2. Fails the whole
+# script (so no partial BENCH_*.json is ever written) if the bench binary
+# fails to build/run or emits no results.
+run_bench() {
+    local bench="$1" dest="$2" lines
     echo "== cargo bench --bench $bench" >&2
-    cargo bench -p atropos-bench --bench "$bench" 2>/dev/null | tee /dev/stderr \
-        | grep '^BENCHRESULT ' >>"$raw" || true
-done
+    if ! lines="$(cargo bench -p atropos-bench --bench "$bench" | tee /dev/stderr)"; then
+        echo "error: cargo bench --bench $bench failed" >&2
+        exit 1
+    fi
+    if ! grep '^BENCHRESULT ' <<<"$lines" >>"$dest"; then
+        echo "error: bench $bench emitted no BENCHRESULT lines" >&2
+        exit 1
+    fi
+}
 
-echo "== cargo bench --bench live" >&2
-cargo bench -p atropos-bench --bench live 2>/dev/null | tee /dev/stderr \
-    | grep '^BENCHRESULT ' >>"$live_raw" || true
+run_bench tracing "$raw"
+run_bench policy "$raw"
+run_bench live "$live_raw"
 
 python3 - "$raw" "$out" <<'PY'
 import json
