@@ -6,8 +6,11 @@
 //!
 //! ```text
 //! chaos [--scenario lock_hog|buffer_scan|all] [--seed N] [--plans N]
-//!       [--load N] [--quiet-only]
+//!       [--load N] [--quiet-only] [--episodes]
 //! ```
+//!
+//! `--episodes` dumps each run's folded decision episodes (why every
+//! cancellation was issued) — the flight recorder's audit trail.
 //!
 //! The base seed defaults to `$CHAOS_SEED` (so CI can randomize per run),
 //! then 42. Plan `i` uses seed `base + i`. The chosen base seed is always
@@ -23,6 +26,7 @@ struct Args {
     plans: u64,
     load: u64,
     quiet_only: bool,
+    episodes: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         plans: 100,
         load: 1,
         quiet_only: false,
+        episodes: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -65,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--load: {e}"))?
             }
             "--quiet-only" => args.quiet_only = true,
+            "--episodes" => args.episodes = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -102,6 +108,12 @@ fn main() -> ExitCode {
             match run_checked(*scenario, &plan, args.load) {
                 Ok(out) => {
                     runs += 1;
+                    if args.episodes && !out.episodes.is_empty() {
+                        println!("  {} seed {} decision episodes:", scenario.name(), seed);
+                        for line in atropos_obs::render_episodes(&out.episodes).lines() {
+                            println!("    {line}");
+                        }
+                    }
                     if i == 0 || (i + 1) % 25 == 0 {
                         println!(
                             "  {} seed {} ok: {} faults armed, {} ticks, {} candidates, \

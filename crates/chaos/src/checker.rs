@@ -26,10 +26,15 @@
 //! - **I7 blame bounded by time** — per-(task, resource) cumulative
 //!   wait/hold time never exceeds elapsed time, and each estimator
 //!   window's per-resource blame is bounded by `live_tasks × window`.
+//! - **I8 explained cancellations** — every cancellation the runtime
+//!   issued (as witnessed at the initiator boundary) is explained by a
+//!   recorded decision episode naming the same key. Checked end-of-run
+//!   via [`check_episode_coverage`].
 
 use std::fmt;
 
 use atropos::{AtroposRuntime, DebugSnapshot, ResourceId, TaskId};
+use atropos_obs::DecisionEpisode;
 
 use crate::injector::Truth;
 
@@ -263,6 +268,46 @@ impl InvariantChecker {
         }
         Ok(())
     }
+}
+
+/// I8: every cancellation the runtime issued has a decision episode that
+/// explains it. The injector's `cancel_log` is the ground truth of what
+/// was issued (it sits between the runtime and the fail/delay faults, so
+/// swallowed cancellations still appear); the episodes come from the
+/// flight recorder. An issued cancel with no episode means the recorder
+/// missed a decision — the observability layer lost the audit trail.
+pub fn check_episode_coverage(
+    truth: &Truth,
+    episodes: &[DecisionEpisode],
+) -> Result<(), Violation> {
+    let explained: Vec<u64> = episodes.iter().filter_map(|e| e.canceled_key).collect();
+    for obs in &truth.cancel_log {
+        if !explained.contains(&obs.key) {
+            return Err(Violation {
+                invariant: "I8",
+                detail: format!(
+                    "cancel of key {} issued at tick {} has no recorded decision episode \
+                     ({} episodes, {} with a canceled key)",
+                    obs.key,
+                    obs.tick,
+                    episodes.len(),
+                    explained.len()
+                ),
+            });
+        }
+    }
+    // And the converse bound: the recorder never invents cancellations.
+    let issued = episodes.iter().filter(|e| e.canceled_key.is_some()).count();
+    if issued > truth.cancel_log.len() {
+        return Err(Violation {
+            invariant: "I8",
+            detail: format!(
+                "{issued} episodes claim an issued cancel but the initiator saw only {}",
+                truth.cancel_log.len()
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Paired-run detector monotonicity: under the same seed and script, a

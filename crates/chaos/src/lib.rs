@@ -17,7 +17,9 @@
 //!   truth of what was emitted vs delivered,
 //! - [`checker`]: [`InvariantChecker`] — runtime-wide invariants (I1–I7)
 //!   verified after every tick, each stated relative to the injected loss
-//!   budget so a quiet plan demands exact equality,
+//!   budget so a quiet plan demands exact equality, plus the end-of-run
+//!   I8 (every issued cancellation is explained by a recorded decision
+//!   episode from the `atropos-obs` flight recorder),
 //! - [`scenario`]: scripted lock-hog and buffer-scan convoys driven
 //!   through the injector on a virtual clock,
 //! - [`differential`]: the same culprits replayed through the
@@ -36,8 +38,10 @@ pub mod scenario;
 
 use std::fmt;
 
-pub use checker::{check_detector_monotonicity, InvariantChecker, Violation};
-pub use injector::{FaultInjector, InjectionLog, Truth};
+pub use checker::{
+    check_detector_monotonicity, check_episode_coverage, InvariantChecker, Violation,
+};
+pub use injector::{CancelObservation, FaultInjector, InjectionLog, Truth};
 pub use plan::{Fault, FaultPlan};
 pub use scenario::{run_scenario, ScenarioKind, ScenarioOutcome, HOG_KEY};
 

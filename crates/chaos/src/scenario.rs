@@ -21,8 +21,8 @@ use atropos::{AtroposConfig, AtroposRuntime, IngestMode, ResourceType, TaskId};
 use atropos_sim::{Clock, SimRng, SimTime, VirtualClock};
 use parking_lot::Mutex;
 
-use crate::checker::{InvariantChecker, Violation};
-use crate::injector::FaultInjector;
+use crate::checker::{check_episode_coverage, InvariantChecker, Violation};
+use crate::injector::{FaultInjector, InjectionLog};
 use crate::plan::FaultPlan;
 
 const MS: u64 = 1_000_000;
@@ -77,6 +77,13 @@ pub struct ScenarioOutcome {
     pub violation: Option<Violation>,
     /// Full runtime snapshot at the end of the run.
     pub final_snapshot: atropos::DebugSnapshot,
+    /// Decision episodes folded from the flight recorder (checked against
+    /// the injector's cancel log by invariant I8).
+    pub episodes: Vec<atropos_obs::DecisionEpisode>,
+    /// Observer metrics snapshot at the end of the run.
+    pub metrics: atropos_obs::MetricsSnapshot,
+    /// What the injector actually did (fault-fire counts).
+    pub injection: InjectionLog,
 }
 
 struct Victim {
@@ -97,11 +104,16 @@ pub fn run_scenario(kind: ScenarioKind, plan: &FaultPlan, load_scale: u64) -> Sc
     cfg.cancel_min_interval_ns = 0;
     cfg.ingest_mode = IngestMode::Sharded;
     let rt = Arc::new(AtroposRuntime::new(cfg, clock.clone() as Arc<dyn Clock>));
+    let obs = atropos_obs::Observer::install(&rt, 32 * 1024);
     let inj = FaultInjector::new(rt.clone(), plan);
     let delivered: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     {
         let d = delivered.clone();
-        inj.install_initiator(move |key| d.lock().push(key));
+        let reg = obs.clone();
+        inj.install_initiator(move |key| {
+            reg.registry().observe_cancel_delivered();
+            d.lock().push(key);
+        });
     }
     let res = match kind {
         ScenarioKind::LockHog => rt.register_resource("table_lock", ResourceType::Lock),
@@ -237,6 +249,16 @@ pub fn run_scenario(kind: ScenarioKind, plan: &FaultPlan, load_scale: u64) -> Sc
     canceled_keys.extend(std::mem::take(&mut *delivered.lock()));
     let snap = rt.debug_snapshot();
     let truth = inj.truth();
+    let names = atropos_obs::ResourceNames::from_snapshot(&snap);
+    let episodes = obs.drain_episodes(&names);
+    // I8 runs end-of-run: the flight recorder must explain every issued
+    // cancellation, even under fail/delay faults. An earlier violation
+    // (which stops the script mid-run) takes precedence.
+    if violation.is_none() {
+        if let Err(v) = check_episode_coverage(&truth, &episodes) {
+            violation = Some(v);
+        }
+    }
     ScenarioOutcome {
         hog_canceled: canceled_keys.contains(&HOG_KEY),
         victim_canceled: victim_canceled || canceled_keys.iter().any(|k| *k != HOG_KEY),
@@ -246,6 +268,9 @@ pub fn run_scenario(kind: ScenarioKind, plan: &FaultPlan, load_scale: u64) -> Sc
         candidates: snap.detector.candidates,
         violation,
         final_snapshot: snap,
+        episodes,
+        metrics: obs.metrics(),
+        injection: truth.log,
     }
 }
 

@@ -130,6 +130,81 @@ fn checker_catches_a_lying_transport() {
 }
 
 #[test]
+fn flight_recorder_accounts_for_swallowed_cancellations() {
+    // With the initiator swallowing every cancellation, the observer's
+    // issued-minus-delivered gap must equal the injector's own ledger of
+    // swallowed cancels — the metrics registry detects the lossy
+    // transport without being told about it.
+    let plan = FaultPlan {
+        seed: 7,
+        faults: vec![Fault::FailCancel { budget: u64::MAX }],
+    };
+    let out = run_checked(ScenarioKind::LockHog, &plan, 1).unwrap_or_else(|r| panic!("{r}"));
+    assert!(out.injection.cancels_failed >= 1, "fault never fired");
+    assert_eq!(
+        out.metrics.cancels_failed, out.injection.cancels_failed,
+        "observer cancels_failed disagrees with the injector ledger: {:?}",
+        out.metrics
+    );
+    assert!(out.metrics.consistency_errors().is_empty());
+}
+
+#[test]
+fn flight_recorder_counts_delayed_cancellations_until_delivered() {
+    // Delayed cancellations eventually land, so the observer's failure
+    // gap only covers those still in flight at run end: it is bounded
+    // below by the injector's swallowed count (0 here) and above by the
+    // delayed count.
+    let plan = FaultPlan {
+        seed: 7,
+        faults: vec![Fault::DelayCancel { ticks: 2 }],
+    };
+    let out = run_checked(ScenarioKind::LockHog, &plan, 1).unwrap_or_else(|r| panic!("{r}"));
+    assert!(out.injection.cancels_delayed >= 1, "fault never fired");
+    assert_eq!(out.injection.cancels_failed, 0);
+    assert!(
+        out.metrics.cancels_failed <= out.injection.cancels_delayed,
+        "gap {} exceeds delayed count {}",
+        out.metrics.cancels_failed,
+        out.injection.cancels_delayed
+    );
+}
+
+#[test]
+fn episode_coverage_is_falsifiable() {
+    // Meta-test for I8, mirroring `checker_catches_a_lying_transport`:
+    // a run that issued cancellations but recorded no episodes must be
+    // flagged, and the violation must name I8.
+    use atropos_chaos::check_episode_coverage;
+
+    let out = run_checked(ScenarioKind::LockHog, &FaultPlan::quiet(1), 1)
+        .unwrap_or_else(|r| panic!("{r}"));
+    assert!(!out.issued_keys.is_empty(), "quiet run issued no cancels");
+    // The real run passes I8 (run_checked already enforced it); an empty
+    // episode log must fail it.
+    let plan = FaultPlan::quiet(1);
+    let truth_run = atropos_chaos::run_scenario(ScenarioKind::LockHog, &plan, 1);
+    assert!(truth_run.violation.is_none());
+    let err = check_episode_coverage(&truth_from(&truth_run), &[]);
+    let err = err.expect_err("empty episode log must violate I8");
+    assert_eq!(err.invariant, "I8", "{err}");
+}
+
+/// Rebuilds a minimal `Truth` carrying just the cancel log of a finished
+/// run (the checker only reads `cancel_log` for I8).
+fn truth_from(out: &atropos_chaos::ScenarioOutcome) -> atropos_chaos::Truth {
+    let mut truth = atropos_chaos::Truth::default();
+    for (i, key) in out.issued_keys.iter().enumerate() {
+        truth.cancel_log.push(atropos_chaos::CancelObservation {
+            key: *key,
+            tick: i as u64,
+            was_finished: false,
+        });
+    }
+    truth
+}
+
+#[test]
 fn failure_reports_carry_seed_and_minimized_plan() {
     // Drive the real minimization path with a predicate-style harness:
     // sample a big plan, minimize against "still contains a DelayCancel",

@@ -15,10 +15,11 @@
 //!   dropped,
 //! - background tasks (no SLO) are force-re-executed after a maximum wait.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::config::AtroposConfig;
 use crate::ids::TaskKey;
+use crate::record::{BackoffReason, CancelOrigin, DecisionEvent, RecorderHandle};
 
 /// Callback invoked with a task's application key.
 pub type KeyCallback = Box<dyn Fn(TaskKey) + Send + Sync>;
@@ -85,6 +86,9 @@ pub struct CancelManager {
     /// Keys canceled at least once; survives re-registration so a
     /// re-executed task is recognized and marked non-cancellable.
     canceled_keys: HashMap<TaskKey, u64>,
+    /// Canceled keys whose task has since reached `free_cancel`, so a
+    /// `CancelCompleted` event is emitted at most once per key.
+    completed_keys: HashSet<TaskKey>,
     stats: CancelStats,
 }
 
@@ -115,6 +119,7 @@ impl CancelManager {
             pending: Vec::new(),
             outstanding_reexec: None,
             canceled_keys: HashMap::new(),
+            completed_keys: HashSet::new(),
             stats: CancelStats::default(),
         }
     }
@@ -179,6 +184,44 @@ impl CancelManager {
         self.stats.issued += 1;
         self.quiet_windows = 0;
         CancelDecision::Issued
+    }
+
+    /// [`CancelManager::request_cancel`] plus decision-trace emission:
+    /// `CancelIssued` on issue, `Backoff` with the matching reason on any
+    /// suppression. Behavior is otherwise identical.
+    pub fn request_cancel_recorded(
+        &mut self,
+        now: u64,
+        key: TaskKey,
+        background: bool,
+        origin: CancelOrigin,
+        rec: &RecorderHandle<'_>,
+    ) -> CancelDecision {
+        let decision = self.request_cancel(now, key, background);
+        match decision {
+            CancelDecision::Issued => rec.emit(|tick| DecisionEvent::CancelIssued {
+                tick,
+                key,
+                now_ns: now,
+                origin,
+            }),
+            CancelDecision::RateLimited => rec.emit(|tick| DecisionEvent::Backoff {
+                tick,
+                key,
+                reason: BackoffReason::RateLimited,
+            }),
+            CancelDecision::AlreadyCanceled => rec.emit(|tick| DecisionEvent::Backoff {
+                tick,
+                key,
+                reason: BackoffReason::AlreadyCanceled,
+            }),
+            CancelDecision::NoInitiator => rec.emit(|tick| DecisionEvent::Backoff {
+                tick,
+                key,
+                reason: BackoffReason::NoInitiator,
+            }),
+        }
+        decision
     }
 
     /// Propagates a root cancellation to descendant task keys: each is
@@ -266,6 +309,29 @@ impl CancelManager {
     pub fn note_finished(&mut self, key: TaskKey) {
         if self.outstanding_reexec == Some(key) {
             self.outstanding_reexec = None;
+        }
+    }
+
+    /// [`CancelManager::note_finished`] plus decision-trace emission: if
+    /// `key` was canceled and this is the first time it reaches a terminal
+    /// state, a `CancelCompleted` event carries the issue-to-completion
+    /// latency. Keys canceled by propagation carry issue time 0 and are
+    /// reported with zero latency rather than a bogus span.
+    pub fn note_finished_recorded(&mut self, now: u64, key: TaskKey, rec: &RecorderHandle<'_>) {
+        self.note_finished(key);
+        if let Some(&issued_at) = self.canceled_keys.get(&key) {
+            if self.completed_keys.insert(key) {
+                let time_to_cancel_ns = if issued_at == 0 {
+                    0
+                } else {
+                    now.saturating_sub(issued_at)
+                };
+                rec.emit(|tick| DecisionEvent::CancelCompleted {
+                    tick,
+                    key,
+                    time_to_cancel_ns,
+                });
+            }
         }
     }
 

@@ -14,6 +14,7 @@ use atropos_metrics::WindowedSeries;
 
 use crate::config::DetectorConfig;
 use crate::ids::ResourceId;
+use crate::record::{DecisionEvent, RecorderHandle};
 
 /// Result of one detector evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +136,30 @@ impl Detector {
             latency_ns: latency,
             throughput_qps: tput_last,
         }
+    }
+
+    /// [`Detector::evaluate`] plus decision-trace emission: a candidate
+    /// verdict additionally emits an `OverloadDetected` event carrying the
+    /// observed latency and throughput. Behavior is otherwise identical.
+    pub fn evaluate_recorded(
+        &mut self,
+        now: u64,
+        in_flight: u64,
+        rec: &RecorderHandle<'_>,
+    ) -> OverloadSignal {
+        let signal = self.evaluate(now, in_flight);
+        if let OverloadSignal::Candidate {
+            latency_ns,
+            throughput_qps,
+        } = signal
+        {
+            rec.emit(|tick| DecisionEvent::OverloadDetected {
+                tick,
+                latency_ns,
+                throughput_qps,
+            });
+        }
+        signal
     }
 
     /// Completion/drop series for end-of-run reporting.

@@ -73,6 +73,7 @@ pub mod guide;
 pub mod ids;
 pub mod policy;
 pub mod progress;
+pub mod record;
 pub mod resource;
 pub mod runtime;
 pub mod task;
@@ -85,6 +86,9 @@ pub use debug::DebugSnapshot;
 pub use detect::OverloadClass;
 pub use estimator::{EstimatorSnapshot, ResourceSnapshot, TaskGainSnapshot};
 pub use ids::{ResourceId, ResourceType, TaskId, TaskKey};
+pub use record::{
+    BackoffReason, CancelOrigin, DecisionEvent, GainTerm, Recorder, RecorderHandle, MAX_GAIN_TERMS,
+};
 pub use runtime::{AtroposRuntime, RuntimeStats, TickOutcome};
 pub use ticker::Ticker;
 pub use trace::TimestampMode;

@@ -22,6 +22,7 @@ pub use multi_objective::MultiObjectivePolicy;
 use crate::config::PolicyKind;
 use crate::estimator::{EstimatorSnapshot, TaskGainSnapshot};
 use crate::ids::{TaskId, TaskKey};
+use crate::record::{GainTerm, MAX_GAIN_TERMS};
 
 /// A policy's pick.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,6 +125,75 @@ pub(crate) fn scalarize(
         }
     }
     best.filter(|s| s.score > 0.0)
+}
+
+/// The full non-dominated candidate ranking under Algorithm 1's
+/// scalarization, best first; ties break toward the lowest task id.
+/// Used by the decision-trace layer to explain *why* the winner won —
+/// the tick path only computes this when a recorder is attached.
+pub fn ranked(snapshot: &EstimatorSnapshot) -> Vec<Selection> {
+    fn gains(t: &TaskGainSnapshot) -> &[f64] {
+        &t.gains
+    }
+    let cands = candidates(snapshot, gains);
+    let nd = non_dominated(&cands, gains);
+    let mut out: Vec<Selection> = nd
+        .iter()
+        .map(|t| {
+            let g = gains(t);
+            let score: f64 = snapshot
+                .resources
+                .iter()
+                .map(|r| r.weight * g.get(r.id.index()).copied().unwrap_or(0.0))
+                .sum();
+            Selection {
+                task: t.task,
+                key: t.key,
+                score,
+            }
+        })
+        .filter(|s| s.score > 0.0)
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.task.cmp(&b.task))
+    });
+    out
+}
+
+/// The per-resource score breakdown for `task`: up to
+/// [`MAX_GAIN_TERMS`] `weight × gain` terms, highest contribution first
+/// (terms with zero contribution are omitted). Unused slots are `None`.
+pub fn gain_terms(
+    snapshot: &EstimatorSnapshot,
+    task: TaskId,
+) -> [Option<GainTerm>; MAX_GAIN_TERMS] {
+    let mut out = [None; MAX_GAIN_TERMS];
+    let Some(t) = snapshot.tasks.iter().find(|t| t.task == task) else {
+        return out;
+    };
+    let mut terms: Vec<GainTerm> = snapshot
+        .resources
+        .iter()
+        .map(|r| GainTerm {
+            resource: r.id,
+            weight: r.weight,
+            gain: t.gains.get(r.id.index()).copied().unwrap_or(0.0),
+        })
+        .filter(|term| term.contribution() > 0.0)
+        .collect();
+    terms.sort_by(|a, b| {
+        b.contribution()
+            .partial_cmp(&a.contribution())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.resource.0.cmp(&b.resource.0))
+    });
+    for (slot, term) in out.iter_mut().zip(terms) {
+        *slot = Some(term);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -229,6 +299,47 @@ mod tests {
         let cands = candidates(&snap, |t| &t.gains);
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].task, TaskId(2));
+    }
+
+    #[test]
+    fn ranked_orders_non_dominated_candidates_by_score() {
+        // §3.5 example plus a dominated task that must not appear.
+        let snap = testutil::snapshot(
+            &[0.6, 0.4],
+            &[
+                (1, &[3.0, 1.0][..]), // 2.2
+                (2, &[2.0, 2.0][..]), // 2.0
+                (3, &[1.0, 1.0][..]), // dominated by 2
+            ],
+        );
+        let r = ranked(&snap);
+        let ids: Vec<u64> = r.iter().map(|s| s.task.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert!(r[0].score > r[1].score);
+        // The top of the ranking must agree with the policy's pick.
+        let sel = MultiObjectivePolicy.select(&snap).unwrap();
+        assert_eq!(sel.task, r[0].task);
+        assert_eq!(sel.score, r[0].score);
+    }
+
+    #[test]
+    fn gain_terms_break_down_the_winning_score() {
+        let snap = testutil::snapshot(&[0.6, 0.4], &[(1, &[3.0, 1.0][..])]);
+        let terms = gain_terms(&snap, TaskId(1));
+        let present: Vec<GainTerm> = terms.iter().flatten().copied().collect();
+        assert_eq!(present.len(), 2);
+        // Highest contribution first: 0.6*3.0 = 1.8, then 0.4*1.0 = 0.4.
+        assert!((present[0].contribution() - 1.8).abs() < 1e-9);
+        assert!((present[1].contribution() - 0.4).abs() < 1e-9);
+        let total: f64 = present.iter().map(|t| t.contribution()).sum();
+        let sel = MultiObjectivePolicy.select(&snap).unwrap();
+        assert!((total - sel.score).abs() < 1e-9, "terms must sum to score");
+    }
+
+    #[test]
+    fn gain_terms_for_unknown_task_are_empty() {
+        let snap = testutil::snapshot(&[1.0], &[(1, &[1.0][..])]);
+        assert!(gain_terms(&snap, TaskId(99)).iter().all(|t| t.is_none()));
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Decision-trace recording: the event vocabulary and the zero-cost hook.
+//!
+//! Every consequential step of the tick pipeline — overload detected,
+//! resources scored, candidates ranked, blame assigned, cancellation
+//! issued/suppressed/completed — can be emitted as a [`DecisionEvent`]
+//! to an attached [`Recorder`]. The runtime carries an
+//! `Option<Arc<dyn Recorder>>`; with none attached the emission sites
+//! collapse to a branch on `None` and never construct an event, so the
+//! hot tracing path ([`crate::AtroposRuntime::get_resource`] and
+//! friends) is untouched and the tick path pays one pointer check.
+//!
+//! Events are `Copy` and fixed-size by design: recording must never
+//! allocate on the tick path. Variable-size detail (resource *names*,
+//! unbounded candidate lists) is resolved later by the consumer — see
+//! the `atropos-obs` crate, which buffers events in a bounded ring and
+//! folds them into human-readable episodes after the fact.
+
+use crate::ids::{ResourceId, ResourceType, TaskId, TaskKey};
+
+/// Maximum per-resource score terms carried inline by
+/// [`DecisionEvent::BlameAssigned`]. Cases with more registered
+/// resources than this keep the highest-weighted terms.
+pub const MAX_GAIN_TERMS: usize = 8;
+
+/// One term of a blame score: `weight × gain` for one resource
+/// (Algorithm 1's contention-weighted scalarization, §3.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GainTerm {
+    /// The resource this term is about.
+    pub resource: ResourceId,
+    /// The resource's contention-level weight `C_r`.
+    pub weight: f64,
+    /// The task's estimated gain on this resource.
+    pub gain: f64,
+}
+
+impl GainTerm {
+    /// This term's contribution to the scalarized score.
+    pub fn contribution(&self) -> f64 {
+        self.weight * self.gain
+    }
+}
+
+/// Why a cancellation request was suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackoffReason {
+    /// Too soon after the previous cancellation (§5.3 rate limit).
+    RateLimited,
+    /// The key was already canceled once (cancel-once fairness, §4).
+    AlreadyCanceled,
+    /// No cancellation initiator is registered.
+    NoInitiator,
+}
+
+impl BackoffReason {
+    /// Stable lowercase label for logs and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackoffReason::RateLimited => "rate_limited",
+            BackoffReason::AlreadyCanceled => "already_canceled",
+            BackoffReason::NoInitiator => "no_initiator",
+        }
+    }
+}
+
+/// Where a cancellation request originated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOrigin {
+    /// The tick pipeline (detector → estimator → policy).
+    Policy,
+    /// The operator entry point ([`crate::AtroposRuntime::cancel_key`]).
+    Operator,
+}
+
+/// One structured decision-trace event. All variants carry the tick
+/// index they were emitted under, so a consumer can group a tick's
+/// events into one decision episode without any framing events.
+// `BlameAssigned` carries its gain terms inline (~200 bytes) on purpose:
+// events must stay `Copy` and allocation-free so recording them never
+// touches the allocator on the control path. A few events per tick make
+// the size difference irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecisionEvent {
+    /// The detector flagged a candidate overload this tick.
+    OverloadDetected {
+        /// Tick index (1-based, equals `RuntimeStats::ticks`).
+        tick: u64,
+        /// Observed latency at the configured quantile (`u64::MAX` for a
+        /// stall with zero completions).
+        latency_ns: u64,
+        /// Observed throughput in the latest closed window (qps).
+        throughput_qps: f64,
+    },
+    /// The estimator scored one bottlenecked resource.
+    ResourceScored {
+        /// Tick index.
+        tick: u64,
+        /// The resource.
+        resource: ResourceId,
+        /// Its type.
+        rtype: ResourceType,
+        /// Raw contention level.
+        contention: f64,
+        /// Normalized scalarization weight `C_r`.
+        weight: f64,
+        /// Waiting time attributed to the resource this window (ns).
+        wait_ns: u64,
+        /// Holding time attributed to the resource this window (ns).
+        hold_ns: u64,
+    },
+    /// One non-dominated cancellation candidate and its scalarized score.
+    CandidateRanked {
+        /// Tick index.
+        tick: u64,
+        /// The candidate task.
+        task: TaskId,
+        /// Its application key.
+        key: TaskKey,
+        /// Its contention-weighted score.
+        score: f64,
+    },
+    /// The policy blamed one task: the cancellation target this tick.
+    BlameAssigned {
+        /// Tick index.
+        tick: u64,
+        /// The hottest bottlenecked resource.
+        resource: ResourceId,
+        /// The blamed task.
+        task: TaskId,
+        /// Its application key.
+        key: TaskKey,
+        /// The winning scalarized score.
+        score: f64,
+        /// Per-resource score breakdown (highest-weighted terms first;
+        /// unused slots are `None`).
+        terms: [Option<GainTerm>; MAX_GAIN_TERMS],
+        /// Live tasks observed waiting on the blamed resource.
+        victims_waiting: u64,
+    },
+    /// The cancel manager invoked the initiator for `key`.
+    CancelIssued {
+        /// Tick index.
+        tick: u64,
+        /// The canceled task's key.
+        key: TaskKey,
+        /// Issue time (ns).
+        now_ns: u64,
+        /// Who asked for the cancellation.
+        origin: CancelOrigin,
+    },
+    /// A cancellation request was suppressed by a safeguard.
+    Backoff {
+        /// Tick index.
+        tick: u64,
+        /// The key the request targeted.
+        key: TaskKey,
+        /// Which safeguard suppressed it.
+        reason: BackoffReason,
+    },
+    /// A previously canceled task reached `free_cancel`: the
+    /// cancellation completed end to end.
+    CancelCompleted {
+        /// Tick index.
+        tick: u64,
+        /// The canceled task's key.
+        key: TaskKey,
+        /// Wall time from initiator invocation to `free_cancel` (ns).
+        time_to_cancel_ns: u64,
+    },
+    /// A candidate overload had no bottlenecked application resource and
+    /// was delegated to the regular-overload fallback.
+    RegularOverload {
+        /// Tick index.
+        tick: u64,
+    },
+}
+
+impl DecisionEvent {
+    /// The tick index the event was emitted under.
+    pub fn tick(&self) -> u64 {
+        match *self {
+            DecisionEvent::OverloadDetected { tick, .. }
+            | DecisionEvent::ResourceScored { tick, .. }
+            | DecisionEvent::CandidateRanked { tick, .. }
+            | DecisionEvent::BlameAssigned { tick, .. }
+            | DecisionEvent::CancelIssued { tick, .. }
+            | DecisionEvent::Backoff { tick, .. }
+            | DecisionEvent::CancelCompleted { tick, .. }
+            | DecisionEvent::RegularOverload { tick } => tick,
+        }
+    }
+
+    /// Stable lowercase name of the event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DecisionEvent::OverloadDetected { .. } => "overload_detected",
+            DecisionEvent::ResourceScored { .. } => "resource_scored",
+            DecisionEvent::CandidateRanked { .. } => "candidate_ranked",
+            DecisionEvent::BlameAssigned { .. } => "blame_assigned",
+            DecisionEvent::CancelIssued { .. } => "cancel_issued",
+            DecisionEvent::Backoff { .. } => "backoff",
+            DecisionEvent::CancelCompleted { .. } => "cancel_completed",
+            DecisionEvent::RegularOverload { .. } => "regular_overload",
+        }
+    }
+}
+
+/// A sink for [`DecisionEvent`]s.
+///
+/// Implementations are called from inside the runtime's tick path (under
+/// the runtime lock) and MUST NOT block or call back into the runtime:
+/// append to a wait-free/bounded structure and return. The `atropos-obs`
+/// crate's `Observer` (lock-free ring + relaxed-atomic counters) is the
+/// reference implementation.
+pub trait Recorder: Send + Sync {
+    /// Consumes one event. Must be non-blocking.
+    fn record(&self, event: DecisionEvent);
+}
+
+/// A borrow of the runtime's optional recorder plus the current tick
+/// index — the object emission sites receive.
+///
+/// With no recorder attached, [`RecorderHandle::emit`] is a branch on
+/// `None`: the event-constructing closure is never run, so disabled
+/// recording costs nothing beyond the check.
+#[derive(Clone, Copy)]
+pub struct RecorderHandle<'a> {
+    rec: Option<&'a dyn Recorder>,
+    tick: u64,
+}
+
+impl<'a> RecorderHandle<'a> {
+    /// Wraps an optional recorder for emission under tick `tick`.
+    pub fn new(rec: Option<&'a dyn Recorder>, tick: u64) -> Self {
+        Self { rec, tick }
+    }
+
+    /// A permanently disabled handle.
+    pub fn disabled() -> Self {
+        Self { rec: None, tick: 0 }
+    }
+
+    /// True if a recorder is attached (use to skip expensive
+    /// event-preparation work entirely).
+    pub fn enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// The tick index events from this handle are stamped with.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Emits the event built by `f` if a recorder is attached. `f`
+    /// receives the tick index to stamp into the event.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce(u64) -> DecisionEvent) {
+        if let Some(rec) = self.rec {
+            rec.record(f(self.tick));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    struct Sink(Mutex<Vec<DecisionEvent>>);
+    impl Recorder for Sink {
+        fn record(&self, event: DecisionEvent) {
+            self.0.lock().push(event);
+        }
+    }
+
+    #[test]
+    fn disabled_handle_never_runs_the_closure() {
+        let h = RecorderHandle::disabled();
+        assert!(!h.enabled());
+        h.emit(|_| panic!("closure must not run with no recorder"));
+    }
+
+    #[test]
+    fn enabled_handle_stamps_the_tick() {
+        let sink = Sink(Mutex::new(Vec::new()));
+        let h = RecorderHandle::new(Some(&sink), 7);
+        assert!(h.enabled());
+        h.emit(|tick| DecisionEvent::RegularOverload { tick });
+        let evs = sink.0.lock();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].tick(), 7);
+        assert_eq!(evs[0].kind(), "regular_overload");
+    }
+
+    #[test]
+    fn gain_term_contribution_is_weight_times_gain() {
+        let t = GainTerm {
+            resource: ResourceId(0),
+            weight: 0.5,
+            gain: 4.0,
+        };
+        assert_eq!(t.contribution(), 2.0);
+    }
+}

@@ -19,6 +19,7 @@ use crate::detect::{Detector, OverloadSignal};
 use crate::estimator::{estimate, EstimatorSnapshot};
 use crate::ids::{ResourceId, ResourceType, TaskId, TaskKey};
 use crate::policy::CancellationPolicy;
+use crate::record::{CancelOrigin, DecisionEvent, Recorder, RecorderHandle};
 use crate::resource::ResourceRegistry;
 use crate::task::{TaskRecord, TaskState};
 use crate::trace::{self, EventKind, PushOutcome, ShardedIngest, TimestampMode, TimestampPolicy};
@@ -88,6 +89,9 @@ struct Inner {
     ts: TimestampPolicy,
     last_estimate: Option<EstimatorSnapshot>,
     regular_overload_hook: Option<Box<dyn Fn() + Send + Sync>>,
+    /// Optional decision-trace sink; `None` (the default) keeps every
+    /// emission site a single branch with no event construction.
+    recorder: Option<Arc<dyn Recorder>>,
     stats: RuntimeStats,
     /// Reusable drain buffer, swapped stripe by stripe so replay never
     /// allocates on the steady state.
@@ -221,6 +225,7 @@ impl AtroposRuntime {
             next_auto_key: AUTO_KEY_BASE,
             last_estimate: None,
             regular_overload_hook: None,
+            recorder: None,
             stats: RuntimeStats::default(),
             scratch: Vec::new(),
             cfg,
@@ -293,9 +298,12 @@ impl AtroposRuntime {
     pub fn free_cancel(&self, task: TaskId) {
         // Drain first so the task's buffered events land in its usage
         // accounting (not in `ignored_events`) before the record goes.
+        let now = self.clock.now_ns();
         let mut inner = self.lock_drained();
         if let Some(rec) = inner.tasks.remove(&task) {
-            inner.cancel.note_finished(rec.key);
+            let sink = inner.recorder.clone();
+            let handle = RecorderHandle::new(sink.as_deref(), inner.stats.ticks);
+            inner.cancel.note_finished_recorded(now, rec.key, &handle);
         }
     }
 
@@ -334,6 +342,19 @@ impl AtroposRuntime {
     /// e.g. an admission-control mechanism.
     pub fn set_regular_overload_action(&self, f: impl Fn() + Send + Sync + 'static) {
         self.inner.lock().regular_overload_hook = Some(Box::new(f));
+    }
+
+    /// Attaches a decision-trace [`Recorder`]. The recorder is invoked
+    /// from inside the tick/cancel paths (under the runtime lock) and must
+    /// be non-blocking; see the trait docs. With no recorder attached —
+    /// the default — all emission sites are disabled at zero cost.
+    pub fn set_recorder(&self, rec: Arc<dyn Recorder>) {
+        self.inner.lock().recorder = Some(rec);
+    }
+
+    /// Detaches the decision-trace recorder, if any.
+    pub fn clear_recorder(&self) {
+        self.inner.lock().recorder = None;
     }
 
     /// Links `child` as a sub-task of `parent` (the distributed extension
@@ -474,7 +495,11 @@ impl AtroposRuntime {
             }
             None => false,
         };
-        inner.cancel.request_cancel(now, key, background)
+        let sink = inner.recorder.clone();
+        let handle = RecorderHandle::new(sink.as_deref(), inner.stats.ticks);
+        inner
+            .cancel
+            .request_cancel_recorded(now, key, background, CancelOrigin::Operator, &handle)
     }
 
     /// The clock this runtime reads timestamps from.
@@ -495,12 +520,16 @@ impl AtroposRuntime {
         // would have produced.
         let mut inner = self.lock_drained();
         inner.stats.ticks += 1;
+        // The recorder handle borrows a local clone of the Arc so emission
+        // can interleave with mutable access to the rest of the state.
+        let sink = inner.recorder.clone();
+        let rec = RecorderHandle::new(sink.as_deref(), inner.stats.ticks);
         // Close the accounting window on every task.
         for t in inner.tasks.values_mut() {
             t.roll_window(now);
         }
         let in_flight = inner.tasks.values().filter(|t| t.is_active()).count() as u64;
-        let signal = inner.detector.evaluate(now, in_flight);
+        let signal = inner.detector.evaluate_recorded(now, in_flight, &rec);
         let outcome = match signal {
             OverloadSignal::Ok => {
                 inner.ts.set_mode(TimestampMode::Sampled);
@@ -515,6 +544,7 @@ impl AtroposRuntime {
                 let hot = snapshot.bottlenecked(inner.cfg.detector.min_contention);
                 let outcome = if hot.is_empty() {
                     inner.stats.regular_overloads += 1;
+                    rec.emit(|tick| DecisionEvent::RegularOverload { tick });
                     if let Some(hook) = &inner.regular_overload_hook {
                         hook();
                     }
@@ -529,9 +559,58 @@ impl AtroposRuntime {
                         ResourceType::System => 3,
                     };
                     inner.stats.overloads_by_type[type_idx] += 1;
+                    if rec.enabled() {
+                        // The explanation pass: score/rank events cost real
+                        // work (an extra Algorithm-1 evaluation), so they
+                        // run only with a recorder attached.
+                        for &rid in &hot {
+                            let r = &snapshot.resources[rid.index()];
+                            rec.emit(|tick| DecisionEvent::ResourceScored {
+                                tick,
+                                resource: r.id,
+                                rtype: r.rtype,
+                                contention: r.contention,
+                                weight: r.weight,
+                                wait_ns: r.wait_ns,
+                                hold_ns: r.hold_ns,
+                            });
+                        }
+                        for s in crate::policy::ranked(&snapshot) {
+                            rec.emit(|tick| DecisionEvent::CandidateRanked {
+                                tick,
+                                task: s.task,
+                                key: s.key,
+                                score: s.score,
+                            });
+                        }
+                    }
                     let sel = inner.policy.select(&snapshot);
                     let (canceled, decision) = match sel {
                         Some(s) => {
+                            if rec.enabled() {
+                                let hot0 = hot[0];
+                                let victims_waiting = inner
+                                    .tasks
+                                    .values()
+                                    .filter(|t| {
+                                        t.id != s.task
+                                            && t.usage
+                                                .get(hot0.index())
+                                                .is_some_and(|u| u.total_wait_ns > 0)
+                                    })
+                                    .count()
+                                    as u64;
+                                let terms = crate::policy::gain_terms(&snapshot, s.task);
+                                rec.emit(|tick| DecisionEvent::BlameAssigned {
+                                    tick,
+                                    resource: hot0,
+                                    task: s.task,
+                                    key: s.key,
+                                    score: s.score,
+                                    terms,
+                                    victims_waiting,
+                                });
+                            }
                             let background = inner
                                 .tasks
                                 .get(&s.task)
@@ -540,7 +619,13 @@ impl AtroposRuntime {
                             if let Some(t) = inner.tasks.get_mut(&s.task) {
                                 t.state = TaskState::CancelRequested;
                             }
-                            let d = inner.cancel.request_cancel(now, s.key, background);
+                            let d = inner.cancel.request_cancel_recorded(
+                                now,
+                                s.key,
+                                background,
+                                CancelOrigin::Policy,
+                                &rec,
+                            );
                             if d == CancelDecision::Issued {
                                 // Distributed extension: propagate the root
                                 // cancellation to all descendant tasks.

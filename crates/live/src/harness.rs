@@ -155,6 +155,12 @@ pub struct LiveReport {
     pub ticks: u64,
     /// Final runtime counters.
     pub runtime: RuntimeStats,
+    /// Human-readable decision episodes folded from the flight recorder
+    /// (empty in [`ControlMode::NoControl`]: nothing ticks, so nothing
+    /// decides).
+    pub episodes: Vec<atropos_obs::DecisionEpisode>,
+    /// Runtime metrics snapshot from the decision-trace observer.
+    pub metrics: atropos_obs::MetricsSnapshot,
 }
 
 /// Runs one complete wall-clock serving session and reports it.
@@ -173,6 +179,7 @@ pub fn run(cfg: LiveConfig, mode: ControlMode) -> LiveReport {
     };
     let rt = Arc::new(AtroposRuntime::new(atropos_cfg, clock));
     let registry = Arc::new(CancelRegistry::new());
+    let obs = atropos_obs::Observer::install(&rt, atropos_obs::DEFAULT_RING_CAPACITY);
     let controlled = matches!(mode, ControlMode::Atropos(_));
     if controlled {
         registry.install(&rt);
@@ -221,6 +228,14 @@ pub fn run(cfg: LiveConfig, mode: ControlMode) -> LiveReport {
 
     let victim = LatencySummary::from_histogram(&ctx.metrics.victim.lock());
     let culprit = LatencySummary::from_histogram(&ctx.metrics.culprit.lock());
+    // Reconcile token deliveries into the observer so `cancels_failed`
+    // reflects only cancellations that never reached a live token.
+    for _ in 0..registry.delivered() {
+        obs.registry().observe_cancel_delivered();
+    }
+    let names = atropos_obs::ResourceNames::from_snapshot(&rt.debug_snapshot());
+    let episodes = obs.drain_episodes(&names);
+    let metrics = obs.metrics();
     LiveReport {
         victim,
         culprit,
@@ -238,6 +253,8 @@ pub fn run(cfg: LiveConfig, mode: ControlMode) -> LiveReport {
             .collect(),
         ticks,
         runtime: rt.stats(),
+        episodes,
+        metrics,
     }
 }
 

@@ -68,6 +68,31 @@ fn atropos_cancels_live_culprit_and_victim_p99_recovers() {
     assert!(controlled.cancellations_delivered >= 1);
     assert!(controlled.runtime.cancel.issued >= 1);
 
+    // The decision trace explains the run: at least one folded episode,
+    // and some episode actually issued the cancel we observed land.
+    assert!(
+        !controlled.episodes.is_empty(),
+        "controlled run produced no decision episodes"
+    );
+    assert!(
+        controlled
+            .episodes
+            .iter()
+            .any(|e| e.outcome == "issued" && e.canceled_key.is_some()),
+        "no episode explains the issued cancellation:\n{}",
+        atropos_obs::render_episodes(&controlled.episodes)
+    );
+    // The observer's counters agree with the runtime's own ledger.
+    assert_eq!(
+        controlled.metrics.cancels_issued_policy + controlled.metrics.cancels_issued_operator,
+        controlled.runtime.cancel.issued,
+        "observer missed issued cancels"
+    );
+    assert!(controlled.metrics.consistency_errors().is_empty());
+
+    // The baseline never decided anything.
+    assert!(baseline.episodes.iter().all(|e| e.outcome != "issued"));
+
     // Detection + delivery within a handful of detector windows. The
     // budget (1 s) is ~20 windows — far beyond what a healthy run needs
     // (2-4), but safely past any CI scheduling hiccup.

@@ -1,0 +1,486 @@
+//! The episode explainer: folds raw decision events into human-readable
+//! [`DecisionEpisode`]s.
+//!
+//! A decision *episode* is everything the runtime concluded in one
+//! overloaded tick: the detection signal, the scored resources, the
+//! ranked candidates, the blame (with its per-term score breakdown), and
+//! the cancellation outcome. Completion events from later ticks are
+//! matched back to the episode that issued the cancellation, so each
+//! episode tells the whole story of one decision — this is the record
+//! the golden regression suite snapshots and chaos invariant I8 audits.
+
+use std::collections::HashMap;
+
+use atropos::{BackoffReason, CancelOrigin, DebugSnapshot, DecisionEvent};
+use serde::{Deserialize, Serialize};
+
+/// Resource id → (name, type) lookup used to render episodes.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceNames {
+    names: HashMap<u32, (String, String)>,
+}
+
+impl ResourceNames {
+    /// Builds the lookup from explicit `(id, name, type)` entries.
+    pub fn new(entries: impl IntoIterator<Item = (u32, String, String)>) -> Self {
+        Self {
+            names: entries.into_iter().map(|(id, n, t)| (id, (n, t))).collect(),
+        }
+    }
+
+    /// Builds the lookup from a runtime debug snapshot.
+    pub fn from_snapshot(snap: &DebugSnapshot) -> Self {
+        Self::new(
+            snap.resources
+                .iter()
+                .map(|r| (r.id.0, r.name.clone(), r.rtype.to_string())),
+        )
+    }
+
+    fn name(&self, id: u32) -> String {
+        self.names
+            .get(&id)
+            .map(|(n, _)| n.clone())
+            .unwrap_or_else(|| format!("resource-{id}"))
+    }
+
+    fn rtype(&self, id: u32) -> String {
+        self.names
+            .get(&id)
+            .map(|(_, t)| t.clone())
+            .unwrap_or_else(|| "UNKNOWN".to_string())
+    }
+}
+
+/// One term of an episode's score breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeTerm {
+    /// Resource name.
+    pub resource: String,
+    /// Contention weight.
+    pub weight: f64,
+    /// Estimated gain.
+    pub gain: f64,
+    /// `weight × gain`.
+    pub contribution: f64,
+}
+
+/// One ranked cancellation candidate of an episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeCandidate {
+    /// Task id.
+    pub task: u64,
+    /// Application key.
+    pub key: u64,
+    /// Scalarized score.
+    pub score: f64,
+}
+
+/// A fully folded decision episode. All fields are plain data so the
+/// episode serializes to JSON for golden snapshots and log dumps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionEpisode {
+    /// Tick the decision happened on.
+    pub tick: u64,
+    /// Observed latency at detection (ns; `u64::MAX` encodes a stall).
+    pub latency_ns: u64,
+    /// Observed throughput at detection (qps).
+    pub throughput_qps: f64,
+    /// How the episode started: `"detection"` or `"operator"`.
+    pub origin: String,
+    /// Blamed resource name (empty if the episode assigned no blame).
+    pub resource: String,
+    /// Blamed resource type (`LOCK`/`MEMORY`/`QUEUE`/`SYSTEM`).
+    pub resource_type: String,
+    /// Culprit task id (`None` if no blame was assigned).
+    pub culprit_task: Option<u64>,
+    /// Culprit application key (`None` if no blame was assigned).
+    pub culprit_key: Option<u64>,
+    /// Winning scalarized score.
+    pub score: f64,
+    /// Per-resource score breakdown, highest contribution first.
+    pub terms: Vec<EpisodeTerm>,
+    /// The ranked candidate set the culprit won against.
+    pub candidates: Vec<EpisodeCandidate>,
+    /// Tasks observed waiting on the blamed resource at decision time.
+    pub victims_waiting: u64,
+    /// Outcome: `"issued"`, `"rate_limited"`, `"already_canceled"`,
+    /// `"no_initiator"`, `"no_target"`, or `"regular_overload"`.
+    pub outcome: String,
+    /// Key whose cancellation this episode issued, if any.
+    pub canceled_key: Option<u64>,
+    /// Whether the issued cancellation completed (`free_cancel` reached).
+    pub completed: bool,
+    /// Issue-to-completion latency (ns), once completed.
+    pub time_to_cancel_ns: Option<u64>,
+}
+
+impl DecisionEpisode {
+    fn empty(tick: u64, origin: &str) -> Self {
+        Self {
+            tick,
+            latency_ns: 0,
+            throughput_qps: 0.0,
+            origin: origin.to_string(),
+            resource: String::new(),
+            resource_type: String::new(),
+            culprit_task: None,
+            culprit_key: None,
+            score: 0.0,
+            terms: Vec::new(),
+            candidates: Vec::new(),
+            victims_waiting: 0,
+            outcome: "no_target".to_string(),
+            canceled_key: None,
+            completed: false,
+            time_to_cancel_ns: None,
+        }
+    }
+}
+
+impl std::fmt::Display for DecisionEpisode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tick {:>3} [{}] ", self.tick, self.origin)?;
+        if self.outcome == "regular_overload" {
+            return write!(f, "regular overload (no bottlenecked resource)");
+        }
+        if self.latency_ns == u64::MAX {
+            write!(f, "stall (no completions) ")?;
+        } else if self.latency_ns > 0 {
+            write!(
+                f,
+                "p-latency {:.1}ms @ {:.1}qps ",
+                self.latency_ns as f64 / 1e6,
+                self.throughput_qps
+            )?;
+        }
+        match (self.culprit_key, self.resource.is_empty()) {
+            (Some(key), _) => {
+                write!(
+                    f,
+                    "→ blamed key {key} on {} ({}) score {:.3}",
+                    self.resource, self.resource_type, self.score
+                )?;
+                if !self.terms.is_empty() {
+                    let terms: Vec<String> = self
+                        .terms
+                        .iter()
+                        .map(|t| format!("{}: {:.2}×{:.2}", t.resource, t.weight, t.gain))
+                        .collect();
+                    write!(f, " [{}]", terms.join(", "))?;
+                }
+                write!(f, "; {} victims waiting", self.victims_waiting)?;
+            }
+            (None, false) => {
+                write!(f, "→ {} bottlenecked, no cancellable target", self.resource)?;
+            }
+            (None, true) => {}
+        }
+        write!(f, "; outcome: {}", self.outcome)?;
+        if self.completed {
+            write!(
+                f,
+                " (completed in {:.1}ms)",
+                self.time_to_cancel_ns.unwrap_or(0) as f64 / 1e6
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Folds an emission-ordered event stream into episodes.
+///
+/// Grouping is by tick: a `OverloadDetected` (or an operator
+/// `CancelIssued`) opens an episode, subsequent same-tick events fill it
+/// in, and `CancelCompleted` events from any later tick are matched back
+/// to the episode that issued that key. Stray events that fit no open
+/// episode open a synthetic one, so no event is silently discarded.
+pub fn fold_episodes(events: &[DecisionEvent], names: &ResourceNames) -> Vec<DecisionEpisode> {
+    let mut episodes: Vec<DecisionEpisode> = Vec::new();
+    // Key → index of the episode that issued its cancellation.
+    let mut issued_by: HashMap<u64, usize> = HashMap::new();
+    // Index of the episode currently accepting pipeline events per tick.
+    let mut open: Option<(u64, usize)> = None;
+
+    let target = |episodes: &mut Vec<DecisionEpisode>,
+                  open: &mut Option<(u64, usize)>,
+                  tick: u64|
+     -> usize {
+        match open {
+            Some((t, idx)) if *t == tick => *idx,
+            _ => {
+                episodes.push(DecisionEpisode::empty(tick, "detection"));
+                let idx = episodes.len() - 1;
+                *open = Some((tick, idx));
+                idx
+            }
+        }
+    };
+
+    for ev in events {
+        match *ev {
+            DecisionEvent::OverloadDetected {
+                tick,
+                latency_ns,
+                throughput_qps,
+            } => {
+                episodes.push(DecisionEpisode::empty(tick, "detection"));
+                let idx = episodes.len() - 1;
+                episodes[idx].latency_ns = latency_ns;
+                episodes[idx].throughput_qps = throughput_qps;
+                open = Some((tick, idx));
+            }
+            DecisionEvent::ResourceScored { tick, resource, .. } => {
+                let idx = target(&mut episodes, &mut open, tick);
+                // The hottest resource is scored first; keep it as the
+                // episode's blamed resource until BlameAssigned confirms.
+                if episodes[idx].resource.is_empty() {
+                    episodes[idx].resource = names.name(resource.0);
+                    episodes[idx].resource_type = names.rtype(resource.0);
+                }
+            }
+            DecisionEvent::CandidateRanked {
+                tick,
+                task,
+                key,
+                score,
+            } => {
+                let idx = target(&mut episodes, &mut open, tick);
+                episodes[idx].candidates.push(EpisodeCandidate {
+                    task: task.0,
+                    key: key.0,
+                    score,
+                });
+            }
+            DecisionEvent::BlameAssigned {
+                tick,
+                resource,
+                task,
+                key,
+                score,
+                terms,
+                victims_waiting,
+            } => {
+                let idx = target(&mut episodes, &mut open, tick);
+                let e = &mut episodes[idx];
+                e.resource = names.name(resource.0);
+                e.resource_type = names.rtype(resource.0);
+                e.culprit_task = Some(task.0);
+                e.culprit_key = Some(key.0);
+                e.score = score;
+                e.victims_waiting = victims_waiting;
+                e.terms = terms
+                    .iter()
+                    .flatten()
+                    .map(|t| EpisodeTerm {
+                        resource: names.name(t.resource.0),
+                        weight: t.weight,
+                        gain: t.gain,
+                        contribution: t.contribution(),
+                    })
+                    .collect();
+            }
+            DecisionEvent::CancelIssued {
+                tick, key, origin, ..
+            } => {
+                let idx = match origin {
+                    CancelOrigin::Policy => target(&mut episodes, &mut open, tick),
+                    CancelOrigin::Operator => {
+                        episodes.push(DecisionEpisode::empty(tick, "operator"));
+                        episodes.len() - 1
+                    }
+                };
+                episodes[idx].outcome = "issued".to_string();
+                episodes[idx].canceled_key = Some(key.0);
+                if episodes[idx].culprit_key.is_none() {
+                    episodes[idx].culprit_key = Some(key.0);
+                }
+                issued_by.insert(key.0, idx);
+            }
+            DecisionEvent::Backoff { tick, key, reason } => {
+                let idx = target(&mut episodes, &mut open, tick);
+                episodes[idx].outcome = match reason {
+                    BackoffReason::RateLimited => "rate_limited",
+                    BackoffReason::AlreadyCanceled => "already_canceled",
+                    BackoffReason::NoInitiator => "no_initiator",
+                }
+                .to_string();
+                if episodes[idx].culprit_key.is_none() {
+                    episodes[idx].culprit_key = Some(key.0);
+                }
+            }
+            DecisionEvent::CancelCompleted {
+                key,
+                time_to_cancel_ns,
+                ..
+            } => {
+                if let Some(&idx) = issued_by.get(&key.0) {
+                    episodes[idx].completed = true;
+                    episodes[idx].time_to_cancel_ns = Some(time_to_cancel_ns);
+                }
+            }
+            DecisionEvent::RegularOverload { tick } => {
+                let idx = target(&mut episodes, &mut open, tick);
+                episodes[idx].outcome = "regular_overload".to_string();
+            }
+        }
+    }
+    episodes
+}
+
+/// Renders episodes as a line-per-episode log.
+pub fn render_episodes(episodes: &[DecisionEpisode]) -> String {
+    let mut out = String::new();
+    for e in episodes {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos::{GainTerm, ResourceId, ResourceType, TaskId, TaskKey, MAX_GAIN_TERMS};
+
+    fn names() -> ResourceNames {
+        ResourceNames::new([(0, "table_lock".to_string(), "LOCK".to_string())])
+    }
+
+    fn episode_events() -> Vec<DecisionEvent> {
+        let mut terms = [None; MAX_GAIN_TERMS];
+        terms[0] = Some(GainTerm {
+            resource: ResourceId(0),
+            weight: 1.0,
+            gain: 3.0,
+        });
+        vec![
+            DecisionEvent::OverloadDetected {
+                tick: 4,
+                latency_ns: 90_000_000,
+                throughput_qps: 12.0,
+            },
+            DecisionEvent::ResourceScored {
+                tick: 4,
+                resource: ResourceId(0),
+                rtype: ResourceType::Lock,
+                contention: 0.8,
+                weight: 1.0,
+                wait_ns: 70_000_000,
+                hold_ns: 95_000_000,
+            },
+            DecisionEvent::CandidateRanked {
+                tick: 4,
+                task: TaskId(1),
+                key: TaskKey(9000),
+                score: 3.0,
+            },
+            DecisionEvent::BlameAssigned {
+                tick: 4,
+                resource: ResourceId(0),
+                task: TaskId(1),
+                key: TaskKey(9000),
+                score: 3.0,
+                terms,
+                victims_waiting: 6,
+            },
+            DecisionEvent::CancelIssued {
+                tick: 4,
+                key: TaskKey(9000),
+                now_ns: 400_000_000,
+                origin: CancelOrigin::Policy,
+            },
+            DecisionEvent::CancelCompleted {
+                tick: 5,
+                key: TaskKey(9000),
+                time_to_cancel_ns: 101_000_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn one_decision_folds_into_one_complete_episode() {
+        let eps = fold_episodes(&episode_events(), &names());
+        assert_eq!(eps.len(), 1);
+        let e = &eps[0];
+        assert_eq!(e.tick, 4);
+        assert_eq!(e.resource, "table_lock");
+        assert_eq!(e.resource_type, "LOCK");
+        assert_eq!(e.culprit_key, Some(9000));
+        assert_eq!(e.outcome, "issued");
+        assert_eq!(e.canceled_key, Some(9000));
+        assert!(e.completed);
+        assert_eq!(e.time_to_cancel_ns, Some(101_000_000));
+        assert_eq!(e.victims_waiting, 6);
+        assert_eq!(e.terms.len(), 1);
+        assert!((e.terms[0].contribution - 3.0).abs() < 1e-9);
+        assert_eq!(e.candidates.len(), 1);
+    }
+
+    #[test]
+    fn rendered_episode_reads_like_a_sentence() {
+        let eps = fold_episodes(&episode_events(), &names());
+        let line = eps[0].to_string();
+        assert!(line.contains("blamed key 9000"), "{line}");
+        assert!(line.contains("table_lock"), "{line}");
+        assert!(line.contains("outcome: issued"), "{line}");
+        assert!(line.contains("completed in 101.0ms"), "{line}");
+    }
+
+    #[test]
+    fn regular_overload_is_its_own_episode() {
+        let evs = vec![
+            DecisionEvent::OverloadDetected {
+                tick: 2,
+                latency_ns: 40_000_000,
+                throughput_qps: 5.0,
+            },
+            DecisionEvent::RegularOverload { tick: 2 },
+        ];
+        let eps = fold_episodes(&evs, &names());
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].outcome, "regular_overload");
+        assert!(eps[0].to_string().contains("regular overload"));
+    }
+
+    #[test]
+    fn operator_cancel_opens_a_separate_episode() {
+        let evs = vec![DecisionEvent::CancelIssued {
+            tick: 0,
+            key: TaskKey(7),
+            now_ns: 1,
+            origin: CancelOrigin::Operator,
+        }];
+        let eps = fold_episodes(&evs, &names());
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].origin, "operator");
+        assert_eq!(eps[0].canceled_key, Some(7));
+    }
+
+    #[test]
+    fn distinct_ticks_never_share_an_episode() {
+        let evs = vec![
+            DecisionEvent::OverloadDetected {
+                tick: 2,
+                latency_ns: u64::MAX,
+                throughput_qps: 0.0,
+            },
+            DecisionEvent::OverloadDetected {
+                tick: 3,
+                latency_ns: u64::MAX,
+                throughput_qps: 0.0,
+            },
+        ];
+        let eps = fold_episodes(&evs, &names());
+        assert_eq!(eps.len(), 2);
+        assert!(eps[0].to_string().contains("stall"));
+    }
+
+    #[test]
+    fn episodes_serialize_to_json_and_back() {
+        let eps = fold_episodes(&episode_events(), &names());
+        let json = serde_json::to_string(&eps[0]).unwrap();
+        let back: DecisionEpisode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, eps[0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! The [`Observer`]: the reference [`Recorder`] implementation wiring the
+//! flight-recorder ring and the metrics registry behind one hook.
+
+use std::sync::Arc;
+
+use atropos::{AtroposRuntime, DecisionEvent, Recorder};
+
+use crate::explain::{fold_episodes, DecisionEpisode, ResourceNames};
+use crate::registry::{MetricsRegistry, MetricsSnapshot};
+use crate::ring::{FlightRecorder, DEFAULT_RING_CAPACITY};
+
+/// Flight recorder + metrics registry behind a single [`Recorder`].
+///
+/// Install with [`Observer::install`] (or `rt.set_recorder(obs)` on an
+/// `Arc<Observer>`); both halves are fed every event: the registry folds
+/// it into counters immediately, the ring buffers it for the episode
+/// explainer.
+pub struct Observer {
+    ring: FlightRecorder,
+    registry: MetricsRegistry,
+}
+
+impl Default for Observer {
+    fn default() -> Self {
+        Self::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl Observer {
+    /// Creates an observer whose ring holds up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: FlightRecorder::new(capacity),
+            registry: MetricsRegistry::new(),
+        }
+    }
+
+    /// Creates the observer and attaches it to `rt` in one step.
+    pub fn install(rt: &AtroposRuntime, capacity: usize) -> Arc<Self> {
+        let obs = Arc::new(Self::new(capacity));
+        rt.set_recorder(obs.clone());
+        obs
+    }
+
+    /// The buffered-event ring.
+    pub fn ring(&self) -> &FlightRecorder {
+        &self.ring
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Convenience: current metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Drains the ring and folds the events into episodes, resolving
+    /// resource names from `names`.
+    pub fn drain_episodes(&self, names: &ResourceNames) -> Vec<DecisionEpisode> {
+        fold_episodes(&self.ring.drain(), names)
+    }
+}
+
+impl Recorder for Observer {
+    fn record(&self, event: DecisionEvent) {
+        self.registry.observe(&event);
+        self.ring.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos::{AtroposConfig, ResourceType, TaskKey};
+    use atropos_sim::VirtualClock;
+
+    #[test]
+    fn observer_feeds_both_ring_and_registry_from_a_runtime() {
+        let clock = Arc::new(VirtualClock::new());
+        let rt = AtroposRuntime::new(AtroposConfig::default(), clock);
+        let obs = Observer::install(&rt, 128);
+        rt.set_cancel_action(|_| {});
+        let _t = rt.create_cancel(Some(5));
+        rt.register_resource("pool", ResourceType::Memory);
+        // Operator cancel: the one emission path that needs no overload.
+        rt.cancel_key(TaskKey(5));
+        let snap = obs.metrics();
+        assert_eq!(snap.cancels_issued_operator, 1);
+        let eps = obs.drain_episodes(&ResourceNames::default());
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].canceled_key, Some(5));
+        assert_eq!(eps[0].origin, "operator");
+    }
+}

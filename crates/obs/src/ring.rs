@@ -1,0 +1,176 @@
+//! The flight recorder: a bounded, non-blocking ring of decision events.
+//!
+//! Writers ([`FlightRecorder::record`], called from inside the runtime's
+//! tick and cancel paths) never block: each event claims a slot with a
+//! relaxed atomic sequence counter and takes the slot's lock with
+//! `try_lock`. If a drain holds the slot at that instant the event is
+//! *dropped* (counted, never waited for); if the ring wrapped before a
+//! drain, the old event is *overwritten* (counted). Both counters are
+//! exposed so tests can assert the recorder sheds rather than stalls.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use atropos::{DecisionEvent, Recorder};
+use parking_lot::Mutex;
+
+/// Default ring capacity: comfortably holds every event of a 16-case
+/// scenario sweep (a decision tick emits ~a dozen events; see DESIGN.md
+/// §11 for the sizing arithmetic).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+type Slot = Mutex<Option<(u64, DecisionEvent)>>;
+
+/// A bounded ring buffer of [`DecisionEvent`]s with never-blocking writes.
+pub struct FlightRecorder {
+    slots: Vec<Slot>,
+    /// Next sequence number; `seq % capacity` is the slot index.
+    head: AtomicU64,
+    dropped: AtomicU64,
+    overwritten: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding up to `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            overwritten: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Appends one event without ever blocking; sheds on contention.
+    pub fn record(&self, event: DecisionEvent) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        match slot.try_lock() {
+            Some(mut guard) => {
+                if guard.is_some() {
+                    self.overwritten.fetch_add(1, Ordering::Relaxed);
+                }
+                *guard = Some((seq, event));
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Removes and returns every buffered event in emission (sequence)
+    /// order. Concurrent writers shed to the drop counter only for the
+    /// instant their specific slot is held.
+    pub fn drain(&self) -> Vec<DecisionEvent> {
+        let mut out: Vec<(u64, DecisionEvent)> = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            if let Some(entry) = slot.lock().take() {
+                out.push(entry);
+            }
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// Events recorded so far (including dropped and overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events shed because the slot was held by a drain at write time.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring wraparound before a drain collected them.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten.load(Ordering::Relaxed)
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn record(&self, event: DecisionEvent) {
+        FlightRecorder::record(self, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: u64) -> DecisionEvent {
+        DecisionEvent::RegularOverload { tick }
+    }
+
+    #[test]
+    fn drain_returns_events_in_emission_order() {
+        let ring = FlightRecorder::new(8);
+        for i in 0..5 {
+            ring.record(ev(i));
+        }
+        let out = ring.drain();
+        let ticks: Vec<u64> = out.iter().map(|e| e.tick()).collect();
+        assert_eq!(ticks, vec![0, 1, 2, 3, 4]);
+        assert!(ring.drain().is_empty(), "drain must consume");
+    }
+
+    #[test]
+    fn wraparound_overwrites_oldest_and_counts_it() {
+        let ring = FlightRecorder::new(4);
+        for i in 0..10 {
+            ring.record(ev(i));
+        }
+        assert_eq!(ring.overwritten(), 6);
+        assert_eq!(ring.dropped(), 0);
+        let out = ring.drain();
+        let ticks: Vec<u64> = out.iter().map(|e| e.tick()).collect();
+        assert_eq!(ticks, vec![6, 7, 8, 9], "newest events survive");
+    }
+
+    #[test]
+    fn writers_shed_instead_of_blocking_on_a_held_slot() {
+        let ring = FlightRecorder::new(1);
+        let guard = ring.slots[0].lock(); // simulate a drain holding the slot
+        ring.record(ev(1));
+        drop(guard);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.recorded(), 1);
+        assert!(ring.drain().is_empty());
+    }
+
+    #[test]
+    fn concurrent_hammer_accounts_for_every_event() {
+        use std::sync::Arc;
+        let ring = Arc::new(FlightRecorder::new(64));
+        let mut drained = 0u64;
+        std::thread::scope(|s| {
+            let writers: Vec<_> = (0..4)
+                .map(|_| {
+                    let r = ring.clone();
+                    s.spawn(move || {
+                        for i in 0..1000 {
+                            r.record(ev(i));
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..50 {
+                drained += ring.drain().len() as u64;
+            }
+            for w in writers {
+                w.join().unwrap();
+            }
+        });
+        drained += ring.drain().len() as u64;
+        assert_eq!(
+            drained + ring.dropped() + ring.overwritten(),
+            4000,
+            "every recorded event is either drained, dropped, or overwritten"
+        );
+    }
+}

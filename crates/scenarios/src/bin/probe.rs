@@ -1,15 +1,22 @@
 //! Diagnostic probe: all 16 cases under NoControl vs Atropos, one row per
 //! case — the fastest way to eyeball calibration after changing a case or
-//! a framework default. `--quick` shortens the runs.
+//! a framework default. `--quick` shortens the runs; `--episodes` runs
+//! the Atropos side under the decision-trace observer and dumps each
+//! case's folded episode log (why every cancellation was issued) after
+//! the table.
 //!
 //! ```console
 //! $ cargo run --release -p atropos-scenarios --bin probe
+//! $ cargo run --release -p atropos-scenarios --bin probe -- --quick --episodes
 //! ```
 
-use atropos_scenarios::{all_cases, calibrate, run_with, ControllerKind, RunConfig};
+use atropos_scenarios::{
+    all_cases, calibrate, run_atropos_observed, run_with, ControllerKind, RunConfig,
+};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let episodes = std::env::args().any(|a| a == "--episodes");
     let rc = if quick {
         RunConfig::quick(42)
     } else {
@@ -19,8 +26,14 @@ fn main() {
     let results = atropos_scenarios::runner::parallel_map(cases, |case| {
         let baseline = calibrate(&case, &rc);
         let none = run_with(&case, ControllerKind::None, &rc, &baseline);
-        let atr = run_with(&case, ControllerKind::Atropos, &rc, &baseline);
-        (case.id, baseline, none, atr)
+        if episodes {
+            let obs = run_atropos_observed(&case, &rc, &baseline);
+            let log = atropos_obs::render_episodes(&obs.episodes);
+            (case.id, baseline, none, obs.result, log)
+        } else {
+            let atr = run_with(&case, ControllerKind::Atropos, &rc, &baseline);
+            (case.id, baseline, none, atr, String::new())
+        }
     });
     println!(
         "{:<5} {:>9} {:>8} | {:>6} {:>8} | {:>6} {:>8} {:>7} {:>5} {:>5}",
@@ -35,7 +48,7 @@ fn main() {
         "canc",
         "retr"
     );
-    for (id, b, n, a) in results {
+    for (id, b, n, a, _) in &results {
         println!(
             "{:<5} {:>9.0} {:>7.1}ms | {:>6.2} {:>8.1} | {:>6.2} {:>8.1} {:>6.3}% {:>5} {:>5}",
             id,
@@ -49,5 +62,17 @@ fn main() {
             a.summary.canceled,
             a.summary.retried
         );
+    }
+    if episodes {
+        for (id, _, _, _, log) in &results {
+            if log.is_empty() {
+                println!("\n{id}: no decision episodes");
+            } else {
+                println!("\n{id}: decision episodes");
+                for line in log.lines() {
+                    println!("  {line}");
+                }
+            }
+        }
     }
 }

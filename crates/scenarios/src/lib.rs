@@ -16,4 +16,7 @@ pub mod runner;
 
 pub use cases::{all_cases, CaseDef, CaseHints, CaseParams};
 pub use chaos::{chaos_variants, ChaosCulprit, ChaosVariant};
-pub use runner::{calibrate, run_with, Baseline, CaseResult, ControllerKind, RunConfig};
+pub use runner::{
+    calibrate, run_atropos_observed, run_with, Baseline, CaseResult, ControllerKind, ObservedRun,
+    RunConfig,
+};

@@ -292,6 +292,77 @@ pub fn run_atropos_with_handle(
     )
 }
 
+/// An Atropos case run with the decision-trace observer attached: the
+/// normalized result plus everything needed to *explain* the run — the
+/// runtime handle, folded decision episodes, the metrics snapshot, and
+/// the application-side cancel log (who was actually canceled, with
+/// workload-class names resolved).
+pub struct ObservedRun {
+    /// Raw + normalized performance result.
+    pub result: CaseResult,
+    /// The Atropos runtime, for estimator/cancel introspection.
+    pub runtime: std::sync::Arc<atropos::AtroposRuntime>,
+    /// Decision episodes folded from the flight recorder.
+    pub episodes: Vec<atropos_obs::DecisionEpisode>,
+    /// Metrics registry snapshot at the end of the run.
+    pub metrics: atropos_obs::MetricsSnapshot,
+    /// Executed cancellations as `(class name, request id)` in issue order.
+    pub cancel_log: Vec<(String, u64)>,
+}
+
+/// [`run_atropos_with_handle`] with an [`atropos_obs::Observer`]
+/// installed: the same simulation plus a full decision trace. The ring is
+/// sized generously (32768 events) so golden runs never overwrite.
+pub fn run_atropos_observed(case: &CaseDef, rc: &RunConfig, baseline: &Baseline) -> ObservedRun {
+    let built = case.build(&rc.case_params(), true);
+    let class_names: Vec<String> = built
+        .workload
+        .classes
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    let mut cfg = AtroposConfig::default().with_slo_ns(baseline.slo_ns);
+    if let Some(interval) = rc.cancel_min_interval_ns {
+        cfg.cancel_min_interval_ns = interval;
+    }
+    let handle = std::sync::Arc::new(parking_lot::Mutex::new(None));
+    let h2 = handle.clone();
+    let metrics = SimServer::new_with(built.server, built.workload, move |clock, groups| {
+        let c = AtroposController::new(cfg, clock, groups, true);
+        let rt = c.runtime();
+        let obs = atropos_obs::Observer::install(&rt, 32_768);
+        *h2.lock() = Some((rt, obs));
+        Box::new(c)
+    })
+    .run(rc.duration, rc.warmup);
+    let (rt, obs) = handle.lock().take().expect("controller constructed");
+    let names = atropos_obs::ResourceNames::from_snapshot(&rt.debug_snapshot());
+    let episodes = obs.drain_episodes(&names);
+    let cancel_log = metrics
+        .cancel_log
+        .iter()
+        .map(|r| {
+            let class = class_names
+                .get(r.class.0 as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("class-{}", r.class.0));
+            (class, r.req.0)
+        })
+        .collect();
+    let summary = summarize("Atropos", &metrics, rc.measured_ns());
+    let normalized = summary.normalized_against(&baseline.summary);
+    ObservedRun {
+        result: CaseResult {
+            summary,
+            normalized,
+        },
+        runtime: rt,
+        episodes,
+        metrics: obs.metrics(),
+        cancel_log,
+    }
+}
+
 /// Runs `f` over `items` on up to `available_parallelism` worker threads,
 /// preserving input order. Results are deterministic because each item's
 /// simulation is self-contained and seeded.

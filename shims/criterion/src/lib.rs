@@ -200,6 +200,20 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
+/// Measures `routine` with the same adaptive-batch loop
+/// [`Bencher::iter`] uses and returns the mean ns/iter, for callers
+/// (e.g. regression-guard tests) that need the figure programmatically
+/// and comparable to `BENCHRESULT` output.
+pub fn measure_ns_per_iter<O, R: FnMut() -> O>(budget: Duration, routine: R) -> f64 {
+    let mut b = Bencher {
+        budget,
+        ns_per_iter: f64::NAN,
+        iters: 0,
+    };
+    b.iter(routine);
+    b.ns_per_iter
+}
+
 /// Timing harness handed to each benchmark closure.
 pub struct Bencher {
     budget: Duration,

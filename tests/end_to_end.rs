@@ -141,6 +141,61 @@ fn policy_ablation_multi_objective_never_loses_badly() {
 }
 
 #[test]
+fn metrics_snapshot_is_internally_consistent_across_cases() {
+    // Every case run under the decision-trace observer must produce a
+    // metrics snapshot whose counters satisfy the structural relations
+    // the pipeline guarantees: at most one detection per tick, a blame
+    // preceding every policy cancel, and a histogram that accounts for
+    // exactly the completed cancellations. `consistency_errors` encodes
+    // those relations; this asserts them end-to-end rather than on
+    // synthetic events. With `E2E_METRICS_OUT=<dir>` set, each case's
+    // snapshot is also written as JSON (the CI build artifact).
+    let config = rc();
+    let out_dir = std::env::var("E2E_METRICS_OUT").ok();
+    let results = atropos_scenarios::runner::parallel_map(all_cases(), |case| {
+        let b = calibrate(&case, &config);
+        let run = atropos_scenarios::run_atropos_observed(&case, &config, &b);
+        (case.id, run.metrics, run.episodes.len())
+    });
+    for (id, m, n_episodes) in results {
+        let errs = m.consistency_errors();
+        assert!(errs.is_empty(), "{id}: inconsistent metrics: {errs:?}");
+        assert!(m.ticks > 0, "{id}: observer saw no ticks");
+        assert!(m.detections <= m.ticks, "{id}: detections > ticks");
+        assert!(m.blames <= m.detections, "{id}: blames > detections");
+        assert!(
+            m.cancels_issued_policy <= m.blames,
+            "{id}: policy cancels {} > blames {}",
+            m.cancels_issued_policy,
+            m.blames
+        );
+        let hist: u64 = m.time_to_cancel_buckets.iter().sum();
+        assert_eq!(
+            hist, m.cancels_completed,
+            "{id}: TTC histogram holds {hist} samples but {} cancels completed",
+            m.cancels_completed
+        );
+        if m.cancels_issued_policy + m.cancels_issued_operator > 0 {
+            assert!(n_episodes > 0, "{id}: cancels issued but no episodes");
+        }
+        // The exporters must render every relation-bearing counter.
+        let text = m.prometheus_text();
+        for metric in [
+            "atropos_ticks",
+            "atropos_detections",
+            "atropos_cancels_issued",
+        ] {
+            assert!(text.contains(metric), "{id}: {metric} missing:\n{text}");
+        }
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).expect("create E2E_METRICS_OUT dir");
+            let path = std::path::Path::new(dir).join(format!("{id}_metrics.json"));
+            std::fs::write(&path, m.to_json()).expect("write metrics snapshot");
+        }
+    }
+}
+
+#[test]
 fn runs_are_deterministic_for_equal_seeds() {
     let case = all_cases().into_iter().next().expect("c1");
     let config = rc();
