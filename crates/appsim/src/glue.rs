@@ -6,12 +6,19 @@
 //! get/free/slowBy events and GetNext progress, and executes the
 //! runtime's cancel / re-execute / drop decisions through server actions
 //! — the server's `cancel_request` is the analog of MySQL's `sql_kill`.
+//!
+//! All protocol traffic flows through the substrate port
+//! ([`RuntimePort`]), never against `AtroposRuntime` directly, so
+//! middleware (the chaos `FaultInjector`, a counting probe) can be
+//! stacked between the simulated application and the runtime via
+//! [`AtroposController::new_with_middleware`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use atropos::{AtroposConfig, AtroposRuntime, TaskId, TimestampMode};
+use atropos::{AtroposConfig, AtroposRuntime, TaskId, TaskKey, TimestampMode};
 use atropos_sim::{SimTime, VirtualClock};
+use atropos_substrate::{CancelInitiator, RuntimePort};
 use parking_lot::Mutex;
 
 use crate::controller::{Action, AdmitDecision, Controller, ResourceEvent, ServerView, TraceKind};
@@ -39,9 +46,35 @@ impl Default for OverheadModel {
     }
 }
 
+/// The controller's side of the cancellation contract: decisions arriving
+/// from the runtime are buffered and drained into server [`Action`]s on
+/// the next tick (the simulator applies actions at tick boundaries).
+struct BufferedInitiator {
+    cancel: Arc<Mutex<Vec<u64>>>,
+    reexec: Arc<Mutex<Vec<u64>>>,
+    drop: Arc<Mutex<Vec<u64>>>,
+}
+
+impl CancelInitiator for BufferedInitiator {
+    fn cancel(&self, key: TaskKey) {
+        self.cancel.lock().push(key.0);
+    }
+
+    fn reexec(&self, key: TaskKey) {
+        self.reexec.lock().push(key.0);
+    }
+
+    fn drop_parked(&self, key: TaskKey) {
+        self.drop.lock().push(key.0);
+    }
+}
+
 /// The Atropos integration controller.
 pub struct AtroposController {
     rt: Arc<AtroposRuntime>,
+    /// The protocol surface every event goes through; either the runtime
+    /// itself or a middleware stack over it.
+    port: Arc<dyn RuntimePort>,
     resource_ids: Vec<atropos::ResourceId>,
     tasks: HashMap<RequestId, TaskId>,
     cancel_buf: Arc<Mutex<Vec<u64>>>,
@@ -69,24 +102,46 @@ impl AtroposController {
         groups: &[ResourceGroupDef],
         cancellation_enabled: bool,
     ) -> Self {
+        Self::new_with_middleware(cfg, clock, groups, cancellation_enabled, |port| port)
+    }
+
+    /// [`AtroposController::new`] with a middleware stack between the
+    /// controller and the runtime: `wrap` receives the runtime's port and
+    /// returns the port the controller will speak (e.g. a chaos
+    /// `FaultInjector` or a counting probe over it). Resource
+    /// registration and initiator installation also flow through the
+    /// returned port, so middleware observes the full protocol.
+    pub fn new_with_middleware(
+        cfg: AtroposConfig,
+        clock: Arc<VirtualClock>,
+        groups: &[ResourceGroupDef],
+        cancellation_enabled: bool,
+        wrap: impl FnOnce(Arc<dyn RuntimePort>) -> Arc<dyn RuntimePort>,
+    ) -> Self {
         let rt = Arc::new(AtroposRuntime::new(cfg, clock));
+        let port = wrap(rt.clone());
         let resource_ids = groups
             .iter()
-            .map(|g| rt.register_resource(g.name.clone(), g.rtype))
+            .map(|g| port.register_resource(&g.name, g.rtype))
             .collect();
         let cancel_buf = Arc::new(Mutex::new(Vec::new()));
         let reexec_buf = Arc::new(Mutex::new(Vec::new()));
         let drop_buf = Arc::new(Mutex::new(Vec::new()));
+        // Installing an initiator is observable (a runtime without one
+        // answers NoInitiator and issues nothing), so the Figure 14
+        // "cancellation disabled" configuration must skip installation
+        // entirely. The re-execution and drop legs ride with the
+        // initiator: they can only ever fire for issued cancels.
         if cancellation_enabled {
-            let b = cancel_buf.clone();
-            rt.set_cancel_action(move |key| b.lock().push(key.0));
+            port.install_initiator(Arc::new(BufferedInitiator {
+                cancel: cancel_buf.clone(),
+                reexec: reexec_buf.clone(),
+                drop: drop_buf.clone(),
+            }));
         }
-        let b = reexec_buf.clone();
-        rt.set_reexec_action(move |key| b.lock().push(key.0));
-        let b = drop_buf.clone();
-        rt.set_drop_action(move |key| b.lock().push(key.0));
         Self {
             rt,
+            port,
             resource_ids,
             tasks: HashMap::new(),
             cancel_buf,
@@ -129,15 +184,15 @@ impl AtroposController {
         if let Some(&t) = self.tasks.get(&req.id) {
             return t;
         }
-        let t = self.rt.create_cancel(Some(req.id.0));
+        let t = self.port.create_cancel(Some(req.id.0));
         if !req.cancellable || req.retry {
-            self.rt.set_cancellable(t, false);
+            self.port.set_cancellable(t, false);
         }
         if req.background {
-            self.rt.mark_background(t);
+            self.port.mark_background(t);
         }
-        self.rt.unit_started(t);
-        self.rt.report_progress(t, req.work_done, req.work_total);
+        self.port.unit_started(t);
+        self.port.progress(t, req.work_done, req.work_total);
         self.tasks.insert(req.id, t);
         t
     }
@@ -174,16 +229,16 @@ impl Controller for AtroposController {
         };
         match outcome {
             Outcome::Completed => {
-                self.rt.unit_finished(task);
+                self.port.unit_finished(task);
             }
             Outcome::Canceled => {}
             Outcome::Dropped => {
                 if !req.background {
-                    self.rt.record_drop();
+                    self.port.record_drop();
                 }
             }
         }
-        self.rt.free_cancel(task);
+        self.port.free_cancel(task);
     }
 
     fn on_resource_event(&mut self, _now: SimTime, ev: &ResourceEvent) {
@@ -192,20 +247,20 @@ impl Controller for AtroposController {
         };
         let rid = self.resource_ids[ev.group];
         match ev.kind {
-            TraceKind::Get => self.rt.get_resource(task, rid, ev.amount),
-            TraceKind::Free => self.rt.free_resource(task, rid, ev.amount),
-            TraceKind::Slow => self.rt.slow_by_resource(task, rid, ev.amount),
+            TraceKind::Get => self.port.get(task, rid, ev.amount),
+            TraceKind::Free => self.port.free(task, rid, ev.amount),
+            TraceKind::Slow => self.port.slow_by(task, rid, ev.amount),
         }
     }
 
     fn on_progress(&mut self, _now: SimTime, req: &Request) {
         if let Some(&task) = self.tasks.get(&req.id) {
-            self.rt.report_progress(task, req.work_done, req.work_total);
+            self.port.progress(task, req.work_done, req.work_total);
         }
     }
 
     fn on_tick(&mut self, now: SimTime, view: &ServerView) -> Vec<Action> {
-        let _ = self.rt.tick();
+        let _ = self.port.tick();
         let mut actions = Vec::new();
         if let Some(fb) = self.fallback.as_mut() {
             actions.extend(fb.on_tick(now, view));
@@ -239,6 +294,7 @@ mod tests {
     use crate::ids::{ClassId, ClientId};
     use crate::op::Plan;
     use atropos_sim::Clock;
+    use atropos_substrate::ProbePort;
 
     fn controller() -> AtroposController {
         let clock = Arc::new(VirtualClock::new());
@@ -465,6 +521,51 @@ mod tests {
         let sharded = drive(atropos::IngestMode::Sharded);
         assert_eq!(direct, sharded);
         assert!(direct.0.contains(&Action::Cancel(RequestId(99))));
+    }
+
+    /// A middleware stack between the controller and the runtime sees the
+    /// full protocol — registration, task scoping, tracing, ticks — and
+    /// the controller behaves identically through it.
+    #[test]
+    fn middleware_observes_the_full_protocol() {
+        let clock = Arc::new(VirtualClock::new());
+        let groups = vec![ResourceGroupDef {
+            name: "lock".into(),
+            rtype: atropos::ResourceType::Lock,
+            members: vec![],
+        }];
+        let probe = Arc::new(Mutex::new(None::<Arc<ProbePort>>));
+        let p2 = probe.clone();
+        let mut c = AtroposController::new_with_middleware(
+            AtroposConfig::default(),
+            clock,
+            &groups,
+            true,
+            move |port| {
+                let p = Arc::new(ProbePort::new(port));
+                *p2.lock() = Some(p.clone());
+                p
+            },
+        );
+        let req = request(1);
+        c.on_arrival(SimTime::ZERO, &req);
+        c.on_resource_event(
+            SimTime::ZERO,
+            &ResourceEvent {
+                group: 0,
+                kind: TraceKind::Get,
+                req: req.id,
+                amount: 1,
+            },
+        );
+        c.on_finish(SimTime::from_millis(1), &req, Outcome::Completed);
+        let counts = probe.lock().as_ref().unwrap().counts();
+        assert_eq!(counts.gets, 1);
+        assert_eq!(counts.units_started, 1);
+        assert_eq!(counts.units_finished, 1);
+        // Forwarded through to the real runtime unchanged.
+        assert_eq!(c.rt.stats().trace_events, 1);
+        assert_eq!(c.rt.stats().completions, 1);
     }
 
     #[test]

@@ -1,26 +1,6 @@
 //! Identifiers used throughout the application simulator.
+//!
+//! The definitions live in [`atropos_substrate::ids`] — the shared
+//! protocol vocabulary — and are re-exported here for back-compat.
 
-/// A request (one unit of client-visible work, or one background job run).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct RequestId(pub u64);
-
-/// A request class (point-select, scan, backup, …).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ClassId(pub u16);
-
-/// The client (tenant) a request belongs to; PARTIES partitions resources
-/// and measures latency at this granularity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ClientId(pub u16);
-
-/// A lock instance inside a [`LockManager`](crate::resources::lock::LockManager).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct LockId(pub u32);
-
-/// A buffer pool / cache instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct PoolId(pub u32);
-
-/// A ticket queue (bounded concurrency) instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct QueueId(pub u32);
+pub use atropos_substrate::ids::{ClassId, ClientId, LockId, PoolId, QueueId, RequestId};

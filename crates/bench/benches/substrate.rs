@@ -1,10 +1,15 @@
-//! Criterion bench: the simulation substrate.
+//! Criterion bench: the simulation substrate and the substrate port.
 //!
 //! Measures the building blocks whose cost bounds how much virtual time
 //! the harness can simulate per wall-clock second: event queue churn,
 //! buffer-pool accesses (hit and thrash paths), lock grant chains, and an
-//! end-to-end slice of the minidb server.
+//! end-to-end slice of the minidb server — plus the dispatch cost of the
+//! `RuntimePort` abstraction both substrates now emit through (bare
+//! vtable call, and with probe / quiet-injector middleware stacked).
 
+use std::sync::Arc;
+
+use atropos::{AtroposConfig, AtroposRuntime, ResourceType};
 use atropos_app::apps::minidb::{MiniDb, MiniDbConfig};
 use atropos_app::ids::{ClientId, RequestId};
 use atropos_app::op::AccessPattern;
@@ -13,7 +18,9 @@ use atropos_app::resources::lock::LockManager;
 use atropos_app::server::SimServer;
 use atropos_app::workload::WorkloadSpec;
 use atropos_app::NoControl;
-use atropos_sim::{EventQueue, SimRng, SimTime};
+use atropos_chaos::{FaultInjector, FaultPlan};
+use atropos_sim::{Clock, EventQueue, SimRng, SimTime, SystemClock};
+use atropos_substrate::{ProbePort, RuntimePort};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -132,11 +139,48 @@ fn bench_minidb_slice(c: &mut Criterion) {
     g.finish();
 }
 
+/// The cost of the port seam itself: one `get` emission measured on the
+/// concrete runtime, through a bare `Arc<dyn RuntimePort>` (one vtable
+/// hop — the price every ported substrate pays), and with middleware
+/// stacked per the documented order (probe "recorder", quiet fault
+/// injector). The `port_overhead` regression test in `tests/` holds the
+/// bare-port figure against the checked-in baseline; this group is for
+/// reading the layer-by-layer breakdown.
+fn bench_port_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("port_dispatch");
+    let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+    let rt = Arc::new(AtroposRuntime::new(AtroposConfig::default(), clock));
+    let rid = rt.register_resource("bench", ResourceType::Memory);
+    let task = rt.create_cancel(Some(1));
+    rt.unit_started(task);
+
+    g.bench_function("get/direct", |b| {
+        b.iter(|| rt.get_resource(black_box(task), black_box(rid), 1))
+    });
+    let port: Arc<dyn RuntimePort> = rt.clone();
+    g.bench_function("get/port", |b| {
+        b.iter(|| port.get(black_box(task), black_box(rid), 1))
+    });
+    let probed: Arc<dyn RuntimePort> = Arc::new(ProbePort::new(rt.clone()));
+    g.bench_function("get/port+probe", |b| {
+        b.iter(|| probed.get(black_box(task), black_box(rid), 1))
+    });
+    let injected: Arc<dyn RuntimePort> = Arc::new(FaultInjector::over(
+        rt.clone() as Arc<dyn RuntimePort>,
+        &FaultPlan::quiet(1),
+    ));
+    g.bench_function("get/port+quiet_injector", |b| {
+        b.iter(|| injected.get(black_box(task), black_box(rid), 1))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_bufferpool,
     bench_locks,
-    bench_minidb_slice
+    bench_minidb_slice,
+    bench_port_dispatch
 );
 criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! minimized plan on the first violation.
 //!
 //! ```text
-//! chaos [--scenario lock_hog|buffer_scan|all] [--seed N] [--plans N]
+//! chaos [--scenario lock_hog|buffer_scan|ticket_queue|all] [--seed N] [--plans N]
 //!       [--load N] [--quiet-only] [--episodes]
 //! ```
 //!
@@ -50,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
                 args.scenarios = match v.as_str() {
                     "lock_hog" | "lock-hog" => vec![ScenarioKind::LockHog],
                     "buffer_scan" | "buffer-scan" => vec![ScenarioKind::BufferScan],
+                    "ticket_queue" | "ticket-queue" => vec![ScenarioKind::TicketQueue],
                     "all" => ScenarioKind::ALL.to_vec(),
                     other => return Err(format!("unknown scenario {other:?}")),
                 };

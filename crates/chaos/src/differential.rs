@@ -1,11 +1,13 @@
 //! Sim ↔ live differential: the same overload, two execution substrates.
 //!
 //! The simulator (`atropos-app` on a virtual clock) and the live harness
-//! (`atropos-live` on real threads) both reproduce the two culprit kinds
-//! of [`atropos_scenarios::chaos`]: a lock-hog convoy and a buffer-pool
-//! scan. This module replays each through both substrates and compares
-//! the *decision trace* — who was blamed, who was canceled, in what
-//! order.
+//! (`atropos-live` on real threads) both reproduce the three scenario
+//! families of [`ScenarioFamily`]: a lock-hog convoy, a buffer-pool scan,
+//! and a ticket-queue hog. Each family is pinned by a shared
+//! [`ScenarioDescriptor`] — one sim seed plus the live geometry — so
+//! both sides provably run the same story. This module replays each
+//! through both substrates and compares the *decision trace* — who was
+//! blamed, who was canceled, in what order.
 //!
 //! ## What must agree, and the timing tolerance
 //!
@@ -43,6 +45,7 @@ use atropos_live::{
     live_atropos_config, run, ControlMode, CulpritKind, LiveConfig, CULPRIT_KEY_BASE,
 };
 use atropos_scenarios::chaos::{run_variant, variant_for, ChaosCulprit};
+use atropos_substrate::{ScenarioDescriptor, ScenarioFamily};
 
 /// Both substrates must issue their first cancellation within this much
 /// of the disturbance, on their own clock (virtual for the sim, wall for
@@ -64,6 +67,21 @@ pub struct DecisionTrace {
     /// Delay from disturbance start to the first cancellation (own
     /// clock), if any cancellation happened.
     pub first_cancel_delay_ns: Option<u64>,
+}
+
+/// The chaos-variant culprit a scenario family maps onto in the sim.
+pub fn family_culprit(family: ScenarioFamily) -> ChaosCulprit {
+    match family {
+        ScenarioFamily::LockHog => ChaosCulprit::LockHog,
+        ScenarioFamily::BufferScan => ChaosCulprit::BufferScan,
+        ScenarioFamily::TicketQueue => ChaosCulprit::TicketQueue,
+    }
+}
+
+/// Runs a scenario family through the simulator at its descriptor's
+/// pinned seed.
+pub fn sim_trace_for(family: ScenarioFamily) -> DecisionTrace {
+    sim_trace(family_culprit(family), family.descriptor().sim_seed)
 }
 
 /// Runs a chaos variant through the simulator and extracts its decision
@@ -89,37 +107,41 @@ pub fn sim_trace(culprit: ChaosCulprit, seed: u64) -> DecisionTrace {
     }
 }
 
-/// Live-harness configuration whose scan culprit actually convoys.
+/// The live configuration a scenario descriptor pins.
 ///
-/// The scan geometry is deliberate: the hot set (128 pages, re-touched
-/// every ~30 ms at the offered rate) is much larger than the LRU slack
-/// (4 frames), so the pages the sweep pushes out are *stale victim
-/// pages*, not the sweep's own — victims thrash and re-load while the
-/// scan also pins one of two concurrency tickets, so the backlog behind
-/// the remaining ticket blows the 10 ms SLO. The miss penalty (1 ms) is
-/// sized so cache warmup alone (≤ 8 misses ≈ 8 ms) stays under SLO and
-/// cannot trigger a pre-disturbance misblame.
-fn live_config(culprit: ChaosCulprit) -> LiveConfig {
-    match culprit {
-        ChaosCulprit::LockHog => LiveConfig {
-            culprit_kind: CulpritKind::LockHog,
-            culprit_after: Duration::from_millis(400),
-            culprit_hold: Duration::from_millis(1200),
-            ..LiveConfig::default()
+/// Every geometry field comes straight off the descriptor, so the live
+/// side of a differential run cannot drift from what the sim side was
+/// keyed to. The buffer-scan geometry is deliberate: the hot set (128
+/// pages, re-touched every ~30 ms at the offered rate) is much larger
+/// than the LRU slack (4 frames), so the pages the sweep pushes out are
+/// *stale victim pages*, not the sweep's own — victims thrash and
+/// re-load while the scan also pins one of two concurrency tickets, so
+/// the backlog behind the remaining ticket blows the 10 ms SLO. The miss
+/// penalty (1 ms) is sized so cache warmup alone (≤ 8 misses ≈ 8 ms)
+/// stays under SLO and cannot trigger a pre-disturbance misblame.
+pub fn live_config_for(d: &ScenarioDescriptor) -> LiveConfig {
+    LiveConfig {
+        culprit_kind: match d.family {
+            ScenarioFamily::LockHog => CulpritKind::LockHog,
+            ScenarioFamily::BufferScan => CulpritKind::Scan,
+            ScenarioFamily::TicketQueue => CulpritKind::TicketHog,
         },
-        ChaosCulprit::BufferScan => LiveConfig {
-            culprit_kind: CulpritKind::Scan,
-            culprit_after: Duration::from_millis(400),
-            culprit_hold: Duration::from_millis(1200),
-            hot_pages: 128,
-            pages_per_request: 8,
-            lru_capacity: 132,
-            miss_penalty: Duration::from_micros(1000),
-            scan_pages: 1 << 16,
-            tickets: 2,
-            ..LiveConfig::default()
-        },
+        culprit_after: Duration::from_millis(d.culprit_after_ms),
+        culprit_hold: Duration::from_millis(d.culprit_hold_ms),
+        hot_pages: d.hot_pages,
+        pages_per_request: d.pages_per_request as usize,
+        lru_capacity: d.lru_capacity,
+        miss_penalty: Duration::from_micros(d.miss_penalty_us),
+        scan_pages: d.scan_pages,
+        tickets: d.tickets,
+        ..LiveConfig::default()
     }
+}
+
+/// Runs a scenario family through the live harness at its descriptor's
+/// pinned geometry.
+pub fn live_trace_for(family: ScenarioFamily) -> DecisionTrace {
+    live_trace(&family.descriptor())
 }
 
 /// Runs the live analog of a chaos variant and extracts its decision
@@ -128,9 +150,9 @@ fn live_config(culprit: ChaosCulprit) -> LiveConfig {
 /// classification is exact. The delivered-count cross-check (victims
 /// never register cancel tokens, so only culprit cancellations can be
 /// delivered) guards the classification.
-pub fn live_trace(culprit: ChaosCulprit) -> DecisionTrace {
+pub fn live_trace(descriptor: &ScenarioDescriptor) -> DecisionTrace {
     let report = run(
-        live_config(culprit),
+        live_config_for(descriptor),
         ControlMode::Atropos(live_atropos_config()),
     );
     let keys = &report.canceled_keys;

@@ -1,12 +1,16 @@
 //! The fault injector: a faulty transport between an app and the runtime.
 //!
-//! [`FaultInjector`] mirrors the Figure 6 tracing API of
-//! [`AtroposRuntime`] and sits where the wire would be: every protocol
-//! event the application emits passes through it, and every cancellation
-//! the runtime issues passes back through it. Faults from the armed
-//! [`FaultPlan`] corrupt that transport — frees are dropped or
-//! duplicated, events are held across tick boundaries and reordered,
-//! cancellations are swallowed or delivered late, ticks fire late.
+//! [`FaultInjector`] is port middleware: it implements the substrate's
+//! [`RuntimePort`] over an inner port and sits where the wire would be —
+//! every protocol event the application emits passes through it, and
+//! every cancellation the runtime issues passes back through it (the
+//! initiator installed through the injector is wrapped in the cancel
+//! faults). Because both the sim glue and the live harness emit through
+//! `Arc<dyn RuntimePort>`, the same injector composes with either
+//! substrate unchanged. Faults from the armed [`FaultPlan`] corrupt the
+//! transport — frees are dropped or duplicated, events are held across
+//! tick boundaries and reordered, cancellations are swallowed or
+//! delivered late, ticks fire late.
 //!
 //! Every decision comes from a per-fault [`FaultSite`] forked off the
 //! plan seed, so (a) a plan replays bit-for-bit, and (b) removing one
@@ -20,8 +24,9 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use atropos::{AtroposRuntime, ResourceId, TaskId, TickOutcome};
-use atropos_sim::{FaultSite, SimRng, TickJitter};
+use atropos::{AtroposRuntime, ResourceId, ResourceType, TaskId, TaskKey, TickOutcome};
+use atropos_sim::{Clock, FaultSite, SimRng, TickJitter};
+use atropos_substrate::{CancelInitiator, RuntimePort, TraceKind};
 use parking_lot::Mutex;
 
 use crate::plan::{Fault, FaultPlan};
@@ -124,13 +129,6 @@ pub struct Truth {
 }
 
 #[derive(Debug, Clone, Copy)]
-enum TraceKind {
-    Get,
-    Free,
-    Slow,
-}
-
-#[derive(Debug, Clone, Copy)]
 struct HeldEvent {
     due_tick: u64,
     task: TaskId,
@@ -153,7 +151,7 @@ struct State {
     tick_index: u64,
     held: Vec<HeldEvent>,
     delayed_cancels: Vec<(u64, u64)>, // (due_tick, key)
-    app_cb: Option<Arc<dyn Fn(u64) + Send + Sync>>,
+    app_cb: Option<Arc<dyn CancelInitiator>>,
     task_keys: HashMap<TaskId, u64>,
     truth: Truth,
 }
@@ -175,7 +173,8 @@ enum Route {
 
 /// The faulty transport. See module docs.
 pub struct FaultInjector {
-    rt: Arc<AtroposRuntime>,
+    inner: Arc<dyn RuntimePort>,
+    rt: Option<Arc<AtroposRuntime>>,
     st: Arc<Mutex<State>>,
 }
 
@@ -183,6 +182,31 @@ impl FaultInjector {
     /// Arms `plan` in front of `rt`. Call [`FaultInjector::install_initiator`]
     /// before the first tick if the application wants cancellations.
     pub fn new(rt: Arc<AtroposRuntime>, plan: &FaultPlan) -> Self {
+        let inner: Arc<dyn RuntimePort> = rt.clone();
+        Self {
+            inner,
+            rt: Some(rt),
+            st: Arc::new(Mutex::new(State::armed(plan))),
+        }
+    }
+
+    /// Arms `plan` over an arbitrary inner port — the middleware
+    /// constructor. Use this to stack the injector over another layer (or
+    /// over a runtime whose concrete handle the caller keeps); fault
+    /// behavior is identical to [`FaultInjector::new`].
+    pub fn over(inner: Arc<dyn RuntimePort>, plan: &FaultPlan) -> Self {
+        Self {
+            inner,
+            rt: None,
+            st: Arc::new(Mutex::new(State::armed(plan))),
+        }
+    }
+}
+
+impl State {
+    /// Builds the armed fault state for `plan`, forking one deterministic
+    /// stream per fault site off the plan seed.
+    fn armed(plan: &FaultPlan) -> State {
         let mut root = SimRng::new(plan.seed ^ 0xFA17_FA17_FA17_FA17);
         let mut drop_free = FaultSite::disabled();
         let mut dup_free = FaultSite::disabled();
@@ -228,75 +252,124 @@ impl FaultInjector {
             }
         }
         let shuffle_rng = root.fork(STREAM_SHUFFLE);
-        Self {
-            rt,
-            st: Arc::new(Mutex::new(State {
-                drop_free,
-                dup_free,
-                delay,
-                delay_ticks,
-                reorder,
-                shuffle_on_release,
-                shuffle_rng,
-                fail_cancel,
-                delay_cancel_ticks,
-                jitter,
-                tick_index: 0,
-                held: Vec::new(),
-                delayed_cancels: Vec::new(),
-                app_cb: None,
-                task_keys: HashMap::new(),
-                truth: Truth::default(),
-            })),
+        State {
+            drop_free,
+            dup_free,
+            delay,
+            delay_ticks,
+            reorder,
+            shuffle_on_release,
+            shuffle_rng,
+            fail_cancel,
+            delay_cancel_ticks,
+            jitter,
+            tick_index: 0,
+            held: Vec::new(),
+            delayed_cancels: Vec::new(),
+            app_cb: None,
+            task_keys: HashMap::new(),
+            truth: Truth::default(),
+        }
+    }
+}
+
+/// The initiator the injector installs on its *inner* port: the fail and
+/// delay faults live here, between the runtime issuing a cancellation and
+/// the application's real initiator receiving it. The re-execution and
+/// drop legs are never faulted and forward straight through.
+struct FaultyInitiator {
+    st: Arc<Mutex<State>>,
+}
+
+impl CancelInitiator for FaultyInitiator {
+    fn cancel(&self, key: TaskKey) {
+        let key = key.0;
+        let (deliver, cb) = {
+            let mut s = self.st.lock();
+            let was_finished = s.truth.finished_keys.contains(&key);
+            let tick = s.tick_index;
+            s.truth.cancel_log.push(CancelObservation {
+                key,
+                tick,
+                was_finished,
+            });
+            if s.fail_cancel.fires() {
+                s.truth.log.cancels_failed += 1;
+                (false, None)
+            } else if s.delay_cancel_ticks > 0 {
+                let due = s.tick_index + s.delay_cancel_ticks;
+                s.delayed_cancels.push((due, key));
+                s.truth.log.cancels_delayed += 1;
+                (false, None)
+            } else {
+                (true, s.app_cb.clone())
+            }
+        };
+        if deliver {
+            if let Some(cb) = cb {
+                cb.cancel(TaskKey(key));
+            }
         }
     }
 
+    fn reexec(&self, key: TaskKey) {
+        let cb = self.st.lock().app_cb.clone();
+        if let Some(cb) = cb {
+            cb.reexec(key);
+        }
+    }
+
+    fn drop_parked(&self, key: TaskKey) {
+        let cb = self.st.lock().app_cb.clone();
+        if let Some(cb) = cb {
+            cb.drop_parked(key);
+        }
+    }
+}
+
+/// Adapter: a plain `Fn(u64)` cancel callback as a [`CancelInitiator`].
+struct KeyFn<F>(F);
+
+impl<F: Fn(u64) + Send + Sync> CancelInitiator for KeyFn<F> {
+    fn cancel(&self, key: TaskKey) {
+        (self.0)(key.0)
+    }
+}
+
+impl FaultInjector {
     /// The wrapped runtime (for `debug_snapshot` and configuration).
+    ///
+    /// # Panics
+    ///
+    /// If the injector was built with [`FaultInjector::over`] — a generic
+    /// middleware layer has no concrete runtime handle; keep your own.
     pub fn runtime(&self) -> &Arc<AtroposRuntime> {
-        &self.rt
+        self.rt
+            .as_ref()
+            .expect("FaultInjector::over has no concrete runtime handle")
     }
 
     /// Installs `app` as the application's cancel initiator, wrapped in
     /// the fail/delay faults. The callback must not call back into the
     /// injector synchronously (record the key, act on the next event).
     pub fn install_initiator(&self, app: impl Fn(u64) + Send + Sync + 'static) {
-        self.st.lock().app_cb = Some(Arc::new(app));
-        let st = self.st.clone();
-        self.rt.set_cancel_action(move |key| {
-            let key = key.0;
-            let (deliver, cb) = {
-                let mut s = st.lock();
-                let was_finished = s.truth.finished_keys.contains(&key);
-                let tick = s.tick_index;
-                s.truth.cancel_log.push(CancelObservation {
-                    key,
-                    tick,
-                    was_finished,
-                });
-                if s.fail_cancel.fires() {
-                    s.truth.log.cancels_failed += 1;
-                    (false, None)
-                } else if s.delay_cancel_ticks > 0 {
-                    let due = s.tick_index + s.delay_cancel_ticks;
-                    s.delayed_cancels.push((due, key));
-                    s.truth.log.cancels_delayed += 1;
-                    (false, None)
-                } else {
-                    (true, s.app_cb.clone())
-                }
-            };
-            if deliver {
-                if let Some(cb) = cb {
-                    cb(key);
-                }
-            }
-        });
+        self.install(Arc::new(KeyFn(app)));
+    }
+
+    /// The initiator plumbing shared by the inherent and trait paths:
+    /// remembers `app` for delivery and registers the fault layer on the
+    /// inner port.
+    fn install(&self, app: Arc<dyn CancelInitiator>) {
+        self.st.lock().app_cb = Some(app);
+        self.inner.install_initiator(Arc::new(FaultyInitiator {
+            st: self.st.clone(),
+        }));
     }
 
     /// Mirrors [`AtroposRuntime::create_cancel`]. Keys are tracked for
     /// the cancel-liveness invariant; prefer explicit keys in scripts.
     pub fn create_cancel(&self, key: Option<u64>) -> TaskId {
-        let task = self.rt.create_cancel(key);
+        let task = self.inner.create_cancel(key);
         if let Some(k) = key {
             let mut s = self.st.lock();
             s.task_keys.insert(task, k);
@@ -315,22 +388,22 @@ impl FaultInjector {
                 s.truth.finished_keys.insert(k);
             }
         }
-        self.rt.free_cancel(task);
+        self.inner.free_cancel(task);
     }
 
     /// Mirrors [`AtroposRuntime::unit_started`] (never faulted).
     pub fn unit_started(&self, task: TaskId) {
-        self.rt.unit_started(task);
+        self.inner.unit_started(task);
     }
 
     /// Mirrors [`AtroposRuntime::unit_finished`] (never faulted).
     pub fn unit_finished(&self, task: TaskId) {
-        self.rt.unit_finished(task);
+        self.inner.unit_finished(task);
     }
 
     /// Mirrors [`AtroposRuntime::report_progress`] (never faulted).
     pub fn report_progress(&self, task: TaskId, done: u64, total: u64) {
-        self.rt.report_progress(task, done, total);
+        self.inner.progress(task, done, total);
     }
 
     /// Mirrors [`AtroposRuntime::get_resource`], subject to delay and
@@ -422,9 +495,9 @@ impl FaultInjector {
 
     fn deliver(&self, task: TaskId, rid: ResourceId, amount: u64, kind: TraceKind) {
         match kind {
-            TraceKind::Get => self.rt.get_resource(task, rid, amount),
-            TraceKind::Free => self.rt.free_resource(task, rid, amount),
-            TraceKind::Slow => self.rt.slow_by_resource(task, rid, amount),
+            TraceKind::Get => self.inner.get(task, rid, amount),
+            TraceKind::Free => self.inner.free(task, rid, amount),
+            TraceKind::Slow => self.inner.slow_by(task, rid, amount),
         }
     }
 
@@ -499,10 +572,10 @@ impl FaultInjector {
         }
         if let Some(cb) = &cb {
             for key in cancels {
-                cb(key);
+                cb.cancel(TaskKey(key));
             }
         }
-        let out = self.rt.tick();
+        let out = self.inner.tick();
         self.st.lock().tick_index += 1;
         out
     }
@@ -515,6 +588,72 @@ impl FaultInjector {
     /// What the injector actually did so far.
     pub fn injection_log(&self) -> InjectionLog {
         self.st.lock().truth.log
+    }
+}
+
+/// The injector as composable middleware: every verb routes through the
+/// same fault machinery as the inherent API, so a substrate that emits
+/// through `Arc<dyn RuntimePort>` (the sim glue, the live harness) gets
+/// the identical fault behavior without naming the injector.
+impl RuntimePort for FaultInjector {
+    fn register_resource(&self, name: &str, rtype: ResourceType) -> ResourceId {
+        self.inner.register_resource(name, rtype)
+    }
+
+    fn create_cancel(&self, key: Option<u64>) -> TaskId {
+        FaultInjector::create_cancel(self, key)
+    }
+
+    fn free_cancel(&self, task: TaskId) {
+        FaultInjector::free_cancel(self, task)
+    }
+
+    fn set_cancellable(&self, task: TaskId, cancellable: bool) {
+        self.inner.set_cancellable(task, cancellable)
+    }
+
+    fn mark_background(&self, task: TaskId) {
+        self.inner.mark_background(task)
+    }
+
+    fn install_initiator(&self, initiator: Arc<dyn CancelInitiator>) {
+        self.install(initiator)
+    }
+
+    fn get(&self, task: TaskId, rid: ResourceId, amount: u64) {
+        self.trace(task, rid, amount, TraceKind::Get)
+    }
+
+    fn free(&self, task: TaskId, rid: ResourceId, amount: u64) {
+        self.trace(task, rid, amount, TraceKind::Free)
+    }
+
+    fn slow_by(&self, task: TaskId, rid: ResourceId, amount: u64) {
+        self.trace(task, rid, amount, TraceKind::Slow)
+    }
+
+    fn progress(&self, task: TaskId, done: u64, total: u64) {
+        self.inner.progress(task, done, total)
+    }
+
+    fn unit_started(&self, task: TaskId) {
+        self.inner.unit_started(task)
+    }
+
+    fn unit_finished(&self, task: TaskId) -> Option<u64> {
+        self.inner.unit_finished(task)
+    }
+
+    fn record_drop(&self) {
+        self.inner.record_drop()
+    }
+
+    fn tick(&self) -> TickOutcome {
+        FaultInjector::tick(self)
+    }
+
+    fn clock(&self) -> Arc<dyn Clock> {
+        self.inner.clock()
     }
 }
 

@@ -1,12 +1,13 @@
 //! Seeded, scripted overload scenarios driven through the fault injector.
 //!
-//! Two scenarios mirror the live harness's culprit kinds
+//! The scenarios mirror the live harness's culprit kinds
 //! (`atropos_live::CulpritKind`): a **lock hog** convoy (a long task
-//! holds the table lock while victims queue behind it) and a **buffer
+//! holds the table lock while victims queue behind it), a **buffer
 //! scan** (a sweep accumulates buffer-pool pages while victims stall on
-//! evictions). Each runs 12 detection windows on a virtual clock with
-//! every protocol event routed through a [`FaultInjector`] and every
-//! invariant checked after every tick.
+//! evictions), and a **ticket queue** hog (one task drains a bounded
+//! ticket pool dry while arrivals starve). Each runs 12 detection
+//! windows on a virtual clock with every protocol event routed through a
+//! [`FaultInjector`] and every invariant checked after every tick.
 //!
 //! The script reacts to cancellations like a real application: a canceled
 //! hog releases its resources and finishes at the start of the next
@@ -35,28 +36,12 @@ pub const HOG_START_WINDOW: u64 = 2;
 /// Task key of the culprit; victim keys count up from 100 and stay below.
 pub const HOG_KEY: u64 = 9_000;
 
-/// Which scripted culprit to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ScenarioKind {
-    /// A convoy behind a held lock (live analog: `CulpritKind::LockHog`).
-    LockHog,
-    /// A page sweep starving a buffer pool (live analog:
-    /// `CulpritKind::Scan`).
-    BufferScan,
-}
-
-impl ScenarioKind {
-    /// Both scenarios, for iteration in tests and the soak binary.
-    pub const ALL: [ScenarioKind; 2] = [ScenarioKind::LockHog, ScenarioKind::BufferScan];
-
-    /// Stable name for logs.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ScenarioKind::LockHog => "lock_hog",
-            ScenarioKind::BufferScan => "buffer_scan",
-        }
-    }
-}
+/// Which scripted culprit to run. This *is* the substrate's shared
+/// [`ScenarioFamily`](atropos_substrate::ScenarioFamily): the scripted
+/// scenarios, the sim case variants and the live configurations all key
+/// off one vocabulary, so the differential can drive all three from the
+/// same descriptor.
+pub use atropos_substrate::ScenarioFamily as ScenarioKind;
 
 /// What one scenario run observed.
 #[derive(Debug)]
@@ -118,6 +103,7 @@ pub fn run_scenario(kind: ScenarioKind, plan: &FaultPlan, load_scale: u64) -> Sc
     let res = match kind {
         ScenarioKind::LockHog => rt.register_resource("table_lock", ResourceType::Lock),
         ScenarioKind::BufferScan => rt.register_resource("buffer_pool", ResourceType::Memory),
+        ScenarioKind::TicketQueue => rt.register_resource("tickets", ResourceType::Queue),
     };
     let mut rng = SimRng::new(plan.seed ^ 0x5CE2_A210);
     let mut checker = InvariantChecker::new();
@@ -165,9 +151,17 @@ pub fn run_scenario(kind: ScenarioKind, plan: &FaultPlan, load_scale: u64) -> Sc
             let h = inj.create_cancel(Some(HOG_KEY));
             inj.unit_started(h);
             inj.report_progress(h, 5, 100);
-            if kind == ScenarioKind::LockHog {
-                inj.get_resource(h, res, 1);
-                hog_held = 1;
+            match kind {
+                ScenarioKind::LockHog => {
+                    inj.get_resource(h, res, 1);
+                    hog_held = 1;
+                }
+                ScenarioKind::TicketQueue => {
+                    // The hog takes the whole (two-ticket) pool.
+                    inj.get_resource(h, res, 2);
+                    hog_held = 2;
+                }
+                ScenarioKind::BufferScan => {}
             }
             hog = Some(h);
         }
@@ -205,7 +199,7 @@ pub fn run_scenario(kind: ScenarioKind, plan: &FaultPlan, load_scale: u64) -> Sc
             let t = inj.create_cancel(Some(key));
             inj.unit_started(t);
             let amount = match kind {
-                ScenarioKind::LockHog => 1,
+                ScenarioKind::LockHog | ScenarioKind::TicketQueue => 1,
                 ScenarioKind::BufferScan => 2 + rng.below(4),
             };
             inj.slow_by_resource(t, res, amount);
@@ -295,6 +289,15 @@ mod tests {
         assert!(out.violation.is_none(), "{:?}", out.violation);
         assert!(out.hog_canceled, "scan survived: {out:?}");
         assert!(!out.victim_canceled, "victim canceled: {out:?}");
+    }
+
+    #[test]
+    fn quiet_ticket_queue_cancels_the_hog_and_only_the_hog() {
+        let out = run_scenario(ScenarioKind::TicketQueue, &FaultPlan::quiet(1), 1);
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.hog_canceled, "hog survived: {out:?}");
+        assert!(!out.victim_canceled, "victim canceled: {out:?}");
+        assert_eq!(out.canceled_keys.first(), Some(&HOG_KEY));
     }
 
     #[test]

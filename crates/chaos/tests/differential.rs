@@ -1,28 +1,56 @@
 //! Sim ↔ live differential tests: the simulator and the wall-clock
-//! harness, given the same culprit kind, reach the same decision — the
-//! culprit is canceled, victims are spared, within the documented timing
-//! tolerance ([`atropos_chaos::differential::DECISION_TOLERANCE_NS`]).
+//! harness, driven from the same pinned [`ScenarioDescriptor`], reach
+//! the same decision — the culprit is canceled, victims are spared,
+//! within the documented timing tolerance
+//! ([`atropos_chaos::differential::DECISION_TOLERANCE_NS`]).
 //!
 //! These run real threads on the live side; margins follow the live
 //! crate's e2e test (structural contrast far above scheduler noise).
+//!
+//! On failure, each test dumps both decision traces to
+//! `$DIFFERENTIAL_OUT/<family>.txt` (if the env var is set) so CI can
+//! upload the disagreement as an artifact.
+//!
+//! [`ScenarioDescriptor`]: atropos_substrate::ScenarioDescriptor
 
-use atropos_chaos::differential::{compare, live_trace, sim_trace};
-use atropos_scenarios::ChaosCulprit;
+use atropos_chaos::differential::{compare, live_trace_for, sim_trace_for, DecisionTrace};
+use atropos_substrate::ScenarioFamily;
 
-#[test]
-fn sim_and_live_agree_on_the_lock_hog_culprit() {
-    let sim = sim_trace(ChaosCulprit::LockHog, 42);
-    let live = live_trace(ChaosCulprit::LockHog);
+fn differential(family: ScenarioFamily) {
+    let sim = sim_trace_for(family);
+    let live = live_trace_for(family);
     if let Err(e) = compare(&sim, &live) {
+        dump_artifact(family, &sim, &live, &e);
         panic!("decision traces disagree: {e}\n  sim: {sim:?}\n  live: {live:?}");
     }
 }
 
+/// Writes the disagreeing traces where CI can pick them up. Best-effort:
+/// artifact trouble must never mask the real failure.
+fn dump_artifact(family: ScenarioFamily, sim: &DecisionTrace, live: &DecisionTrace, err: &str) {
+    let Ok(dir) = std::env::var("DIFFERENTIAL_OUT") else {
+        return;
+    };
+    let _ = std::fs::create_dir_all(&dir);
+    let body = format!(
+        "family: {}\ndescriptor: {:?}\nerror: {err}\nsim: {sim:?}\nlive: {live:?}\n",
+        family.name(),
+        family.descriptor(),
+    );
+    let _ = std::fs::write(format!("{dir}/{}.txt", family.name()), body);
+}
+
+#[test]
+fn sim_and_live_agree_on_the_lock_hog_culprit() {
+    differential(ScenarioFamily::LockHog);
+}
+
 #[test]
 fn sim_and_live_agree_on_the_buffer_scan_culprit() {
-    let sim = sim_trace(ChaosCulprit::BufferScan, 42);
-    let live = live_trace(ChaosCulprit::BufferScan);
-    if let Err(e) = compare(&sim, &live) {
-        panic!("decision traces disagree: {e}\n  sim: {sim:?}\n  live: {live:?}");
-    }
+    differential(ScenarioFamily::BufferScan);
+}
+
+#[test]
+fn sim_and_live_agree_on_the_ticket_queue_culprit() {
+    differential(ScenarioFamily::TicketQueue);
 }

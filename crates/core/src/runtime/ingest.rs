@@ -1,0 +1,178 @@
+//! Ingest: the tracing hot path (Figure 6b) and the performance signal.
+//!
+//! Everything here feeds accounting state *into* the runtime — resource
+//! registration, get/free/slow_by trace events (direct or sharded), GetNext
+//! progress, and the unit lifecycle that drives the detector. Nothing in
+//! this module makes decisions; that is `decide.rs`.
+
+use super::{AtroposRuntime, Inner};
+use crate::ids::{ResourceId, ResourceType, TaskId};
+use crate::trace::{EventKind, PushOutcome, ShardedIngest};
+
+impl Inner {
+    /// Applies one tracing call to the accounting state. Shared by the
+    /// direct ingest path (at emit time) and the sharded drain (at
+    /// replay time); keeping them on one code path is what makes the two
+    /// modes behave identically.
+    pub(super) fn apply_trace(
+        &mut self,
+        task: TaskId,
+        rid: ResourceId,
+        amount: u64,
+        kind: EventKind,
+        now: u64,
+    ) {
+        let stamp = self.ts.stamp(now);
+        self.apply_stamped(task, rid, amount, kind, stamp);
+    }
+
+    /// The post-timestamp half of [`Inner::apply_trace`].
+    fn apply_stamped(
+        &mut self,
+        task: TaskId,
+        rid: ResourceId,
+        amount: u64,
+        kind: EventKind,
+        stamp: u64,
+    ) {
+        if self.resources.get(rid).is_none() {
+            self.stats.ignored_events += 1;
+            return;
+        }
+        let Some(t) = self.tasks.get_mut(&task) else {
+            self.stats.ignored_events += 1;
+            return;
+        };
+        let u = &mut t.usage[rid.index()];
+        match kind {
+            EventKind::Get => u.on_get(stamp, amount),
+            EventKind::Free => u.on_free(stamp, amount),
+            EventKind::SlowBy => u.on_slow(stamp, amount),
+        }
+        self.stats.trace_events += 1;
+    }
+
+    /// Replays every buffered tracing call and folds overflow-shed
+    /// records into the ignored count.
+    ///
+    /// Stripes are replayed one after another with no global merge or
+    /// sort. That is still equivalent to emit-order replay: a task maps
+    /// to one stripe for its whole life, so each task's events apply in
+    /// emit order; the accounting state is task-local and the stats
+    /// counters commute; the resource registry and task map cannot change
+    /// mid-drain (both are mutated only under the `inner` lock we hold);
+    /// and [`crate::trace::BatchStamper`] assigns every record the same
+    /// stamp a sequential emit-order replay would (closed form over the
+    /// time-monotone emission sequence).
+    pub(super) fn drain_ingest(&mut self, ingest: &ShardedIngest) {
+        self.stats.ignored_events += ingest.take_overflow_dropped();
+        let mut stamper = self.ts.begin_batch();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for i in 0..ingest.stripe_count() {
+            ingest.swap_stripe(i, &mut scratch);
+            for rec in scratch.drain(..) {
+                let stamp = stamper.stamp(rec.now);
+                self.apply_stamped(rec.task, rec.rid, rec.amount, rec.kind, stamp);
+            }
+        }
+        self.scratch = scratch;
+        self.ts.commit_batch(stamper);
+    }
+}
+
+impl AtroposRuntime {
+    // ---- integration API (Figure 6a): resource registration ----
+
+    /// Registers an application resource for tracking.
+    pub fn register_resource(&self, name: impl Into<String>, rtype: ResourceType) -> ResourceId {
+        // Drain first: events emitted before this call must resolve
+        // against the registry as it was when they were emitted.
+        let mut inner = self.lock_drained();
+        let id = inner.resources.register(name, rtype);
+        let n = inner.resources.len();
+        for t in inner.tasks.values_mut() {
+            t.ensure_resources(n);
+        }
+        id
+    }
+
+    // ---- tracing API (Figure 6b) ----
+
+    fn trace(&self, task: TaskId, rid: ResourceId, amount: u64, kind: EventKind) {
+        let now = self.clock.now_ns();
+        let Some(ingest) = &self.ingest else {
+            // Direct mode: global lock plus inline accounting per event.
+            self.inner.lock().apply_trace(task, rid, amount, kind, now);
+            return;
+        };
+        // Sharded mode: the hot path is a stripe-local bounded append.
+        if let PushOutcome::Full(rec) = ingest.push(task, rid, amount, kind, now) {
+            // The stripe filled mid-window. Flush every stripe if the
+            // runtime state is free (it always is under the
+            // single-threaded simulator, keeping replay lossless there);
+            // if another thread holds it — e.g. a concurrent tick, which
+            // is itself draining — shed the stripe's oldest record
+            // rather than block the request path.
+            match self.inner.try_lock() {
+                Some(mut inner) => {
+                    inner.stats.mid_window_flushes += 1;
+                    inner.drain_ingest(ingest);
+                    ingest.force_push(rec);
+                }
+                None => ingest.force_push(rec),
+            }
+        }
+    }
+
+    /// Records that `task` acquired `amount` units of resource `rid`
+    /// (`getResource`).
+    pub fn get_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
+        self.trace(task, rid, amount, EventKind::Get);
+    }
+
+    /// Records that `task` released `amount` units (`freeResource`).
+    pub fn free_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
+        self.trace(task, rid, amount, EventKind::Free);
+    }
+
+    /// Records that `task` is delayed by the resource (`slowByResource`):
+    /// it began waiting for a lock/queue slot or caused `amount` evictions.
+    pub fn slow_by_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
+        self.trace(task, rid, amount, EventKind::SlowBy);
+    }
+
+    /// Reports GetNext progress for a task: `done` of `total` work units.
+    pub fn report_progress(&self, task: TaskId, done: u64, total: u64) {
+        if let Some(t) = self.inner.lock().tasks.get_mut(&task) {
+            t.progress.report(done, total);
+        }
+    }
+
+    // ---- performance signal ----
+
+    /// Marks the start of a work unit (one request) on this task.
+    pub fn unit_started(&self, task: TaskId) {
+        let now = self.clock.now_ns();
+        if let Some(t) = self.inner.lock().tasks.get_mut(&task) {
+            t.on_unit_start(now);
+        }
+    }
+
+    /// Marks the completion of the open work unit; feeds the detector.
+    /// Returns the measured latency if a unit was open.
+    pub fn unit_finished(&self, task: TaskId) -> Option<u64> {
+        let now = self.clock.now_ns();
+        let mut inner = self.inner.lock();
+        let latency = inner.tasks.get_mut(&task)?.on_unit_finish(now)?;
+        inner.detector.record_completion(now, latency);
+        inner.stats.completions += 1;
+        Some(latency)
+    }
+
+    /// Records an externally dropped request so the detector's series stays
+    /// complete.
+    pub fn record_drop(&self) {
+        let now = self.clock.now_ns();
+        self.inner.lock().detector.record_drop(now);
+    }
+}

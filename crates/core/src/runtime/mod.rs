@@ -6,6 +6,24 @@
 //! manager, and exposes the paper's Figure 6 API in idiomatic Rust. All
 //! methods are thread-safe; the runtime serves real multi-threaded
 //! programs and the single-threaded simulator alike.
+//!
+//! The implementation is split along the port seam:
+//!
+//! - [`ingest`](self) (`ingest.rs`) — the tracing hot path: resource
+//!   registration, get/free/slow_by, the performance signal, and the
+//!   sharded-buffer replay that folds buffered events into accounting;
+//! - `decide.rs` — the periodic driver: one `tick` running detection →
+//!   estimation → policy → cancellation;
+//! - `actuate.rs` — the cancellation boundary: task scoping, initiator /
+//!   re-execution / drop callbacks, and the operator `cancel_key` path.
+//!
+//! This file keeps the shared state (`Inner`), construction, and
+//! introspection. The split is layout only: every method kept its exact
+//! body, and the golden episode suite pins the behavior bit-for-bit.
+
+mod actuate;
+mod decide;
+mod ingest;
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -15,14 +33,14 @@ use parking_lot::Mutex;
 
 use crate::cancel::{CancelDecision, CancelManager, CancelStats};
 use crate::config::{AtroposConfig, IngestMode};
-use crate::detect::{Detector, OverloadSignal};
-use crate::estimator::{estimate, EstimatorSnapshot};
-use crate::ids::{ResourceId, ResourceType, TaskId, TaskKey};
+use crate::detect::Detector;
+use crate::estimator::EstimatorSnapshot;
+use crate::ids::{ResourceId, TaskId, TaskKey};
 use crate::policy::CancellationPolicy;
-use crate::record::{CancelOrigin, DecisionEvent, Recorder, RecorderHandle};
+use crate::record::Recorder;
 use crate::resource::ResourceRegistry;
 use crate::task::{TaskRecord, TaskState};
-use crate::trace::{self, EventKind, PushOutcome, ShardedIngest, TimestampMode, TimestampPolicy};
+use crate::trace::{self, ShardedIngest, TimestampMode, TimestampPolicy};
 
 /// Auto-generated keys live in the top half of the key space so they never
 /// collide with developer-provided keys (which are expected to be small
@@ -96,77 +114,6 @@ struct Inner {
     /// Reusable drain buffer, swapped stripe by stripe so replay never
     /// allocates on the steady state.
     scratch: Vec<trace::TraceRecord>,
-}
-
-impl Inner {
-    /// Applies one tracing call to the accounting state. Shared by the
-    /// direct ingest path (at emit time) and the sharded drain (at
-    /// replay time); keeping them on one code path is what makes the two
-    /// modes behave identically.
-    fn apply_trace(
-        &mut self,
-        task: TaskId,
-        rid: ResourceId,
-        amount: u64,
-        kind: EventKind,
-        now: u64,
-    ) {
-        let stamp = self.ts.stamp(now);
-        self.apply_stamped(task, rid, amount, kind, stamp);
-    }
-
-    /// The post-timestamp half of [`Inner::apply_trace`].
-    fn apply_stamped(
-        &mut self,
-        task: TaskId,
-        rid: ResourceId,
-        amount: u64,
-        kind: EventKind,
-        stamp: u64,
-    ) {
-        if self.resources.get(rid).is_none() {
-            self.stats.ignored_events += 1;
-            return;
-        }
-        let Some(t) = self.tasks.get_mut(&task) else {
-            self.stats.ignored_events += 1;
-            return;
-        };
-        let u = &mut t.usage[rid.index()];
-        match kind {
-            EventKind::Get => u.on_get(stamp, amount),
-            EventKind::Free => u.on_free(stamp, amount),
-            EventKind::SlowBy => u.on_slow(stamp, amount),
-        }
-        self.stats.trace_events += 1;
-    }
-
-    /// Replays every buffered tracing call and folds overflow-shed
-    /// records into the ignored count.
-    ///
-    /// Stripes are replayed one after another with no global merge or
-    /// sort. That is still equivalent to emit-order replay: a task maps
-    /// to one stripe for its whole life, so each task's events apply in
-    /// emit order; the accounting state is task-local and the stats
-    /// counters commute; the resource registry and task map cannot change
-    /// mid-drain (both are mutated only under the `inner` lock we hold);
-    /// and [`trace::BatchStamper`] assigns every record the same stamp a
-    /// sequential emit-order replay would (closed form over the
-    /// time-monotone emission sequence).
-    fn drain_ingest(&mut self, ingest: &ShardedIngest) {
-        self.stats.ignored_events += ingest.take_overflow_dropped();
-        let mut stamper = self.ts.begin_batch();
-        let mut scratch = std::mem::take(&mut self.scratch);
-        for i in 0..ingest.stripe_count() {
-            ingest.swap_stripe(i, &mut scratch);
-            for rec in scratch.drain(..) {
-                let stamp = stamper.stamp(rec.now);
-                self.apply_stamped(rec.task, rec.rid, rec.amount, rec.kind, stamp);
-            }
-        }
-        self.scratch = scratch;
-        self.ts.commit_batch(stamper);
-    }
 }
 
 /// The Atropos runtime. See the [crate-level docs](crate) for an overview
@@ -251,408 +198,9 @@ impl AtroposRuntime {
         inner
     }
 
-    // ---- integration API (Figure 6a) ----
-
-    /// Registers an application resource for tracking.
-    pub fn register_resource(&self, name: impl Into<String>, rtype: ResourceType) -> ResourceId {
-        // Drain first: events emitted before this call must resolve
-        // against the registry as it was when they were emitted.
-        let mut inner = self.lock_drained();
-        let id = inner.resources.register(name, rtype);
-        let n = inner.resources.len();
-        for t in inner.tasks.values_mut() {
-            t.ensure_resources(n);
-        }
-        id
-    }
-
-    /// Marks the beginning of a cancellable task's scope (`createCancel`).
-    ///
-    /// `key` identifies the task to the *application* (e.g. a thread id);
-    /// if `None`, a unique key is generated. A task whose key was canceled
-    /// before is registered non-cancellable (re-execution fairness, §4).
-    pub fn create_cancel(&self, key: Option<u64>) -> TaskId {
-        let now = self.clock.now_ns();
-        let mut inner = self.inner.lock();
-        let key = match key {
-            Some(k) => TaskKey(k),
-            None => {
-                let k = inner.next_auto_key;
-                inner.next_auto_key += 1;
-                TaskKey(k)
-            }
-        };
-        let id = TaskId(inner.next_task);
-        inner.next_task += 1;
-        let n = inner.resources.len();
-        let mut rec = TaskRecord::new(id, key, now, n);
-        if inner.cancel.was_canceled(key) {
-            rec.cancellable = false;
-        }
-        inner.tasks.insert(id, rec);
-        id
-    }
-
-    /// Ends a cancellable task's scope (`freeCancel`). Unknown ids are
-    /// ignored.
-    pub fn free_cancel(&self, task: TaskId) {
-        // Drain first so the task's buffered events land in its usage
-        // accounting (not in `ignored_events`) before the record goes.
-        let now = self.clock.now_ns();
-        let mut inner = self.lock_drained();
-        if let Some(rec) = inner.tasks.remove(&task) {
-            let sink = inner.recorder.clone();
-            let handle = RecorderHandle::new(sink.as_deref(), inner.stats.ticks);
-            inner.cancel.note_finished_recorded(now, rec.key, &handle);
-        }
-    }
-
-    /// Registers the application's cancellation initiator
-    /// (`setCancelAction`). The callback receives the task's key.
-    pub fn set_cancel_action(&self, f: impl Fn(TaskKey) + Send + Sync + 'static) {
-        self.inner.lock().cancel.set_cancel_action(Box::new(f));
-    }
-
-    /// Registers the coarse thread-level cancellation fallback (§3.6).
-    ///
-    /// Used only when no application initiator is registered and
-    /// [`AtroposConfig::allow_thread_level_cancel`] is set — e.g. the
-    /// paper's Apache integration, whose PHP scripts have no built-in
-    /// cancellation and are aborted with `pthread_cancel` after the
-    /// developers established that it is safe (§5.2).
-    pub fn set_thread_cancel_action(&self, f: impl Fn(TaskKey) + Send + Sync + 'static) {
-        self.inner
-            .lock()
-            .cancel
-            .set_thread_cancel_action(Box::new(f));
-    }
-
-    /// Registers the re-execution callback (§4 fairness).
-    pub fn set_reexec_action(&self, f: impl Fn(TaskKey) + Send + Sync + 'static) {
-        self.inner.lock().cancel.set_reexec_action(Box::new(f));
-    }
-
-    /// Registers the callback invoked when a canceled task is dropped for
-    /// missing its SLO deadline.
-    pub fn set_drop_action(&self, f: impl Fn(TaskKey) + Send + Sync + 'static) {
-        self.inner.lock().cancel.set_drop_action(Box::new(f));
-    }
-
-    /// Registers the fallback invoked on *regular* (non-resource) overload,
-    /// e.g. an admission-control mechanism.
-    pub fn set_regular_overload_action(&self, f: impl Fn() + Send + Sync + 'static) {
-        self.inner.lock().regular_overload_hook = Some(Box::new(f));
-    }
-
-    /// Attaches a decision-trace [`Recorder`]. The recorder is invoked
-    /// from inside the tick/cancel paths (under the runtime lock) and must
-    /// be non-blocking; see the trait docs. With no recorder attached —
-    /// the default — all emission sites are disabled at zero cost.
-    pub fn set_recorder(&self, rec: Arc<dyn Recorder>) {
-        self.inner.lock().recorder = Some(rec);
-    }
-
-    /// Detaches the decision-trace recorder, if any.
-    pub fn clear_recorder(&self) {
-        self.inner.lock().recorder = None;
-    }
-
-    /// Links `child` as a sub-task of `parent` (the distributed extension
-    /// sketched in §4: a root request fanning work out to child tasks,
-    /// possibly on other nodes). Canceling the parent propagates the
-    /// cancellation signal to every descendant's key.
-    ///
-    /// Cycles are ignored at traversal time, so a buggy linkage cannot
-    /// hang cancellation.
-    pub fn link_child(&self, parent: TaskId, child: TaskId) {
-        let mut inner = self.inner.lock();
-        if parent != child && inner.tasks.contains_key(&child) {
-            if let Some(p) = inner.tasks.get_mut(&parent) {
-                if !p.children.contains(&child) {
-                    p.children.push(child);
-                }
-            }
-        }
-    }
-
-    /// Marks a task as a background task (no SLO; force-re-executed after
-    /// the configured maximum wait instead of being dropped).
-    pub fn mark_background(&self, task: TaskId) {
-        if let Some(t) = self.inner.lock().tasks.get_mut(&task) {
-            t.background = true;
-        }
-    }
-
-    /// Overrides whether the policy may cancel this task.
-    pub fn set_cancellable(&self, task: TaskId, cancellable: bool) {
-        if let Some(t) = self.inner.lock().tasks.get_mut(&task) {
-            t.cancellable = cancellable;
-        }
-    }
-
-    // ---- tracing API (Figure 6b) ----
-
-    fn trace(&self, task: TaskId, rid: ResourceId, amount: u64, kind: EventKind) {
-        let now = self.clock.now_ns();
-        let Some(ingest) = &self.ingest else {
-            // Direct mode: global lock plus inline accounting per event.
-            self.inner.lock().apply_trace(task, rid, amount, kind, now);
-            return;
-        };
-        // Sharded mode: the hot path is a stripe-local bounded append.
-        if let PushOutcome::Full(rec) = ingest.push(task, rid, amount, kind, now) {
-            // The stripe filled mid-window. Flush every stripe if the
-            // runtime state is free (it always is under the
-            // single-threaded simulator, keeping replay lossless there);
-            // if another thread holds it — e.g. a concurrent tick, which
-            // is itself draining — shed the stripe's oldest record
-            // rather than block the request path.
-            match self.inner.try_lock() {
-                Some(mut inner) => {
-                    inner.stats.mid_window_flushes += 1;
-                    inner.drain_ingest(ingest);
-                    ingest.force_push(rec);
-                }
-                None => ingest.force_push(rec),
-            }
-        }
-    }
-
-    /// Records that `task` acquired `amount` units of resource `rid`
-    /// (`getResource`).
-    pub fn get_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
-        self.trace(task, rid, amount, EventKind::Get);
-    }
-
-    /// Records that `task` released `amount` units (`freeResource`).
-    pub fn free_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
-        self.trace(task, rid, amount, EventKind::Free);
-    }
-
-    /// Records that `task` is delayed by the resource (`slowByResource`):
-    /// it began waiting for a lock/queue slot or caused `amount` evictions.
-    pub fn slow_by_resource(&self, task: TaskId, rid: ResourceId, amount: u64) {
-        self.trace(task, rid, amount, EventKind::SlowBy);
-    }
-
-    /// Reports GetNext progress for a task: `done` of `total` work units.
-    pub fn report_progress(&self, task: TaskId, done: u64, total: u64) {
-        if let Some(t) = self.inner.lock().tasks.get_mut(&task) {
-            t.progress.report(done, total);
-        }
-    }
-
-    // ---- performance signal ----
-
-    /// Marks the start of a work unit (one request) on this task.
-    pub fn unit_started(&self, task: TaskId) {
-        let now = self.clock.now_ns();
-        if let Some(t) = self.inner.lock().tasks.get_mut(&task) {
-            t.on_unit_start(now);
-        }
-    }
-
-    /// Marks the completion of the open work unit; feeds the detector.
-    /// Returns the measured latency if a unit was open.
-    pub fn unit_finished(&self, task: TaskId) -> Option<u64> {
-        let now = self.clock.now_ns();
-        let mut inner = self.inner.lock();
-        let latency = inner.tasks.get_mut(&task)?.on_unit_finish(now)?;
-        inner.detector.record_completion(now, latency);
-        inner.stats.completions += 1;
-        Some(latency)
-    }
-
-    /// Records an externally dropped request so the detector's series stays
-    /// complete.
-    pub fn record_drop(&self) {
-        let now = self.clock.now_ns();
-        self.inner.lock().detector.record_drop(now);
-    }
-
-    /// Requests cancellation of the task registered under `key`,
-    /// bypassing detection and policy but not the safeguards (rate
-    /// limiting, cancel-once fairness, re-execution bookkeeping).
-    ///
-    /// This is the operator entry point (MySQL's manual `KILL` analog):
-    /// a human or an external controller decides *what* to cancel, but
-    /// the cancellation still flows through the registered initiator so
-    /// the application observes one uniform signal path.
-    pub fn cancel_key(&self, key: TaskKey) -> CancelDecision {
-        let now = self.clock.now_ns();
-        let mut inner = self.inner.lock();
-        let task = inner
-            .tasks
-            .values()
-            .find(|t| t.key == key)
-            .map(|t| (t.id, t.background));
-        let background = match task {
-            Some((id, background)) => {
-                if let Some(t) = inner.tasks.get_mut(&id) {
-                    t.state = TaskState::CancelRequested;
-                }
-                background
-            }
-            None => false,
-        };
-        let sink = inner.recorder.clone();
-        let handle = RecorderHandle::new(sink.as_deref(), inner.stats.ticks);
-        inner
-            .cancel
-            .request_cancel_recorded(now, key, background, CancelOrigin::Operator, &handle)
-    }
-
     /// The clock this runtime reads timestamps from.
     pub fn clock(&self) -> Arc<dyn Clock> {
         self.clock.clone()
-    }
-
-    // ---- the periodic driver ----
-
-    /// Runs one detection → estimation → policy → cancellation cycle.
-    ///
-    /// Call this periodically (the detector window is the natural period).
-    pub fn tick(&self) -> TickOutcome {
-        let now = self.clock.now_ns();
-        // The tick is the principal drain point: buffered events are
-        // replayed before the windows roll, so detection, estimation and
-        // policy all see the same accounting state direct ingestion
-        // would have produced.
-        let mut inner = self.lock_drained();
-        inner.stats.ticks += 1;
-        // The recorder handle borrows a local clone of the Arc so emission
-        // can interleave with mutable access to the rest of the state.
-        let sink = inner.recorder.clone();
-        let rec = RecorderHandle::new(sink.as_deref(), inner.stats.ticks);
-        // Close the accounting window on every task.
-        for t in inner.tasks.values_mut() {
-            t.roll_window(now);
-        }
-        let in_flight = inner.tasks.values().filter(|t| t.is_active()).count() as u64;
-        let signal = inner.detector.evaluate_recorded(now, in_flight, &rec);
-        let outcome = match signal {
-            OverloadSignal::Ok => {
-                inner.ts.set_mode(TimestampMode::Sampled);
-                inner.cancel.on_window(now, false);
-                TickOutcome::Idle
-            }
-            OverloadSignal::Candidate { .. } => {
-                inner.stats.candidates += 1;
-                // Potential overload: switch to precise timestamps (§3.2).
-                inner.ts.set_mode(TimestampMode::Precise);
-                let snapshot = estimate(inner.tasks.values(), &inner.resources, &inner.cfg);
-                let hot = snapshot.bottlenecked(inner.cfg.detector.min_contention);
-                let outcome = if hot.is_empty() {
-                    inner.stats.regular_overloads += 1;
-                    rec.emit(|tick| DecisionEvent::RegularOverload { tick });
-                    if let Some(hook) = &inner.regular_overload_hook {
-                        hook();
-                    }
-                    TickOutcome::RegularOverload
-                } else {
-                    inner.stats.resource_overloads += 1;
-                    let hottest = snapshot.resources[hot[0].index()].rtype;
-                    let type_idx = match hottest {
-                        ResourceType::Lock => 0,
-                        ResourceType::Memory => 1,
-                        ResourceType::Queue => 2,
-                        ResourceType::System => 3,
-                    };
-                    inner.stats.overloads_by_type[type_idx] += 1;
-                    if rec.enabled() {
-                        // The explanation pass: score/rank events cost real
-                        // work (an extra Algorithm-1 evaluation), so they
-                        // run only with a recorder attached.
-                        for &rid in &hot {
-                            let r = &snapshot.resources[rid.index()];
-                            rec.emit(|tick| DecisionEvent::ResourceScored {
-                                tick,
-                                resource: r.id,
-                                rtype: r.rtype,
-                                contention: r.contention,
-                                weight: r.weight,
-                                wait_ns: r.wait_ns,
-                                hold_ns: r.hold_ns,
-                            });
-                        }
-                        for s in crate::policy::ranked(&snapshot) {
-                            rec.emit(|tick| DecisionEvent::CandidateRanked {
-                                tick,
-                                task: s.task,
-                                key: s.key,
-                                score: s.score,
-                            });
-                        }
-                    }
-                    let sel = inner.policy.select(&snapshot);
-                    let (canceled, decision) = match sel {
-                        Some(s) => {
-                            if rec.enabled() {
-                                let hot0 = hot[0];
-                                let victims_waiting = inner
-                                    .tasks
-                                    .values()
-                                    .filter(|t| {
-                                        t.id != s.task
-                                            && t.usage
-                                                .get(hot0.index())
-                                                .is_some_and(|u| u.total_wait_ns > 0)
-                                    })
-                                    .count()
-                                    as u64;
-                                let terms = crate::policy::gain_terms(&snapshot, s.task);
-                                rec.emit(|tick| DecisionEvent::BlameAssigned {
-                                    tick,
-                                    resource: hot0,
-                                    task: s.task,
-                                    key: s.key,
-                                    score: s.score,
-                                    terms,
-                                    victims_waiting,
-                                });
-                            }
-                            let background = inner
-                                .tasks
-                                .get(&s.task)
-                                .map(|t| t.background)
-                                .unwrap_or(false);
-                            if let Some(t) = inner.tasks.get_mut(&s.task) {
-                                t.state = TaskState::CancelRequested;
-                            }
-                            let d = inner.cancel.request_cancel_recorded(
-                                now,
-                                s.key,
-                                background,
-                                CancelOrigin::Policy,
-                                &rec,
-                            );
-                            if d == CancelDecision::Issued {
-                                // Distributed extension: propagate the root
-                                // cancellation to all descendant tasks.
-                                let keys = descendant_keys(&inner.tasks, s.task);
-                                if !keys.is_empty() {
-                                    inner.cancel.propagate(&keys);
-                                }
-                            }
-                            ((d == CancelDecision::Issued).then_some(s.key), Some(d))
-                        }
-                        None => (None, None),
-                    };
-                    TickOutcome::ResourceOverload {
-                        resources: hot,
-                        canceled,
-                        decision,
-                    }
-                };
-                inner.last_estimate = Some(snapshot);
-                inner.cancel.on_window(now, true);
-                outcome
-            }
-        };
-        if inner.stats.cancel != inner.cancel.stats() {
-            inner.stats.cancel = inner.cancel.stats();
-        }
-        outcome
     }
 
     // ---- introspection ----
@@ -788,30 +336,10 @@ impl AtroposRuntime {
     }
 }
 
-/// Collects the keys of every descendant of `root` (excluding the root),
-/// breadth-first and cycle-safe.
-fn descendant_keys(tasks: &HashMap<TaskId, TaskRecord>, root: TaskId) -> Vec<TaskKey> {
-    let mut out = Vec::new();
-    let mut seen = std::collections::HashSet::new();
-    seen.insert(root);
-    let mut frontier = vec![root];
-    while let Some(id) = frontier.pop() {
-        let Some(rec) = tasks.get(&id) else { continue };
-        for &child in &rec.children {
-            if seen.insert(child) {
-                if let Some(c) = tasks.get(&child) {
-                    out.push(c.key);
-                }
-                frontier.push(child);
-            }
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::ResourceType;
     use atropos_sim::{SimTime, VirtualClock};
     use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -55,6 +55,20 @@ impl Ticker {
         period: Duration,
         on_outcome: impl Fn(&TickOutcome) + Send + 'static,
     ) -> Self {
+        Self::spawn_fn(move || rt.tick(), period, on_outcome)
+    }
+
+    /// Like [`Ticker::spawn`], but drives an arbitrary tick closure
+    /// instead of a concrete runtime handle. This is how a harness ticks
+    /// *through* a middleware stack (an `Arc<dyn RuntimePort>` in the
+    /// substrate crate's vocabulary): middleware that buffers or delays
+    /// events only sees the periodic driver if the supervisor calls its
+    /// `tick`, not the inner runtime's.
+    pub fn spawn_fn(
+        tick: impl Fn() -> TickOutcome + Send + 'static,
+        period: Duration,
+        on_outcome: impl Fn(&TickOutcome) + Send + 'static,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(TickerCounters::default());
         let thread_stop = stop.clone();
@@ -64,7 +78,7 @@ impl Ticker {
             .spawn(move || {
                 while !thread_stop.load(Ordering::Acquire) {
                     std::thread::sleep(period);
-                    let outcome = rt.tick();
+                    let outcome = tick();
                     thread_counters.ticks.fetch_add(1, Ordering::Relaxed);
                     match &outcome {
                         TickOutcome::Idle => {}

@@ -9,6 +9,7 @@ use atropos::ticker::Ticker;
 use atropos::{AtroposConfig, AtroposRuntime, RuntimeStats};
 use atropos_metrics::LatencyHistogram;
 use atropos_sim::SystemClock;
+use atropos_substrate::RuntimePort;
 
 use crate::server::{worker_loop, CulpritKind, ServerCtx};
 use crate::token::CancelRegistry;
@@ -172,20 +173,42 @@ pub struct LiveReport {
 /// convoy, the backlog *is* the damage), and only then does the
 /// supervisor stop ticking.
 pub fn run(cfg: LiveConfig, mode: ControlMode) -> LiveReport {
+    run_with(cfg, mode, |port| port)
+}
+
+/// Like [`run`], but the server emits through `wrap(runtime)` instead of
+/// the bare runtime — the hook where middleware (fault injection, probes)
+/// is stacked over a live run. The initiator is installed and the
+/// supervisor ticks *through* the wrapped port, so middleware observes
+/// the complete protocol: traffic, deliveries, and the periodic driver.
+pub fn run_with(
+    cfg: LiveConfig,
+    mode: ControlMode,
+    wrap: impl FnOnce(Arc<dyn RuntimePort>) -> Arc<dyn RuntimePort>,
+) -> LiveReport {
     let clock = Arc::new(SystemClock::new());
     let atropos_cfg = match &mode {
         ControlMode::Atropos(c) => c.clone(),
         ControlMode::NoControl => live_atropos_config(),
     };
     let rt = Arc::new(AtroposRuntime::new(atropos_cfg, clock));
+    let port = wrap(rt.clone());
     let registry = Arc::new(CancelRegistry::new());
     let obs = atropos_obs::Observer::install(&rt, atropos_obs::DEFAULT_RING_CAPACITY);
     let controlled = matches!(mode, ControlMode::Atropos(_));
     if controlled {
-        registry.install(&rt);
+        registry.install_port(&port);
     }
-    let ctx = Arc::new(ServerCtx::new(rt.clone(), registry.clone(), cfg.clone()));
-    let mut ticker = controlled.then(|| Ticker::spawn(rt.clone(), cfg.tick_period, |_| {}));
+    let ctx = Arc::new(ServerCtx::with_port(
+        rt.clone(),
+        port.clone(),
+        registry.clone(),
+        cfg.clone(),
+    ));
+    let mut ticker = controlled.then(|| {
+        let tick_port = port.clone();
+        Ticker::spawn_fn(move || tick_port.tick(), cfg.tick_period, |_| {})
+    });
 
     std::thread::scope(|s| {
         let mut workers = Vec::new();

@@ -39,7 +39,9 @@ pub mod server;
 pub mod token;
 pub mod workload;
 
-pub use harness::{live_atropos_config, run, ControlMode, LatencySummary, LiveConfig, LiveReport};
+pub use harness::{
+    live_atropos_config, run, run_with, ControlMode, LatencySummary, LiveConfig, LiveReport,
+};
 pub use resources::{AccessStats, LruBuffer, TicketPermit, TicketSemaphore, TracedLock};
 pub use server::{CulpritKind, Request, RequestClass, ServerCtx, ServerMetrics, WorkQueue};
 pub use token::{CancelRegistry, CancelToken};

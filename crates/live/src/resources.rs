@@ -1,7 +1,10 @@
-//! Real synchronization primitives wired to Atropos' tracing protocol.
+//! Real synchronization primitives wired to the substrate port.
 //!
-//! Each wrapper owns one registered Atropos resource and emits the
-//! Figure 6b events at the natural points of its own operation:
+//! Each wrapper owns one resource registered through an
+//! `Arc<dyn RuntimePort>` and emits the Figure 6b events at the natural
+//! points of its own operation. Because emission goes through the port
+//! rather than a concrete runtime handle, any middleware stacked over the
+//! runtime (fault injection, probes) observes this traffic too:
 //!
 //! - [`TracedLock`] (LOCK): `slow_by` when a thread begins waiting, `get`
 //!   at the wait→hold transition, `free` on guard drop,
@@ -18,12 +21,13 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
-use atropos::{AtroposRuntime, ResourceId, ResourceType, TaskId};
+use atropos::{ResourceId, ResourceType, TaskId};
+use atropos_substrate::RuntimePort;
 use parking_lot::{Condvar, Mutex};
 
 /// A mutex that reports waits, holds and releases to Atropos.
 pub struct TracedLock<T> {
-    rt: Arc<AtroposRuntime>,
+    port: Arc<dyn RuntimePort>,
     rid: ResourceId,
     inner: Mutex<T>,
 }
@@ -38,10 +42,10 @@ pub struct TracedLockGuard<'a, T> {
 
 impl<T> TracedLock<T> {
     /// Registers a LOCK resource named `name` and wraps `value` with it.
-    pub fn new(rt: Arc<AtroposRuntime>, name: &str, value: T) -> Self {
-        let rid = rt.register_resource(name, ResourceType::Lock);
+    pub fn new(port: Arc<dyn RuntimePort>, name: &str, value: T) -> Self {
+        let rid = port.register_resource(name, ResourceType::Lock);
         Self {
-            rt,
+            port,
             rid,
             inner: Mutex::new(value),
         }
@@ -61,11 +65,11 @@ impl<T> TracedLock<T> {
         let guard = match self.inner.try_lock() {
             Some(g) => g,
             None => {
-                self.rt.slow_by_resource(task, self.rid, 1);
+                self.port.slow_by(task, self.rid, 1);
                 self.inner.lock()
             }
         };
-        self.rt.get_resource(task, self.rid, 1);
+        self.port.get(task, self.rid, 1);
         TracedLockGuard {
             lock: self,
             task,
@@ -90,14 +94,14 @@ impl<T> std::ops::DerefMut for TracedLockGuard<'_, T> {
 impl<T> Drop for TracedLockGuard<'_, T> {
     fn drop(&mut self) {
         drop(self.guard.take());
-        self.lock.rt.free_resource(self.task, self.lock.rid, 1);
+        self.lock.port.free(self.task, self.lock.rid, 1);
     }
 }
 
 /// A counting semaphore of concurrency tickets (the live analog of a
 /// bounded worker/connection pool slot), reported as a QUEUE resource.
 pub struct TicketSemaphore {
-    rt: Arc<AtroposRuntime>,
+    port: Arc<dyn RuntimePort>,
     rid: ResourceId,
     available: Mutex<usize>,
     freed: Condvar,
@@ -111,10 +115,10 @@ pub struct TicketPermit<'a> {
 
 impl TicketSemaphore {
     /// Registers a QUEUE resource named `name` with `capacity` tickets.
-    pub fn new(rt: Arc<AtroposRuntime>, name: &str, capacity: usize) -> Self {
-        let rid = rt.register_resource(name, ResourceType::Queue);
+    pub fn new(port: Arc<dyn RuntimePort>, name: &str, capacity: usize) -> Self {
+        let rid = port.register_resource(name, ResourceType::Queue);
         Self {
-            rt,
+            port,
             rid,
             available: Mutex::new(capacity),
             freed: Condvar::new(),
@@ -130,14 +134,14 @@ impl TicketSemaphore {
     pub fn acquire(&self, task: TaskId) -> TicketPermit<'_> {
         let mut available = self.available.lock();
         if *available == 0 {
-            self.rt.slow_by_resource(task, self.rid, 1);
+            self.port.slow_by(task, self.rid, 1);
             while *available == 0 {
                 self.freed.wait(&mut available);
             }
         }
         *available -= 1;
         drop(available);
-        self.rt.get_resource(task, self.rid, 1);
+        self.port.get(task, self.rid, 1);
         TicketPermit { sem: self, task }
     }
 
@@ -154,7 +158,7 @@ impl Drop for TicketPermit<'_> {
             *available += 1;
         }
         self.sem.freed.notify_one();
-        self.sem.rt.free_resource(self.task, self.sem.rid, 1);
+        self.sem.port.free(self.task, self.sem.rid, 1);
     }
 }
 
@@ -180,7 +184,7 @@ struct LruState {
 /// A bounded LRU page cache with per-page owner attribution, reported as
 /// a MEMORY resource.
 pub struct LruBuffer {
-    rt: Arc<AtroposRuntime>,
+    port: Arc<dyn RuntimePort>,
     rid: ResourceId,
     capacity: usize,
     state: Mutex<LruState>,
@@ -189,10 +193,10 @@ pub struct LruBuffer {
 impl LruBuffer {
     /// Registers a MEMORY resource named `name` holding up to `capacity`
     /// pages.
-    pub fn new(rt: Arc<AtroposRuntime>, name: &str, capacity: usize) -> Self {
-        let rid = rt.register_resource(name, ResourceType::Memory);
+    pub fn new(port: Arc<dyn RuntimePort>, name: &str, capacity: usize) -> Self {
+        let rid = port.register_resource(name, ResourceType::Memory);
         Self {
-            rt,
+            port,
             rid,
             capacity: capacity.max(1),
             state: Mutex::new(LruState {
@@ -244,13 +248,13 @@ impl LruBuffer {
             }
         }
         if stats.misses > 0 {
-            self.rt.get_resource(task, self.rid, stats.misses);
+            self.port.get(task, self.rid, stats.misses);
         }
         for (owner, n) in freed_by_owner {
-            self.rt.free_resource(owner, self.rid, n);
+            self.port.free(owner, self.rid, n);
         }
         if stats.evictions > 0 {
-            self.rt.slow_by_resource(task, self.rid, stats.evictions);
+            self.port.slow_by(task, self.rid, stats.evictions);
         }
         stats
     }
@@ -269,7 +273,7 @@ impl LruBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use atropos::AtroposConfig;
+    use atropos::{AtroposConfig, AtroposRuntime};
     use atropos_sim::SystemClock;
     use std::time::Duration;
 

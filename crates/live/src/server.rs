@@ -5,8 +5,13 @@
 //! with real blocking on the shared [`TracedLock`], [`TicketSemaphore`]
 //! and [`LruBuffer`]. The `Culprit` classes are the live analogs of the
 //! paper's culprit studies: a lock hog (MySQL's blocked-writes case
-//! family) and a buffer-sweeping scan (the Figure 2 dump), both
+//! family), a buffer-sweeping scan (the Figure 2 dump), and a
+//! ticket-queue hog (the connection-pool-exhaustion family) — all
 //! cancellable only at their own checkpoints via [`CancelToken`].
+//!
+//! All runtime interaction flows through the [`ServerCtx::port`]
+//! (`Arc<dyn RuntimePort>`), so chaos middleware wrapped over the runtime
+//! sees the complete protocol.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -16,6 +21,7 @@ use std::time::Instant;
 use atropos::{AtroposRuntime, TaskId};
 use atropos_metrics::LatencyHistogram;
 use atropos_sim::Clock;
+use atropos_substrate::RuntimePort;
 use parking_lot::{Condvar, Mutex};
 
 use crate::harness::LiveConfig;
@@ -31,6 +37,10 @@ pub enum CulpritKind {
     /// Sweeps the LRU buffer with cold pages, evicting the hot set: the
     /// full-table-dump family.
     Scan,
+    /// Drains the ticket queue dry — acquires every concurrency ticket and
+    /// sits on them, starving admission: the connection-pool-exhaustion
+    /// (c2/c9) family.
+    TicketHog,
 }
 
 /// Request classes the load generator produces.
@@ -138,8 +148,12 @@ pub struct ServerMetrics {
 
 /// Everything a worker thread needs, bundled for `Arc` sharing.
 pub struct ServerCtx {
-    /// The Atropos runtime every component traces into.
+    /// The concrete runtime, kept for introspection (stats, snapshots).
     pub rt: Arc<AtroposRuntime>,
+    /// The port every component emits through. Usually the runtime
+    /// itself; under fault injection or probing it is a middleware stack
+    /// ending at `rt`.
+    pub port: Arc<dyn RuntimePort>,
     /// The runtime's clock (shared so latency stamps and cancellation
     /// stamps are comparable).
     pub clock: Arc<dyn Clock>,
@@ -163,14 +177,28 @@ pub struct ServerCtx {
 
 impl ServerCtx {
     /// Builds the server state over `rt`, registering the three traced
-    /// resources.
+    /// resources. Emission goes straight to the runtime.
     pub fn new(rt: Arc<AtroposRuntime>, registry: Arc<CancelRegistry>, cfg: LiveConfig) -> Self {
+        let port = rt.clone();
+        Self::with_port(rt, port, registry, cfg)
+    }
+
+    /// Like [`ServerCtx::new`], but emits through `port` — a middleware
+    /// stack whose innermost layer is `rt`. The concrete handle is kept
+    /// only for end-of-run introspection.
+    pub fn with_port(
+        rt: Arc<AtroposRuntime>,
+        port: Arc<dyn RuntimePort>,
+        registry: Arc<CancelRegistry>,
+        cfg: LiveConfig,
+    ) -> Self {
         let clock = rt.clock();
-        let table = TracedLock::new(rt.clone(), "table_lock", ());
-        let tickets = TicketSemaphore::new(rt.clone(), "tickets", cfg.tickets);
-        let buffer = LruBuffer::new(rt.clone(), "buffer_pool", cfg.lru_capacity);
+        let table = TracedLock::new(port.clone(), "table_lock", ());
+        let tickets = TicketSemaphore::new(port.clone(), "tickets", cfg.tickets);
+        let buffer = LruBuffer::new(port.clone(), "buffer_pool", cfg.lru_capacity);
         Self {
             rt,
+            port,
             clock,
             registry,
             table,
@@ -197,14 +225,14 @@ pub fn worker_loop(ctx: &ServerCtx) {
 }
 
 fn handle(ctx: &ServerCtx, req: Request) {
-    let task = ctx.rt.create_cancel(Some(req.key));
-    ctx.rt.unit_started(task);
+    let task = ctx.port.create_cancel(Some(req.key));
+    ctx.port.unit_started(task);
     match req.class {
         RequestClass::Normal => handle_normal(ctx, task, req.key),
         RequestClass::Culprit(kind) => handle_culprit(ctx, task, req.key, kind),
     }
-    ctx.rt.unit_finished(task);
-    ctx.rt.free_cancel(task);
+    ctx.port.unit_finished(task);
+    ctx.port.free_cancel(task);
     let latency = ctx.clock.now_ns().saturating_sub(req.enqueued_ns);
     match req.class {
         RequestClass::Normal => {
@@ -253,7 +281,7 @@ fn handle_culprit(ctx: &ServerCtx, task: TaskId, key: u64, kind: CulpritKind) {
     let token = ctx.registry.register(key);
     // Barely-started progress: the GetNext signal that makes the policy
     // prefer canceling this task over nearly-done victims.
-    ctx.rt.report_progress(task, 1, 100);
+    ctx.port.progress(task, 1, 100);
     let started = Instant::now();
     match kind {
         CulpritKind::LockHog => {
@@ -265,6 +293,22 @@ fn handle_culprit(ctx: &ServerCtx, task: TaskId, key: u64, kind: CulpritKind) {
                 std::thread::sleep(ctx.cfg.checkpoint);
             }
             drop(guard);
+        }
+        CulpritKind::TicketHog => {
+            // Take every ticket, one blocking acquire at a time, then camp
+            // on the full set. Normal requests need a ticket first, so
+            // admission starves until this task is canceled or done.
+            let mut permits = Vec::with_capacity(ctx.cfg.tickets);
+            for _ in 0..ctx.cfg.tickets {
+                permits.push(ctx.tickets.acquire(task));
+            }
+            while !token.is_canceled()
+                && !ctx.stopping()
+                && started.elapsed() < ctx.cfg.culprit_hold
+            {
+                std::thread::sleep(ctx.cfg.checkpoint);
+            }
+            drop(permits);
         }
         CulpritKind::Scan => {
             let _permit = ctx.tickets.acquire(task);

@@ -16,6 +16,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use atropos::{AtroposRuntime, TaskKey};
+use atropos_sim::Clock;
+use atropos_substrate::{CancelInitiator, RuntimePort};
 use parking_lot::Mutex;
 
 /// A shared cancellation flag, checked by the owning task at checkpoints.
@@ -115,6 +117,17 @@ impl CancelRegistry {
         });
     }
 
+    /// Installs this registry as the cancel initiator *through a port*,
+    /// so middleware stacked over the runtime can interpose on deliveries
+    /// (the chaos `FailCancel`/`DelayCancel` faults). Deliveries are
+    /// stamped with the port's clock.
+    pub fn install_port(self: &Arc<Self>, port: &Arc<dyn RuntimePort>) {
+        port.install_initiator(Arc::new(RegistryInitiator {
+            registry: self.clone(),
+            clock: port.clock(),
+        }));
+    }
+
     /// Cancellations that reached a registered token.
     pub fn delivered(&self) -> u64 {
         self.delivered.load(Ordering::Relaxed)
@@ -141,6 +154,21 @@ impl CancelRegistry {
     /// True if no tokens are registered.
     pub fn is_empty(&self) -> bool {
         self.tokens.lock().is_empty()
+    }
+}
+
+/// The registry wearing the [`CancelInitiator`] hat: the cancel leg
+/// raises the matching token; the re-execution and drop legs are no-ops
+/// (a live request that was unwound is simply gone — the generator offers
+/// fresh load instead of replaying).
+struct RegistryInitiator {
+    registry: Arc<CancelRegistry>,
+    clock: Arc<dyn Clock>,
+}
+
+impl CancelInitiator for RegistryInitiator {
+    fn cancel(&self, key: TaskKey) {
+        self.registry.cancel(key.0, self.clock.now_ns());
     }
 }
 
@@ -199,6 +227,25 @@ mod tests {
         // KILL path); the detector-driven path is covered by the harness
         // end-to-end test.
         rt.cancel_key(TaskKey(42));
+        assert!(token.is_canceled());
+        assert_eq!(registry.delivered(), 1);
+    }
+
+    #[test]
+    fn install_port_routes_runtime_cancellations() {
+        use atropos::AtroposConfig;
+        use atropos_sim::SystemClock;
+
+        let rt = Arc::new(AtroposRuntime::new(
+            AtroposConfig::default(),
+            Arc::new(SystemClock::new()),
+        ));
+        let port: Arc<dyn RuntimePort> = rt.clone();
+        let registry = Arc::new(CancelRegistry::new());
+        registry.install_port(&port);
+        let token = registry.register(7);
+        let _task = port.create_cancel(Some(7));
+        rt.cancel_key(TaskKey(7));
         assert!(token.is_canceled());
         assert_eq!(registry.delivered(), 1);
     }

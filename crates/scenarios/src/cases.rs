@@ -183,6 +183,47 @@ fn c2(params: &CaseParams, overload: bool) -> BuiltCase {
     }
 }
 
+/// The c2 shape, injection-driven: slow queries arrive on a schedule
+/// instead of by sampling weight, so a controller that cancels them
+/// visibly interrupts the ticket convoy. Used by the chaos differential
+/// (the ticket-queue family), not part of the 16-case suite.
+fn c2_ticket_queue_chaos(params: &CaseParams, overload: bool) -> BuiltCase {
+    let db = minidb_base(params.seed);
+    let mut wl = WorkloadSpec::new(
+        vec![
+            db.point_select(0.65),
+            db.row_update(0.35),
+            db.slow_query(0.0, 2_000_000_000).with_client(ClientId(100)),
+        ],
+        8_000.0 * params.load_scale,
+    );
+    if overload {
+        // One slow query every 400 ms, each pinning a ticket for ~2 s:
+        // ~5 concurrent hogs in steady state, more than the pool's
+        // tickets, so admission starves until one is canceled.
+        wl = inject_repeating(wl, params, ClassId(2), sec_ms(400));
+    }
+    BuiltCase {
+        server: db.server_config(),
+        hints: minidb_hints(&db, vec![ClassId(2)]),
+        workload: wl,
+    }
+}
+
+/// The [`CaseDef`] for the injection-driven ticket-queue chaos case.
+/// Deliberately not in [`all_cases`]: the golden 16-case suite is pinned.
+pub fn chaos_ticket_queue_case() -> CaseDef {
+    CaseDef {
+        id: "c2tq",
+        app: "MySQL",
+        resource_type: "Thread pool",
+        resource: "InnoDB queue",
+        trigger: "Scheduled slow queries drain the InnoDB ticket queue dry.",
+        base_qps: 8_000.0,
+        builder: c2_ticket_queue_chaos,
+    }
+}
+
 /// c3 — background purge blocks the undo log.
 fn c3(params: &CaseParams, overload: bool) -> BuiltCase {
     let db = minidb_base(params.seed);

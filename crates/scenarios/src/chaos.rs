@@ -8,12 +8,14 @@
 //! ("who was canceled, in what order") can be classified as
 //! culprit-targeted or victim-harming.
 //!
-//! Two case families qualify:
+//! Three case families qualify:
 //!
 //! - **lock hog** — c1's backup-behind-scan convoy (a long scan holds the
 //!   table locks; `atropos-live` reproduces it as `CulpritKind::LockHog`),
 //! - **buffer scan** — c5's full-table dump sweeping the buffer pool
-//!   (`CulpritKind::Scan` in the live harness, the paper's Figure 2 bug).
+//!   (`CulpritKind::Scan` in the live harness, the paper's Figure 2 bug),
+//! - **ticket queue** — the c2/c9 shape, scheduled slow queries draining
+//!   the InnoDB concurrency tickets (`CulpritKind::TicketHog` live).
 
 use std::sync::Arc;
 
@@ -23,7 +25,7 @@ use atropos_app::server::ServerMetrics;
 use atropos_app::SimServer;
 use atropos_sim::SimTime;
 
-use crate::cases::{all_cases, CaseDef};
+use crate::cases::{all_cases, chaos_ticket_queue_case, CaseDef};
 use crate::runner::{calibrate, RunConfig};
 
 /// Which live-harness culprit a chaos variant corresponds to.
@@ -35,6 +37,9 @@ pub enum ChaosCulprit {
     /// A cold sweep evicting the hot set of a memory resource
     /// (`atropos_live::CulpritKind::Scan`).
     BufferScan,
+    /// A hog draining a bounded ticket queue dry
+    /// (`atropos_live::CulpritKind::TicketHog`).
+    TicketQueue,
 }
 
 /// One chaos-ready case: the base case plus culprit identity.
@@ -78,6 +83,12 @@ pub fn chaos_variants() -> Vec<ChaosVariant> {
             // ClassId(2) = the full-table dump sweeping the buffer pool.
             culprit_classes: vec![ClassId(2)],
         },
+        ChaosVariant {
+            case: chaos_ticket_queue_case(),
+            culprit: ChaosCulprit::TicketQueue,
+            // ClassId(2) = the scheduled slow query pinning a ticket.
+            culprit_classes: vec![ClassId(2)],
+        },
     ]
 }
 
@@ -86,7 +97,7 @@ pub fn variant_for(culprit: ChaosCulprit) -> ChaosVariant {
     chaos_variants()
         .into_iter()
         .find(|v| v.culprit == culprit)
-        .expect("both culprit kinds have a variant")
+        .expect("every culprit kind has a variant")
 }
 
 /// Result of one seeded chaos-variant run under Atropos.
@@ -137,14 +148,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn variants_cover_both_culprit_kinds() {
+    fn variants_cover_every_culprit_kind() {
         let vs = chaos_variants();
-        assert_eq!(vs.len(), 2);
+        assert_eq!(vs.len(), 3);
         assert!(vs.iter().any(|v| v.culprit == ChaosCulprit::LockHog));
         assert!(vs.iter().any(|v| v.culprit == ChaosCulprit::BufferScan));
+        assert!(vs.iter().any(|v| v.culprit == ChaosCulprit::TicketQueue));
         let hog = variant_for(ChaosCulprit::LockHog);
         assert_eq!(hog.case.id, "c1");
         assert!(hog.is_culprit_class(ClassId(2)));
         assert!(!hog.is_culprit_class(ClassId(0)));
+        let tq = variant_for(ChaosCulprit::TicketQueue);
+        assert_eq!(tq.case.id, "c2tq");
+        assert!(tq.is_culprit_class(ClassId(2)));
     }
 }

@@ -1,0 +1,31 @@
+//! Application-side identifiers shared by every substrate.
+//!
+//! These are the ids the *application* (simulated or live) uses to talk
+//! about its own work; the runtime's `TaskId`/`TaskKey` live in the core
+//! crate. Historically defined in `appsim::ids`, they moved here so the
+//! protocol vocabulary ([`crate::protocol`]) has one home.
+
+/// A request (one unit of client-visible work, or one background job run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// A request class (point-select, scan, backup, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u16);
+
+/// The client (tenant) a request belongs to; PARTIES partitions resources
+/// and measures latency at this granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u16);
+
+/// A lock instance inside a lock manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId(pub u32);
+
+/// A buffer pool / cache instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PoolId(pub u32);
+
+/// A ticket queue (bounded concurrency) instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueueId(pub u32);

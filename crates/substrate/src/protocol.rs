@@ -1,0 +1,65 @@
+//! The shared event and action vocabulary (the Figure 6b wire format).
+//!
+//! One definition, used by every substrate: the simulator's controllers
+//! consume [`ResourceEvent`]s and return [`Action`]s, the chaos injector
+//! classifies intercepted traffic by [`TraceKind`], and the live harness
+//! maps its primitive operations onto the same three verbs. These types
+//! were previously defined in `appsim::controller` (and re-declared
+//! privately inside the chaos injector); `appsim` now re-exports them from
+//! here for back-compat.
+
+use crate::ids::{ClassId, ClientId, PoolId, QueueId, RequestId};
+
+/// The operation a trace event records (mirrors the Atropos protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Units acquired.
+    Get,
+    /// Units released.
+    Free,
+    /// Delayed by the resource (wait began / evictions caused).
+    Slow,
+}
+
+/// One resource trace event, attributed to a *resource group*.
+///
+/// Groups are declared in the server config: e.g. all five table locks
+/// form one "table_lock" group, matching how the paper instruments one
+/// logical application resource with many instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceEvent {
+    /// Index of the resource group (position in the config's group list).
+    pub group: usize,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// The request the event is attributed to.
+    pub req: RequestId,
+    /// Units (pages, lock count, heap pages…).
+    pub amount: u64,
+}
+
+/// An action a controller asks the server to apply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Cancel a running request through the application's initiator; the
+    /// server parks cancellable foreground requests for re-execution.
+    Cancel(RequestId),
+    /// Drop a running/waiting request outright (a *victim* drop — what
+    /// Protego does). Counts toward the drop rate.
+    Drop(RequestId),
+    /// Add a per-chunk execution delay to a request (pBox penalty).
+    /// Zero clears the throttle.
+    Throttle(RequestId, u64),
+    /// Re-execute a previously canceled (parked) request.
+    Reexec(RequestId),
+    /// Abandon a parked request (its SLO deadline passed); counts as a
+    /// drop.
+    DropParked(RequestId),
+    /// Resize a ticket queue (PARTIES partition adjustment).
+    SetQueueCapacity(QueueId, usize),
+    /// Set or clear a client's buffer pool quota (pBox / PARTIES).
+    SetPoolQuota(PoolId, ClientId, Option<u64>),
+    /// Cap concurrent workers usable by a class (DARC core reservation);
+    /// `None` removes the cap.
+    SetClassWorkerLimit(ClassId, Option<usize>),
+}

@@ -1,0 +1,134 @@
+//! Shared scenario descriptors for the sim↔live differential.
+//!
+//! A differential run drives *the same overload story* through two
+//! substrates — the discrete-event simulator and the wall-clock harness —
+//! and demands agreement on culprit identity. "The same story" has to be
+//! pinned somewhere both sides can see: that is the
+//! [`ScenarioDescriptor`]. The chaos crate maps a descriptor onto a sim
+//! case variant (by family and seed) and onto a `LiveConfig` (by the
+//! geometry fields), so a disagreement is a substrate bug, never a
+//! mis-transcribed constant.
+
+/// The scenario families both substrates implement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioFamily {
+    /// One task grabs an exclusive lock and sits on it; victims convoy
+    /// behind (the paper's MySQL c1 shape).
+    LockHog,
+    /// A scan walks far more pages than the buffer pool holds, evicting
+    /// the hot set (the c5 shape).
+    BufferScan,
+    /// A hog drains a bounded ticket queue dry, starving admission (the
+    /// c2/c9 shape).
+    TicketQueue,
+}
+
+impl ScenarioFamily {
+    /// Every family, in the order CI runs them.
+    pub const ALL: [ScenarioFamily; 3] = [
+        ScenarioFamily::LockHog,
+        ScenarioFamily::BufferScan,
+        ScenarioFamily::TicketQueue,
+    ];
+
+    /// Stable name used in CLI flags, test output and artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioFamily::LockHog => "lock_hog",
+            ScenarioFamily::BufferScan => "buffer_scan",
+            ScenarioFamily::TicketQueue => "ticket_queue",
+        }
+    }
+
+    /// The pinned descriptor the differential suite runs this family at.
+    pub fn descriptor(self) -> ScenarioDescriptor {
+        match self {
+            ScenarioFamily::LockHog => ScenarioDescriptor {
+                family: self,
+                sim_seed: 42,
+                tickets: 4,
+                culprit_after_ms: 400,
+                culprit_hold_ms: 1200,
+                hot_pages: 128,
+                lru_capacity: 256,
+                pages_per_request: 4,
+                miss_penalty_us: 50,
+                scan_pages: 1 << 16,
+            },
+            ScenarioFamily::BufferScan => ScenarioDescriptor {
+                family: self,
+                sim_seed: 42,
+                // Two tickets so the scan's page misses convoy admission
+                // behind it instead of being absorbed by spare workers.
+                tickets: 2,
+                culprit_after_ms: 400,
+                culprit_hold_ms: 1200,
+                hot_pages: 128,
+                // Barely larger than the hot set: the scan must evict.
+                lru_capacity: 132,
+                pages_per_request: 8,
+                miss_penalty_us: 1000,
+                scan_pages: 1 << 16,
+            },
+            ScenarioFamily::TicketQueue => ScenarioDescriptor {
+                family: self,
+                sim_seed: 42,
+                // Few tickets so one hog holding them all starves every
+                // arrival immediately.
+                tickets: 2,
+                culprit_after_ms: 400,
+                culprit_hold_ms: 1200,
+                hot_pages: 128,
+                lru_capacity: 256,
+                pages_per_request: 4,
+                miss_penalty_us: 50,
+                scan_pages: 1 << 16,
+            },
+        }
+    }
+}
+
+/// Everything the two substrates must agree on before a differential run:
+/// which family, which sim seed, and the live geometry that realizes the
+/// family on real threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioDescriptor {
+    /// The scenario family.
+    pub family: ScenarioFamily,
+    /// Seed for the simulator side's workload RNG.
+    pub sim_seed: u64,
+    /// Ticket-queue permits in the live server.
+    pub tickets: usize,
+    /// When the live culprit arrives, ms after start.
+    pub culprit_after_ms: u64,
+    /// How long the live culprit occupies its resource, ms.
+    pub culprit_hold_ms: u64,
+    /// Hot-set size touched by normal live requests, pages.
+    pub hot_pages: u64,
+    /// Live LRU buffer capacity, pages.
+    pub lru_capacity: usize,
+    /// Pages a normal live request touches.
+    pub pages_per_request: u64,
+    /// Live cost of one buffer miss, µs.
+    pub miss_penalty_us: u64,
+    /// Pages the live scan culprit sweeps.
+    pub scan_pages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names: Vec<&str> = ScenarioFamily::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names, ["lock_hog", "buffer_scan", "ticket_queue"]);
+    }
+
+    #[test]
+    fn descriptors_carry_their_family() {
+        for f in ScenarioFamily::ALL {
+            assert_eq!(f.descriptor().family, f);
+        }
+    }
+}
