@@ -54,7 +54,7 @@ fn snapshot(n_tasks: usize, seed: u64) -> EstimatorSnapshot {
 fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("policy");
     g.sample_size(30);
-    for &n in &[16usize, 64, 256, 1024] {
+    for &n in &[16usize, 64, 256, 1024, 4096, 16384] {
         let snap = snapshot(n, 7);
         g.bench_with_input(BenchmarkId::new("multi_objective", n), &snap, |b, s| {
             b.iter(|| MultiObjectivePolicy.select(black_box(s)))
@@ -63,6 +63,94 @@ fn bench_policies(c: &mut Criterion) {
             b.iter(|| HeuristicPolicy.select(black_box(s)))
         });
     }
+    g.finish();
+}
+
+/// The incremental engine: full rebuild vs. steady-state delta refresh
+/// vs. indexed selection, at populations the naive path cannot survive.
+fn bench_policy_index(c: &mut Criterion) {
+    use atropos::policy::PolicyIndex;
+    use atropos::resource::ResourceRegistry;
+    use atropos::task::TaskRecord;
+    use atropos::{AtroposConfig, PolicyKind};
+    use std::collections::HashMap;
+
+    let mut g = c.benchmark_group("policy_index");
+    g.sample_size(30);
+    let mut reg = ResourceRegistry::new();
+    for i in 0..N_RESOURCES {
+        reg.register(format!("r{i}"), ResourceType::Lock);
+    }
+    let cfg = AtroposConfig::default();
+
+    // `busy` tasks keep an open unit and held resources, so every window
+    // re-derives them; the rest touch a resource once, release it, and
+    // settle into the quiescent fixpoint after two rolls.
+    let build = |n: usize, busy: usize| -> HashMap<TaskId, TaskRecord> {
+        let mut tasks = HashMap::new();
+        for i in 0..n {
+            let mut t = TaskRecord::new(TaskId(i as u64), TaskKey(i as u64), 0, N_RESOURCES);
+            if i < busy {
+                t.on_unit_start(0);
+                t.usage[i % N_RESOURCES].on_get(10, 1 + (i as u64 % 5));
+                if i % 3 == 0 {
+                    t.usage[(i + 1) % N_RESOURCES].on_slow(20, 1);
+                }
+            } else {
+                t.usage[i % N_RESOURCES].on_get(10, 1);
+                t.usage[i % N_RESOURCES].on_free(20, 1);
+            }
+            t.roll_window(1_000_000);
+            tasks.insert(TaskId(i as u64), t);
+        }
+        tasks
+    };
+
+    for &n in &[4096usize, 16384] {
+        let tasks = build(n, n);
+        g.bench_with_input(BenchmarkId::new("full_build", n), &tasks, |b, ts| {
+            let mut index = PolicyIndex::new();
+            b.iter(|| {
+                index.invalidate_all();
+                index.refresh(black_box(ts), &reg, &cfg);
+            })
+        });
+    }
+
+    // Steady state: K busy tasks churn inside a large, mostly quiescent
+    // population. Each iteration is one tick — roll every window (idle
+    // tasks short-circuit) and refresh the index.
+    let n = 16384usize;
+    for &k in &[16usize, 256] {
+        let mut tasks = build(n, k);
+        let mut index = PolicyIndex::new();
+        let mut now = 1_000_000u64;
+        // Settle the idle population into quiescent+settled slots.
+        for _ in 0..2 {
+            now += 1_000_000;
+            for t in tasks.values_mut() {
+                t.roll_window(now);
+            }
+            index.refresh(&tasks, &reg, &cfg);
+        }
+        g.bench_function(BenchmarkId::new("delta_refresh", k), |b| {
+            b.iter(|| {
+                now += 1_000_000;
+                for t in tasks.values_mut() {
+                    t.roll_window(now);
+                }
+                index.refresh(black_box(&tasks), &reg, &cfg);
+            })
+        });
+    }
+
+    // Indexed selection over a fully refreshed 16k-task index.
+    let tasks = build(n, n);
+    let mut index = PolicyIndex::new();
+    index.refresh(&tasks, &reg, &cfg);
+    g.bench_function(BenchmarkId::new("select", n), |b| {
+        b.iter(|| black_box(&index).select(PolicyKind::MultiObjective))
+    });
     g.finish();
 }
 
@@ -99,5 +187,5 @@ fn bench_estimate(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_estimate);
+criterion_group!(benches, bench_policies, bench_policy_index, bench_estimate);
 criterion_main!(benches);

@@ -149,6 +149,24 @@ impl UsageStats {
         self.last_window
     }
 
+    /// True if rolling another window would be a no-op: no open wait or
+    /// hold interval, nothing held, nothing accumulated this window, and
+    /// the published window already all-zero. Used by
+    /// [`TaskRecord::roll_window`](crate::task::TaskRecord::roll_window)
+    /// to skip idle tasks entirely.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.wait_since.is_none()
+            && self.hold_since.is_none()
+            && self.held == 0
+            && self.last_window == WindowUsage::default()
+            && self.w_acquired == 0
+            && self.w_freed == 0
+            && self.w_slow_events == 0
+            && self.w_slow_amount == 0
+            && self.w_wait_ns == 0
+            && self.w_hold_ns == 0
+    }
+
     /// True if the task is currently waiting on this resource.
     pub fn is_waiting(&self) -> bool {
         self.wait_since.is_some()
@@ -301,6 +319,22 @@ mod tests {
         s.on_get(400, 1);
         assert_eq!(s.wait_ns_upto(500), 300);
         assert_eq!(s.hold_ns_upto(700), 300);
+    }
+
+    #[test]
+    fn quiescence_requires_closed_intervals_and_zero_windows() {
+        let mut s = UsageStats::default();
+        assert!(s.is_quiescent());
+        s.on_get(10, 1);
+        assert!(!s.is_quiescent()); // holding
+        s.on_free(20, 1);
+        assert!(!s.is_quiescent()); // window accumulators non-zero
+        s.roll_window(100);
+        assert!(!s.is_quiescent()); // published window non-zero
+        s.roll_window(200);
+        assert!(s.is_quiescent()); // second roll publishes all-zero
+        s.on_slow(210, 1);
+        assert!(!s.is_quiescent()); // open wait interval
     }
 
     #[test]

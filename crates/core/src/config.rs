@@ -16,6 +16,25 @@ pub enum PolicyKind {
     CurrentUsage,
 }
 
+/// How the tick path evaluates the cancellation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyEngine {
+    /// Incremental indexed engine: per-task objective terms are cached in
+    /// a [`PolicyIndex`](crate::policy::PolicyIndex) updated from ingest
+    /// deltas, candidates are pruned through per-resource postings lists,
+    /// and the non-dominated filter runs as a sort-based skyline.
+    /// Decisions are bit-identical to [`PolicyEngine::Naive`] (enforced by
+    /// the differential suites); per-tick cost scales with busy tasks
+    /// rather than the registered population.
+    Indexed,
+    /// Reference engine: rebuild the full
+    /// [`EstimatorSnapshot`](crate::estimator::EstimatorSnapshot) from
+    /// every task and run the literal Algorithm-1 transcription (all-pairs
+    /// non-dominated filter). O(n·R + n²) per decision; kept as the
+    /// differential-testing oracle.
+    Naive,
+}
+
 /// How tracing calls reach the per-task accounting state (§3.2 hot path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum IngestMode {
@@ -80,6 +99,8 @@ pub struct AtroposConfig {
     pub detector: DetectorConfig,
     /// Cancellation policy.
     pub policy: PolicyKind,
+    /// How the tick path evaluates that policy (see [`PolicyEngine`]).
+    pub policy_engine: PolicyEngine,
     /// Minimum interval between consecutive cancellations (ns). The paper
     /// (§5.3) enforces "a small time interval between consecutive
     /// cancellations" to avoid excessive termination; this is the
@@ -124,6 +145,7 @@ impl Default for AtroposConfig {
         Self {
             detector: DetectorConfig::default(),
             policy: PolicyKind::MultiObjective,
+            policy_engine: PolicyEngine::Indexed,
             cancel_min_interval_ns: 50_000_000, // 50 ms
             sample_interval_ns: 1_000_000,      // 1 ms
             ingest_mode: IngestMode::Sharded,
@@ -149,6 +171,12 @@ impl AtroposConfig {
     /// Sets the cancellation policy.
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the policy evaluation engine.
+    pub fn with_policy_engine(mut self, engine: PolicyEngine) -> Self {
+        self.policy_engine = engine;
         self
     }
 
@@ -194,9 +222,16 @@ mod tests {
     fn builders_apply() {
         let c = AtroposConfig::default()
             .with_slo_ns(123)
-            .with_policy(PolicyKind::Heuristic);
+            .with_policy(PolicyKind::Heuristic)
+            .with_policy_engine(PolicyEngine::Naive);
         assert_eq!(c.detector.slo_latency_ns, 123);
         assert_eq!(c.policy, PolicyKind::Heuristic);
+        assert_eq!(c.policy_engine, PolicyEngine::Naive);
+        // The indexed engine is the production default.
+        assert_eq!(
+            AtroposConfig::default().policy_engine,
+            PolicyEngine::Indexed
+        );
     }
 
     #[test]

@@ -12,7 +12,16 @@
 //!   the task would free, scaled to *future* demand by the GetNext progress
 //!   multiplier `(1 − p) / p` (§3.4), so nearly-finished long tasks are not
 //!   preferred over just-started hogs.
+//!
+//! The pass is factored into per-task term derivation
+//! ([`derive_task_terms`]) and a global-sum reduction
+//! ([`resource_snapshots_from_sums`]) so the incremental
+//! [`PolicyIndex`](crate::policy::PolicyIndex) can maintain exactly the
+//! same quantities task-by-task instead of rebuilding the snapshot; both
+//! engines share these helpers, which is what makes their outputs
+//! bit-identical.
 
+use crate::accounting::WindowUsage;
 use crate::config::AtroposConfig;
 use crate::ids::{ResourceId, ResourceType, TaskId, TaskKey};
 use crate::resource::ResourceRegistry;
@@ -27,7 +36,7 @@ const CONTENTION_CAP: f64 = 1e6;
 const WEIGHT_CAP: f64 = 20.0;
 
 /// Per-resource contention figures for one window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceSnapshot {
     /// Resource id.
     pub id: ResourceId,
@@ -51,7 +60,7 @@ pub struct ResourceSnapshot {
 }
 
 /// Per-task gains for one window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskGainSnapshot {
     /// Task id.
     pub task: TaskId,
@@ -70,7 +79,7 @@ pub struct TaskGainSnapshot {
 }
 
 /// Output of one estimation pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EstimatorSnapshot {
     /// Per-resource contention, indexed by `ResourceId::index()`.
     pub resources: Vec<ResourceSnapshot>,
@@ -98,92 +107,136 @@ impl EstimatorSnapshot {
     }
 }
 
-/// Computes contention levels and resource gains from the most recently
-/// closed window of every task.
-pub fn estimate<'a>(
-    tasks: impl Iterator<Item = &'a TaskRecord>,
+/// One task's contribution to the estimation pass: its published window
+/// per resource (feeding the global contention sums) and its un-normalized
+/// gain terms. This is the unit the [`PolicyIndex`](crate::policy::PolicyIndex)
+/// caches per slot and the naive pass derives on the fly.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TaskTerms {
+    /// Application key.
+    pub key: TaskKey,
+    /// Whether the policy may cancel this task.
+    pub cancellable: bool,
+    /// Active execution time in the window (ns).
+    pub window_active_ns: u64,
+    /// Published window per resource, indexed by `ResourceId::index()`.
+    pub windows: Vec<WindowUsage>,
+    /// Un-normalized future-scaled gain per resource.
+    pub raw_future: Vec<f64>,
+    /// Un-normalized current-usage gain per resource.
+    pub raw_current: Vec<f64>,
+    /// Reported progress, if any.
+    pub progress: Option<f64>,
+    /// Whether the task had any window activity (inactive tasks are
+    /// omitted from the snapshot's task list but still feed global sums).
+    pub active: bool,
+}
+
+impl TaskTerms {
+    /// The terms of a task with no activity at all: what a freshly
+    /// allocated index slot holds before its first derivation.
+    pub fn zero(n: usize) -> Self {
+        TaskTerms {
+            key: TaskKey(0),
+            cancellable: false,
+            window_active_ns: 0,
+            windows: vec![WindowUsage::default(); n],
+            raw_future: vec![0.0; n],
+            raw_current: vec![0.0; n],
+            progress: None,
+            active: false,
+        }
+    }
+
+    /// True if these terms are indistinguishable from [`TaskTerms::zero`]
+    /// as far as sums, gains and activity go (key/cancellable/progress may
+    /// differ): once a task reaches this state it contributes nothing
+    /// until a new event arrives.
+    pub fn is_zero(&self) -> bool {
+        !self.active
+            && self.window_active_ns == 0
+            && self.windows.iter().all(|w| *w == WindowUsage::default())
+    }
+}
+
+/// Derives one task's [`TaskTerms`] from its most recently closed window.
+/// This is the only place gain terms are computed; the batch
+/// [`estimate`] and the incremental index both call it, so the two
+/// engines cannot diverge on per-task arithmetic.
+pub(crate) fn derive_task_terms(
+    t: &TaskRecord,
     resources: &ResourceRegistry,
     cfg: &AtroposConfig,
-) -> EstimatorSnapshot {
+) -> TaskTerms {
     let n = resources.len();
-    let mut wait = vec![0u64; n];
-    let mut hold = vec![0u64; n];
-    let mut acquired = vec![0u64; n];
-    let mut slow_amount = vec![0u64; n];
-    let mut t_exec: u64 = 0;
-
-    struct RawTask {
-        task: TaskId,
-        key: TaskKey,
-        cancellable: bool,
-        raw_future: Vec<f64>,
-        raw_current: Vec<f64>,
-        progress: Option<f64>,
-        active: bool,
+    let mult = t
+        .progress
+        .future_multiplier(cfg.progress_floor, cfg.default_progress);
+    let mut windows = vec![WindowUsage::default(); n];
+    for (i, u) in t.usage.iter().enumerate().take(n) {
+        windows[i] = u.window();
     }
-    let mut raw_tasks: Vec<RawTask> = Vec::new();
-
-    for t in tasks {
-        t_exec += t.window_active_ns();
-        let mult = t
-            .progress
-            .future_multiplier(cfg.progress_floor, cfg.default_progress);
-        let mut raw_future = vec![0.0; n];
-        let mut raw_current = vec![0.0; n];
-        let mut active = t.window_active_ns() > 0;
-        // Time this task spent blocked on synchronization/queue/system
-        // resources in the window. A task holds e.g. a worker slot or a
-        // ticket *while blocked on a lock*, but it is not consuming those
-        // resources' service ("expected future thread time", §3.4) — it is
-        // a victim. Its attributed usage is discounted by the blocked
-        // share so victims do not outscore the culprit that blocks them.
-        // Memory stalls (evictions) are excluded: the evictor's stall is
-        // its own productive resource consumption.
-        let mut blocked_ns: u64 = 0;
-        for (i, u) in t.usage.iter().enumerate().take(n) {
-            let info = resources.get(ResourceId(i as u32)).expect("registered");
-            if info.rtype != ResourceType::Memory {
-                blocked_ns += u.window().wait_ns;
-            }
-        }
-        let window_active = t.window_active_ns();
-        let running_frac = if window_active == 0 {
-            1.0
-        } else {
-            1.0 - (blocked_ns.min(window_active) as f64 / window_active as f64)
-        };
-        for (i, u) in t.usage.iter().enumerate().take(n) {
-            let w = u.window();
-            wait[i] += w.wait_ns;
-            hold[i] += w.hold_ns;
-            acquired[i] += w.acquired;
-            slow_amount[i] += w.slow_amount;
-            let info = resources.get(ResourceId(i as u32)).expect("registered");
-            // Current usage: what cancelling frees *right now*.
-            let current = match info.rtype {
-                ResourceType::Memory => w.held_at_end as f64,
-                ResourceType::Lock | ResourceType::Queue | ResourceType::System => w.hold_ns as f64,
-            } * running_frac;
-            raw_current[i] = current;
-            raw_future[i] = current * mult;
-            if current > 0.0 || w.wait_ns > 0 || w.acquired > 0 {
-                active = true;
-            }
-        }
-        if active {
-            raw_tasks.push(RawTask {
-                task: t.id,
-                key: t.key,
-                cancellable: t.cancellable,
-                raw_future,
-                raw_current,
-                progress: t.progress.progress(cfg.progress_floor),
-                active,
-            });
+    let mut raw_future = vec![0.0; n];
+    let mut raw_current = vec![0.0; n];
+    let window_active = t.window_active_ns();
+    let mut active = window_active > 0;
+    // Time this task spent blocked on synchronization/queue/system
+    // resources in the window. A task holds e.g. a worker slot or a
+    // ticket *while blocked on a lock*, but it is not consuming those
+    // resources' service ("expected future thread time", §3.4) — it is
+    // a victim. Its attributed usage is discounted by the blocked
+    // share so victims do not outscore the culprit that blocks them.
+    // Memory stalls (evictions) are excluded: the evictor's stall is
+    // its own productive resource consumption.
+    let mut blocked_ns: u64 = 0;
+    for (i, w) in windows.iter().enumerate() {
+        let info = resources.get(ResourceId(i as u32)).expect("registered");
+        if info.rtype != ResourceType::Memory {
+            blocked_ns += w.wait_ns;
         }
     }
+    let running_frac = if window_active == 0 {
+        1.0
+    } else {
+        1.0 - (blocked_ns.min(window_active) as f64 / window_active as f64)
+    };
+    for (i, w) in windows.iter().enumerate() {
+        let info = resources.get(ResourceId(i as u32)).expect("registered");
+        // Current usage: what cancelling frees *right now*.
+        let current = match info.rtype {
+            ResourceType::Memory => w.held_at_end as f64,
+            ResourceType::Lock | ResourceType::Queue | ResourceType::System => w.hold_ns as f64,
+        } * running_frac;
+        raw_current[i] = current;
+        raw_future[i] = current * mult;
+        if current > 0.0 || w.wait_ns > 0 || w.acquired > 0 {
+            active = true;
+        }
+    }
+    TaskTerms {
+        key: t.key,
+        cancellable: t.cancellable,
+        window_active_ns: window_active,
+        windows,
+        raw_future,
+        raw_current,
+        progress: t.progress.progress(cfg.progress_floor),
+        active,
+    }
+}
 
-    // Per-resource contention levels.
+/// Builds the per-resource contention snapshots from the global window
+/// sums. Shared by [`estimate`] (which sums over tasks on the fly) and
+/// the index (which maintains the sums incrementally).
+pub(crate) fn resource_snapshots_from_sums(
+    resources: &ResourceRegistry,
+    wait: &[u64],
+    hold: &[u64],
+    acquired: &[u64],
+    slow_amount: &[u64],
+    t_exec: u64,
+) -> Vec<ResourceSnapshot> {
+    let n = resources.len();
     let mut snaps: Vec<ResourceSnapshot> = Vec::with_capacity(n);
     let t_exec_div = t_exec.max(1) as f64;
     for i in 0..n {
@@ -236,50 +289,95 @@ pub fn estimate<'a>(
             r.weight = r.contention.min(WEIGHT_CAP) / total_w;
         }
     }
+    snaps
+}
+
+/// Normalizes one raw gain by the per-resource maximum: the exact
+/// division both engines must share, since `raw_a < raw_b` does not imply
+/// `raw_a/max < raw_b/max` after rounding.
+#[inline]
+pub(crate) fn normalize_gain(g: f64, max: f64) -> f64 {
+    if max > 0.0 {
+        g / max
+    } else {
+        0.0
+    }
+}
+
+/// Converts cached [`TaskTerms`] into the published [`TaskGainSnapshot`],
+/// normalizing per-resource by the supplied maxima.
+pub(crate) fn gain_snapshot(
+    task: TaskId,
+    terms: &TaskTerms,
+    max_future: &[f64],
+    max_current: &[f64],
+) -> TaskGainSnapshot {
+    TaskGainSnapshot {
+        task,
+        key: terms.key,
+        cancellable: terms.cancellable,
+        gains: terms
+            .raw_future
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| normalize_gain(g, max_future[i]))
+            .collect(),
+        current: terms
+            .raw_current
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| normalize_gain(g, max_current[i]))
+            .collect(),
+        progress: terms.progress,
+    }
+}
+
+/// Computes contention levels and resource gains from the most recently
+/// closed window of every task.
+pub fn estimate<'a>(
+    tasks: impl Iterator<Item = &'a TaskRecord>,
+    resources: &ResourceRegistry,
+    cfg: &AtroposConfig,
+) -> EstimatorSnapshot {
+    let n = resources.len();
+    let mut wait = vec![0u64; n];
+    let mut hold = vec![0u64; n];
+    let mut acquired = vec![0u64; n];
+    let mut slow_amount = vec![0u64; n];
+    let mut t_exec: u64 = 0;
+    let mut raw_tasks: Vec<(TaskId, TaskTerms)> = Vec::new();
+
+    for t in tasks {
+        let terms = derive_task_terms(t, resources, cfg);
+        t_exec += terms.window_active_ns;
+        for i in 0..n {
+            let w = &terms.windows[i];
+            wait[i] += w.wait_ns;
+            hold[i] += w.hold_ns;
+            acquired[i] += w.acquired;
+            slow_amount[i] += w.slow_amount;
+        }
+        if terms.active {
+            raw_tasks.push((t.id, terms));
+        }
+    }
+
+    let snaps =
+        resource_snapshots_from_sums(resources, &wait, &hold, &acquired, &slow_amount, t_exec);
 
     // Normalize gains per resource so units (pages vs ns) are comparable
     // across resources during scalarization.
     let mut max_future = vec![0.0f64; n];
     let mut max_current = vec![0.0f64; n];
-    for rt in &raw_tasks {
+    for (_, rt) in &raw_tasks {
         for i in 0..n {
             max_future[i] = max_future[i].max(rt.raw_future[i]);
             max_current[i] = max_current[i].max(rt.raw_current[i]);
         }
     }
     let tasks_out = raw_tasks
-        .into_iter()
-        .filter(|rt| rt.active)
-        .map(|rt| TaskGainSnapshot {
-            task: rt.task,
-            key: rt.key,
-            cancellable: rt.cancellable,
-            gains: rt
-                .raw_future
-                .iter()
-                .enumerate()
-                .map(|(i, &g)| {
-                    if max_future[i] > 0.0 {
-                        g / max_future[i]
-                    } else {
-                        0.0
-                    }
-                })
-                .collect(),
-            current: rt
-                .raw_current
-                .iter()
-                .enumerate()
-                .map(|(i, &g)| {
-                    if max_current[i] > 0.0 {
-                        g / max_current[i]
-                    } else {
-                        0.0
-                    }
-                })
-                .collect(),
-            progress: rt.progress,
-        })
+        .iter()
+        .map(|(id, rt)| gain_snapshot(*id, rt, &max_future, &max_current))
         .collect();
 
     EstimatorSnapshot {
@@ -515,5 +613,25 @@ mod tests {
         let tasks = [a, b];
         let s = estimate(tasks.iter(), &reg, &cfg());
         assert_eq!(s.t_exec_ns, 1500);
+    }
+
+    #[test]
+    fn estimate_is_a_pure_function_of_the_rolled_state() {
+        // Factored helpers must reproduce the batch pass exactly.
+        let reg = registry();
+        let mut a = task(1, 3);
+        a.usage[0].on_get(0, 300);
+        a.usage[1].on_get(0, 1);
+        a.progress.report(30, 100);
+        let mut b = task(2, 3);
+        b.usage[1].on_slow(0, 1);
+        a.on_unit_start(0);
+        b.on_unit_start(0);
+        a.roll_window(1000);
+        b.roll_window(1000);
+        let tasks = [a, b];
+        let s1 = estimate(tasks.iter(), &reg, &cfg());
+        let s2 = estimate(tasks.iter(), &reg, &cfg());
+        assert_eq!(s1, s2);
     }
 }

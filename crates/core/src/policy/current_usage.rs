@@ -1,6 +1,6 @@
 //! §5.4 baseline 2: multi-objective over current usage.
 
-use super::{candidates, non_dominated, scalarize, CancellationPolicy, Selection};
+use super::{candidates, non_dominated, scalarize, skyline, CancellationPolicy, Selection};
 use crate::estimator::EstimatorSnapshot;
 
 /// Multi-objective selection over *current* resource usage rather than
@@ -10,11 +10,18 @@ use crate::estimator::EstimatorSnapshot;
 /// scaling, so it is biased toward long-running tasks that hold a lot
 /// *now* — including tasks that are nearly finished and would release
 /// their resources shortly anyway (§3.4's Query-A/Query-B discussion).
+///
+/// Like [`super::MultiObjectivePolicy`], `select` runs the skyline fast
+/// path and `select_naive` keeps the literal transcription as the oracle.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CurrentUsagePolicy;
 
 impl CancellationPolicy for CurrentUsagePolicy {
     fn select(&self, snapshot: &EstimatorSnapshot) -> Option<Selection> {
+        skyline::select_fast(snapshot, |t| &t.current)
+    }
+
+    fn select_naive(&self, snapshot: &EstimatorSnapshot) -> Option<Selection> {
         let cands = candidates(snapshot, |t| &t.current);
         if cands.is_empty() {
             return None;

@@ -10,17 +10,32 @@
 //!   most contended resource,
 //! - [`CurrentUsagePolicy`] — §5.4 baseline 2: multi-objective over
 //!   *current* usage instead of future-scaled gain.
+//!
+//! The multi-objective policies carry two implementations each. The
+//! literal transcription of Algorithm 1 — materialize the candidate set,
+//! run the all-pairs non-dominated filter, scalarize — is O(n²) in the
+//! candidate count and is kept as [`CancellationPolicy::select_naive`],
+//! the differential oracle. The production path
+//! ([`CancellationPolicy::select`]) uses the sort-based skyline in
+//! [`skyline`], which returns the same `Selection` bit-for-bit (same
+//! winner, same tie-breaks, same f64 score) in O(n·R) for the common
+//! case. [`PolicyIndex`] goes one step further and evaluates the same
+//! decision from incrementally maintained per-task terms, without
+//! rebuilding the snapshot at all.
 
 mod current_usage;
 mod heuristic;
+mod index;
 mod multi_objective;
+mod skyline;
 
 pub use current_usage::CurrentUsagePolicy;
 pub use heuristic::HeuristicPolicy;
+pub use index::PolicyIndex;
 pub use multi_objective::MultiObjectivePolicy;
 
 use crate::config::PolicyKind;
-use crate::estimator::{EstimatorSnapshot, TaskGainSnapshot};
+use crate::estimator::{EstimatorSnapshot, ResourceSnapshot, TaskGainSnapshot};
 use crate::ids::{TaskId, TaskKey};
 use crate::record::{GainTerm, MAX_GAIN_TERMS};
 
@@ -40,6 +55,14 @@ pub trait CancellationPolicy: Send + Sync {
     /// Selects the optimal task to cancel, or `None` if no cancellable
     /// task offers any gain.
     fn select(&self, snapshot: &EstimatorSnapshot) -> Option<Selection>;
+
+    /// The reference (naive) evaluation of the same decision. Policies
+    /// with an optimized `select` override this with the literal
+    /// Algorithm-1 transcription; the two must agree bit-for-bit on every
+    /// snapshot, which the proptest oracle-differential suite enforces.
+    fn select_naive(&self, snapshot: &EstimatorSnapshot) -> Option<Selection> {
+        self.select(snapshot)
+    }
 
     /// Human-readable policy name for experiment output.
     fn name(&self) -> &'static str;
@@ -70,6 +93,29 @@ pub(crate) fn dominates(b: &[f64], a: &[f64]) -> bool {
         }
     }
     strictly_better
+}
+
+/// Per-resource `weight × gain` terms in resource-id order: the single
+/// definition of Algorithm 1's objective terms, shared by the scalarized
+/// score, the explainer breakdown, and the indexed engine, so a future
+/// weight-formula change cannot diverge between paths.
+pub(crate) fn weighted_terms<'a>(
+    resources: &'a [ResourceSnapshot],
+    g: &'a [f64],
+) -> impl Iterator<Item = GainTerm> + 'a {
+    resources.iter().map(move |r| GainTerm {
+        resource: r.id,
+        weight: r.weight,
+        gain: g.get(r.id.index()).copied().unwrap_or(0.0),
+    })
+}
+
+/// Algorithm 1's scalarized score: `Σ_r weight_r × gain_r`, summed in
+/// resource-id order. Every scorer goes through this helper, which pins
+/// the f64 evaluation order — and therefore the exact rounding — across
+/// the naive path, the skyline path, and the [`PolicyIndex`].
+pub(crate) fn weighted_score(resources: &[ResourceSnapshot], g: &[f64]) -> f64 {
+    weighted_terms(resources, g).map(|t| t.contribution()).sum()
 }
 
 /// Candidate filter shared by all policies: cancellable tasks with a
@@ -106,12 +152,7 @@ pub(crate) fn scalarize(
 ) -> Option<Selection> {
     let mut best: Option<Selection> = None;
     for t in set {
-        let g = gains(t);
-        let total: f64 = snapshot
-            .resources
-            .iter()
-            .map(|r| r.weight * g.get(r.id.index()).copied().unwrap_or(0.0))
-            .sum();
+        let total = weighted_score(&snapshot.resources, gains(t));
         let better = match &best {
             None => true,
             Some(b) => total > b.score || (total == b.score && t.task < b.task),
@@ -131,7 +172,17 @@ pub(crate) fn scalarize(
 /// scalarization, best first; ties break toward the lowest task id.
 /// Used by the decision-trace layer to explain *why* the winner won —
 /// the tick path only computes this when a recorder is attached.
+///
+/// Computed with the sort-based skyline; bit-identical to
+/// [`ranked_naive`].
 pub fn ranked(snapshot: &EstimatorSnapshot) -> Vec<Selection> {
+    skyline::ranked_fast(snapshot, |t| &t.gains)
+}
+
+/// Reference implementation of [`ranked`]: materialize candidates, run
+/// the all-pairs non-dominated filter, score, sort. O(n²) in the
+/// candidate count; kept as the differential oracle for the skyline.
+pub fn ranked_naive(snapshot: &EstimatorSnapshot) -> Vec<Selection> {
     fn gains(t: &TaskGainSnapshot) -> &[f64] {
         &t.gains
     }
@@ -139,18 +190,10 @@ pub fn ranked(snapshot: &EstimatorSnapshot) -> Vec<Selection> {
     let nd = non_dominated(&cands, gains);
     let mut out: Vec<Selection> = nd
         .iter()
-        .map(|t| {
-            let g = gains(t);
-            let score: f64 = snapshot
-                .resources
-                .iter()
-                .map(|r| r.weight * g.get(r.id.index()).copied().unwrap_or(0.0))
-                .sum();
-            Selection {
-                task: t.task,
-                key: t.key,
-                score,
-            }
+        .map(|t| Selection {
+            task: t.task,
+            key: t.key,
+            score: weighted_score(&snapshot.resources, gains(t)),
         })
         .filter(|s| s.score > 0.0)
         .collect();
@@ -166,22 +209,28 @@ pub fn ranked(snapshot: &EstimatorSnapshot) -> Vec<Selection> {
 /// The per-resource score breakdown for `task`: up to
 /// [`MAX_GAIN_TERMS`] `weight × gain` terms, highest contribution first
 /// (terms with zero contribution are omitted). Unused slots are `None`.
+///
+/// Resolves the task with a linear scan of the snapshot; callers holding
+/// a [`PolicyIndex`] should use [`PolicyIndex::gain_terms`], which
+/// resolves through the task→slot map instead.
 pub fn gain_terms(
     snapshot: &EstimatorSnapshot,
     task: TaskId,
 ) -> [Option<GainTerm>; MAX_GAIN_TERMS] {
-    let mut out = [None; MAX_GAIN_TERMS];
     let Some(t) = snapshot.tasks.iter().find(|t| t.task == task) else {
-        return out;
+        return [None; MAX_GAIN_TERMS];
     };
-    let mut terms: Vec<GainTerm> = snapshot
-        .resources
-        .iter()
-        .map(|r| GainTerm {
-            resource: r.id,
-            weight: r.weight,
-            gain: t.gains.get(r.id.index()).copied().unwrap_or(0.0),
-        })
+    gain_terms_for(&snapshot.resources, &t.gains)
+}
+
+/// [`gain_terms`] with the task's gain vector already resolved, so the
+/// explanation cost is O(R) regardless of the task population.
+pub fn gain_terms_for(
+    resources: &[ResourceSnapshot],
+    gains: &[f64],
+) -> [Option<GainTerm>; MAX_GAIN_TERMS] {
+    let mut out = [None; MAX_GAIN_TERMS];
+    let mut terms: Vec<GainTerm> = weighted_terms(resources, gains)
         .filter(|term| term.contribution() > 0.0)
         .collect();
     terms.sort_by(|a, b| {
@@ -320,6 +369,8 @@ mod tests {
         let sel = MultiObjectivePolicy.select(&snap).unwrap();
         assert_eq!(sel.task, r[0].task);
         assert_eq!(sel.score, r[0].score);
+        // And the skyline ranking must agree with the naive oracle.
+        assert_eq!(r, ranked_naive(&snap));
     }
 
     #[test]

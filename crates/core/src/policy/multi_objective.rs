@@ -1,6 +1,6 @@
 //! The paper's Algorithm 1.
 
-use super::{candidates, non_dominated, scalarize, CancellationPolicy, Selection};
+use super::{candidates, non_dominated, scalarize, skyline, CancellationPolicy, Selection};
 use crate::estimator::EstimatorSnapshot;
 
 /// Multi-objective cancellation policy (§3.5, Algorithm 1).
@@ -11,11 +11,19 @@ use crate::estimator::EstimatorSnapshot;
 ///    on every resource and strictly more on one.
 /// 3. Scalarize each surviving task with per-resource contention weights
 ///    and pick the maximum (lines 12–20).
+///
+/// `select` evaluates this with the sort-based skyline (O(n·R) common
+/// case); `select_naive` is the literal transcription kept as the
+/// differential oracle.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MultiObjectivePolicy;
 
 impl CancellationPolicy for MultiObjectivePolicy {
     fn select(&self, snapshot: &EstimatorSnapshot) -> Option<Selection> {
+        skyline::select_fast(snapshot, |t| &t.gains)
+    }
+
+    fn select_naive(&self, snapshot: &EstimatorSnapshot) -> Option<Selection> {
         let cands = candidates(snapshot, |t| &t.gains);
         if cands.is_empty() {
             return None;

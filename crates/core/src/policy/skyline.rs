@@ -1,0 +1,212 @@
+//! Sort-based skyline evaluation of Algorithm 1 — the fast path behind
+//! [`crate::policy::ranked`] and the multi-objective policies' `select`.
+//!
+//! The naive transcription materializes the candidate set, runs an
+//! all-pairs dominance filter (O(n²)), and only then scalarizes. Two
+//! observations make that unnecessary:
+//!
+//! 1. **The winner is the lowest-id maximum-score candidate that is not
+//!    dominated by another maximum-score candidate.** Gains and weights
+//!    are non-negative, so if `b` dominates `a` (pointwise ≥, somewhere >)
+//!    then `score(b) ≥ score(a)`. Any dominator of a max-score candidate
+//!    is therefore itself max-score — dominance checks outside the
+//!    max-score tie group can never evict a tie-group member, and the
+//!    scalarization maximum over the non-dominated set equals the maximum
+//!    over all candidates (every candidate is dominated only by
+//!    candidates scoring at least as high, and a dominance chain in a
+//!    finite set terminates at a non-dominated element).
+//!
+//! 2. **For the full ranking, dominance checks are needed only against
+//!    higher-or-equal-score front members.** Walking candidates in score
+//!    order (descending, ids ascending within a tie), a candidate is in
+//!    the front iff no already-accepted member of an earlier score group
+//!    and no member of its own score group dominates it: a dominator
+//!    chain is transitive and terminates at a front member with a score
+//!    at least as high. Candidates with zero score cannot dominate a
+//!    positive-score candidate (pointwise ≥ implies score ≥) and are
+//!    filtered from the naive output anyway, so they are pruned up front.
+//!
+//! Both functions reuse [`weighted_score`](super::weighted_score) and
+//! [`dominates`](super::dominates), so every f64 operation happens in the
+//! same order as the naive oracle and results are bit-identical —
+//! enforced by the proptest differential suite in
+//! `crates/core/tests/policy_prop.rs`.
+
+use super::{dominates, weighted_score, Selection};
+use crate::estimator::{EstimatorSnapshot, TaskGainSnapshot};
+
+/// Selects the scalarization winner restricted to the non-dominated set
+/// without materializing the front: one O(n·R) scoring pass keeping the
+/// max-score tie group, then a dominance pass within that (normally tiny)
+/// group. Bit-identical to `candidates → non_dominated → scalarize`.
+pub(crate) fn select_fast(
+    snapshot: &EstimatorSnapshot,
+    gains: impl Fn(&TaskGainSnapshot) -> &[f64] + Copy,
+) -> Option<Selection> {
+    let mut max = f64::NEG_INFINITY;
+    let mut group: Vec<usize> = Vec::new();
+    for (i, t) in snapshot.tasks.iter().enumerate() {
+        if !t.cancellable {
+            continue;
+        }
+        let s = weighted_score(&snapshot.resources, gains(t));
+        if s > max {
+            max = s;
+            group.clear();
+            group.push(i);
+        } else if s == max {
+            group.push(i);
+        }
+    }
+    // Matches both naive exits at once: an empty candidate set and a
+    // best score that fails the `score > 0` filter.
+    if max <= 0.0 {
+        return None;
+    }
+    group.sort_by_key(|&i| snapshot.tasks[i].task);
+    let winner = group
+        .iter()
+        .copied()
+        .find(|&i| {
+            let gi = gains(&snapshot.tasks[i]);
+            !group
+                .iter()
+                .any(|&j| j != i && dominates(gains(&snapshot.tasks[j]), gi))
+        })
+        // Dominance is a strict partial order, so a finite non-empty
+        // group always has a maximal element; unreachable for the finite
+        // gain vectors the estimator produces.
+        .unwrap_or(group[0]);
+    let t = &snapshot.tasks[winner];
+    Some(Selection {
+        task: t.task,
+        key: t.key,
+        score: max,
+    })
+}
+
+/// Computes the full non-dominated ranking with one sort and a running
+/// frontier instead of the all-pairs filter. Bit-identical to
+/// [`ranked_naive`](super::ranked_naive), including order and scores.
+pub(crate) fn ranked_fast(
+    snapshot: &EstimatorSnapshot,
+    gains: impl Fn(&TaskGainSnapshot) -> &[f64] + Copy,
+) -> Vec<Selection> {
+    let mut scored: Vec<(usize, f64)> = snapshot
+        .tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.cancellable)
+        .map(|(i, t)| (i, weighted_score(&snapshot.resources, gains(t))))
+        .filter(|&(_, s)| s > 0.0)
+        .collect();
+    // Scores are finite (estimator caps everything), ids unique: this
+    // comparator is a total order, matching the naive output order.
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| snapshot.tasks[a.0].task.cmp(&snapshot.tasks[b.0].task))
+    });
+    let mut out: Vec<Selection> = Vec::new();
+    // Accepted front members, as indices into snapshot.tasks.
+    let mut front: Vec<usize> = Vec::new();
+    let mut g_start = 0;
+    while g_start < scored.len() {
+        let score = scored[g_start].1;
+        let mut g_end = g_start + 1;
+        while g_end < scored.len() && scored[g_end].1 == score {
+            g_end += 1;
+        }
+        // Equal-score candidates are processed as one unit: each is
+        // checked against earlier accepted front members and against its
+        // whole score group (acceptance inside the group must not depend
+        // on processing order).
+        let group = &scored[g_start..g_end];
+        let prior_front = front.len();
+        for &(i, _) in group {
+            let gi = gains(&snapshot.tasks[i]);
+            let dominated = front[..prior_front]
+                .iter()
+                .any(|&f| dominates(gains(&snapshot.tasks[f]), gi))
+                || group
+                    .iter()
+                    .any(|&(j, _)| j != i && dominates(gains(&snapshot.tasks[j]), gi));
+            if !dominated {
+                front.push(i);
+                let t = &snapshot.tasks[i];
+                out.push(Selection {
+                    task: t.task,
+                    key: t.key,
+                    score,
+                });
+            }
+        }
+        g_start = g_end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskId;
+    use crate::policy::{ranked_naive, testutil, CancellationPolicy, MultiObjectivePolicy};
+
+    fn future(t: &TaskGainSnapshot) -> &[f64] {
+        &t.gains
+    }
+
+    #[test]
+    fn max_score_tie_group_still_checks_dominance() {
+        // With weights (1, 0), task 1 = (1, 0) and task 2 = (1, 5) tie on
+        // score 1.0 but task 2 dominates task 1: the bare argmax (lowest
+        // id) would wrongly pick task 1.
+        let snap = testutil::snapshot(&[1.0, 0.0], &[(1, &[1.0, 0.0][..]), (2, &[1.0, 5.0][..])]);
+        let sel = select_fast(&snap, future).unwrap();
+        assert_eq!(sel.task, TaskId(2));
+        let naive = MultiObjectivePolicy.select_naive(&snap).unwrap();
+        assert_eq!(sel, naive);
+    }
+
+    #[test]
+    fn same_score_group_members_can_evict_each_other_in_ranking() {
+        // Tasks 1 and 2 tie on score; 2 dominates 1, so only 2 ranks.
+        let snap = testutil::snapshot(
+            &[1.0, 0.0],
+            &[
+                (1, &[1.0, 0.0][..]),
+                (2, &[1.0, 5.0][..]),
+                (3, &[0.5, 9.0][..]),
+            ],
+        );
+        let fast = ranked_fast(&snap, future);
+        let naive = ranked_naive(&snap);
+        assert_eq!(fast, naive);
+        let ids: Vec<u64> = fast.iter().map(|s| s.task.0).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn zero_score_candidates_never_win_or_rank() {
+        // Positive gain only on a zero-weight resource: candidate under
+        // the naive filter, but score 0 → None / absent in both paths.
+        let snap = testutil::snapshot(&[0.0, 1.0], &[(1, &[4.0, 0.0][..])]);
+        assert!(select_fast(&snap, future).is_none());
+        assert!(MultiObjectivePolicy.select_naive(&snap).is_none());
+        assert!(ranked_fast(&snap, future).is_empty());
+        assert!(ranked_naive(&snap).is_empty());
+    }
+
+    #[test]
+    fn non_cancellable_tasks_cannot_dominate_candidates() {
+        // Task 9 dominates task 1 but is not cancellable, so it is not a
+        // candidate and must not evict task 1 from the front.
+        let mut snap =
+            testutil::snapshot(&[0.5, 0.5], &[(1, &[1.0, 1.0][..]), (9, &[2.0, 2.0][..])]);
+        snap.tasks[1].cancellable = false;
+        let sel = select_fast(&snap, future).unwrap();
+        assert_eq!(sel.task, TaskId(1));
+        assert_eq!(Some(sel), MultiObjectivePolicy.select_naive(&snap));
+        assert_eq!(ranked_fast(&snap, future), ranked_naive(&snap));
+    }
+}

@@ -52,6 +52,7 @@ impl AtroposRuntime {
         let now = self.clock.now_ns();
         let mut inner = self.lock_drained();
         if let Some(rec) = inner.tasks.remove(&task) {
+            inner.policy_index.remove_task(task);
             let sink = inner.recorder.clone();
             let handle = RecorderHandle::new(sink.as_deref(), inner.stats.ticks);
             inner.cancel.note_finished_recorded(now, rec.key, &handle);
@@ -136,8 +137,12 @@ impl AtroposRuntime {
 
     /// Overrides whether the policy may cancel this task.
     pub fn set_cancellable(&self, task: TaskId, cancellable: bool) {
-        if let Some(t) = self.inner.lock().tasks.get_mut(&task) {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        if let Some(t) = inner.tasks.get_mut(&task) {
             t.cancellable = cancellable;
+            // Cancellability is cached in the task's policy-index terms.
+            inner.policy_index.mark_dirty(task);
         }
     }
 

@@ -9,8 +9,9 @@
 
 use std::collections::HashMap;
 
-use super::{AtroposRuntime, TickOutcome};
+use super::{AtroposRuntime, Inner, TickOutcome};
 use crate::cancel::CancelDecision;
+use crate::config::PolicyEngine;
 use crate::detect::OverloadSignal;
 use crate::estimator::estimate;
 use crate::ids::{ResourceType, TaskId, TaskKey};
@@ -34,11 +35,16 @@ impl AtroposRuntime {
         // can interleave with mutable access to the rest of the state.
         let sink = inner.recorder.clone();
         let rec = RecorderHandle::new(sink.as_deref(), inner.stats.ticks);
-        // Close the accounting window on every task.
+        // Close the accounting window on every task (quiescent tasks
+        // short-circuit inside `roll_window`), counting in-flight work in
+        // the same pass.
+        let mut in_flight = 0u64;
         for t in inner.tasks.values_mut() {
             t.roll_window(now);
+            if t.is_active() {
+                in_flight += 1;
+            }
         }
-        let in_flight = inner.tasks.values().filter(|t| t.is_active()).count() as u64;
         let signal = inner.detector.evaluate_recorded(now, in_flight, &rec);
         let outcome = match signal {
             OverloadSignal::Ok => {
@@ -50,7 +56,25 @@ impl AtroposRuntime {
                 inner.stats.candidates += 1;
                 // Potential overload: switch to precise timestamps (§3.2).
                 inner.ts.set_mode(TimestampMode::Precise);
-                let snapshot = estimate(inner.tasks.values(), &inner.resources, &inner.cfg);
+                // Both engines produce bit-identical decisions (enforced
+                // by the differential suites); the indexed engine just
+                // gets there without re-deriving every task.
+                let snapshot = match inner.cfg.policy_engine {
+                    PolicyEngine::Naive => {
+                        estimate(inner.tasks.values(), &inner.resources, &inner.cfg)
+                    }
+                    PolicyEngine::Indexed => {
+                        let Inner {
+                            policy_index,
+                            tasks,
+                            resources,
+                            cfg,
+                            ..
+                        } = &mut *inner;
+                        policy_index.refresh(tasks, resources, cfg);
+                        policy_index.materialize()
+                    }
+                };
                 let hot = snapshot.bottlenecked(inner.cfg.detector.min_contention);
                 let outcome = if hot.is_empty() {
                     inner.stats.regular_overloads += 1;
@@ -85,7 +109,11 @@ impl AtroposRuntime {
                                 hold_ns: r.hold_ns,
                             });
                         }
-                        for s in crate::policy::ranked(&snapshot) {
+                        let ranked = match inner.cfg.policy_engine {
+                            PolicyEngine::Naive => crate::policy::ranked_naive(&snapshot),
+                            PolicyEngine::Indexed => crate::policy::ranked(&snapshot),
+                        };
+                        for s in ranked {
                             rec.emit(|tick| DecisionEvent::CandidateRanked {
                                 tick,
                                 task: s.task,
@@ -94,7 +122,10 @@ impl AtroposRuntime {
                             });
                         }
                     }
-                    let sel = inner.policy.select(&snapshot);
+                    let sel = match inner.cfg.policy_engine {
+                        PolicyEngine::Naive => inner.policy.select_naive(&snapshot),
+                        PolicyEngine::Indexed => inner.policy_index.select(inner.cfg.policy),
+                    };
                     let (canceled, decision) = match sel {
                         Some(s) => {
                             if rec.enabled() {
@@ -110,7 +141,12 @@ impl AtroposRuntime {
                                     })
                                     .count()
                                     as u64;
-                                let terms = crate::policy::gain_terms(&snapshot, s.task);
+                                let terms = match inner.cfg.policy_engine {
+                                    PolicyEngine::Naive => {
+                                        crate::policy::gain_terms(&snapshot, s.task)
+                                    }
+                                    PolicyEngine::Indexed => inner.policy_index.gain_terms(s.task),
+                                };
                                 rec.emit(|tick| DecisionEvent::BlameAssigned {
                                     tick,
                                     resource: hot0,

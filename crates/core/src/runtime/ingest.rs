@@ -49,6 +49,9 @@ impl Inner {
             EventKind::Free => u.on_free(stamp, amount),
             EventKind::SlowBy => u.on_slow(stamp, amount),
         }
+        // Re-arm the task's window roll (and thereby the policy index's
+        // per-slot cache) after a quiescent stretch.
+        t.note_usage_mutation();
         self.stats.trace_events += 1;
     }
 
@@ -93,6 +96,8 @@ impl AtroposRuntime {
         for t in inner.tasks.values_mut() {
             t.ensure_resources(n);
         }
+        // Every cached per-task vector changed length: rebuild.
+        inner.policy_index.invalidate_all();
         id
     }
 
@@ -143,8 +148,13 @@ impl AtroposRuntime {
 
     /// Reports GetNext progress for a task: `done` of `total` work units.
     pub fn report_progress(&self, task: TaskId, done: u64, total: u64) {
-        if let Some(t) = self.inner.lock().tasks.get_mut(&task) {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        if let Some(t) = inner.tasks.get_mut(&task) {
             t.progress.report(done, total);
+            // Progress feeds the future-gain multiplier but leaves the
+            // usage windows untouched; mark the cached terms stale.
+            inner.policy_index.mark_dirty(task);
         }
     }
 

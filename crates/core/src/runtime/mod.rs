@@ -36,7 +36,7 @@ use crate::config::{AtroposConfig, IngestMode};
 use crate::detect::Detector;
 use crate::estimator::EstimatorSnapshot;
 use crate::ids::{ResourceId, TaskId, TaskKey};
-use crate::policy::CancellationPolicy;
+use crate::policy::{CancellationPolicy, PolicyIndex};
 use crate::record::Recorder;
 use crate::resource::ResourceRegistry;
 use crate::task::{TaskRecord, TaskState};
@@ -103,6 +103,11 @@ struct Inner {
     next_auto_key: u64,
     detector: Detector,
     policy: Box<dyn CancellationPolicy>,
+    /// Incrementally maintained policy state, used when
+    /// [`AtroposConfig::policy_engine`] is
+    /// [`PolicyEngine`](crate::config::PolicyEngine)`::Indexed`. Kept in
+    /// sync by the ingest/actuate hooks and refreshed on candidate ticks.
+    policy_index: PolicyIndex,
     cancel: CancelManager,
     ts: TimestampPolicy,
     last_estimate: Option<EstimatorSnapshot>,
@@ -164,6 +169,7 @@ impl AtroposRuntime {
         let inner = Inner {
             detector: Detector::new(cfg.detector.clone(), origin),
             policy: cfg.policy.build(),
+            policy_index: PolicyIndex::new(),
             cancel: CancelManager::new(&cfg),
             ts: TimestampPolicy::new(cfg.sample_interval_ns),
             resources: ResourceRegistry::new(),
@@ -716,6 +722,34 @@ mod tests {
         let mut normalized = sharded.1;
         normalized.mid_window_flushes = direct.1.mid_window_flushes;
         assert_eq!(direct.1, normalized, "stats diverged beyond flush count");
+    }
+
+    /// The sublinear engine's correctness contract: for every policy
+    /// kind, the incrementally indexed engine produces exactly the same
+    /// observable behavior — tick outcomes, cancellations, stats — as the
+    /// naive rebuild-the-world oracle on the same scripted workload.
+    #[test]
+    fn indexed_engine_matches_naive_engine() {
+        use crate::config::{PolicyEngine, PolicyKind};
+        for kind in [
+            PolicyKind::MultiObjective,
+            PolicyKind::Heuristic,
+            PolicyKind::CurrentUsage,
+        ] {
+            let naive = drive_scripted(AtroposConfig {
+                policy: kind,
+                policy_engine: PolicyEngine::Naive,
+                ..AtroposConfig::default()
+            });
+            let indexed = drive_scripted(AtroposConfig {
+                policy: kind,
+                policy_engine: PolicyEngine::Indexed,
+                ..AtroposConfig::default()
+            });
+            assert_eq!(naive.0, indexed.0, "tick outcomes diverged for {kind:?}");
+            assert_eq!(naive.1, indexed.1, "stats diverged for {kind:?}");
+            assert!(naive.1.candidates > 0, "workload raised no candidate");
+        }
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct TaskRecord {
     unit_since: Option<u64>,
     w_active_ns: u64,
     last_window_active_ns: u64,
+    /// True when the last roll published an all-zero window with no open
+    /// unit, no open intervals and nothing held: further rolls are no-ops
+    /// until a new event arrives. Set only by `roll_window`; cleared by
+    /// `on_unit_start`/`on_unit_finish`/[`TaskRecord::note_usage_mutation`].
+    quiescent: bool,
 }
 
 impl TaskRecord {
@@ -73,6 +78,7 @@ impl TaskRecord {
             unit_since: None,
             w_active_ns: 0,
             last_window_active_ns: 0,
+            quiescent: false,
         }
     }
 
@@ -90,6 +96,7 @@ impl TaskRecord {
     /// previous unit is charged up to `now` and abandoned without counting
     /// as a completion).
     pub fn on_unit_start(&mut self, now: u64) {
+        self.quiescent = false;
         if let Some(since) = self.unit_since {
             let d = now.saturating_sub(since);
             self.total_active_ns += d;
@@ -101,6 +108,7 @@ impl TaskRecord {
     /// Marks the end of the open work unit; returns its latency if a unit
     /// was open.
     pub fn on_unit_finish(&mut self, now: u64) -> Option<u64> {
+        self.quiescent = false;
         let since = self.unit_since.take()?;
         let d = now.saturating_sub(since);
         self.total_active_ns += d;
@@ -116,7 +124,21 @@ impl TaskRecord {
 
     /// Closes the window at `now`: charges and renews the open unit,
     /// publishes window-local active time, and rolls every usage stat.
+    ///
+    /// A quiescent task (nothing open, nothing accumulated, all-zero
+    /// published windows) is skipped outright, so per-tick roll cost
+    /// scales with *busy* tasks rather than the registered population.
     pub fn roll_window(&mut self, now: u64) {
+        if self.quiescent {
+            debug_assert!(
+                self.unit_since.is_none()
+                    && self.w_active_ns == 0
+                    && self.last_window_active_ns == 0
+                    && self.usage.iter().all(|u| u.is_quiescent()),
+                "usage mutated without note_usage_mutation"
+            );
+            return;
+        }
         if let Some(since) = self.unit_since {
             let d = now.saturating_sub(since);
             self.total_active_ns += d;
@@ -128,11 +150,27 @@ impl TaskRecord {
         for u in &mut self.usage {
             u.roll_window(now);
         }
+        self.quiescent = self.unit_since.is_none()
+            && self.last_window_active_ns == 0
+            && self.usage.iter().all(|u| u.is_quiescent());
     }
 
     /// Active execution time in the most recently closed window.
     pub fn window_active_ns(&self) -> u64 {
         self.last_window_active_ns
+    }
+
+    /// Tells the record its `usage` vector was mutated directly (the
+    /// ingest path does this for every traced event), re-arming
+    /// [`TaskRecord::roll_window`] after a quiescent stretch.
+    pub fn note_usage_mutation(&mut self) {
+        self.quiescent = false;
+    }
+
+    /// True if the last roll left this task with nothing to publish: its
+    /// cached terms in the policy index cannot have changed since.
+    pub(crate) fn window_quiescent(&self) -> bool {
+        self.quiescent
     }
 }
 
@@ -210,5 +248,39 @@ mod tests {
         t.usage[0].on_get(10, 3);
         t.roll_window(50);
         assert_eq!(t.usage[0].window().acquired, 3);
+    }
+
+    #[test]
+    fn quiescent_task_skips_rolls_until_rearmed() {
+        let mut t = rec();
+        t.usage[0].on_get(10, 3);
+        t.usage[0].on_free(20, 3);
+        t.roll_window(50); // publishes the get/free window
+        assert!(!t.window_quiescent());
+        t.roll_window(100); // publishes all-zero → quiescent
+        assert!(t.window_quiescent());
+        t.roll_window(150); // no-op
+        assert!(t.window_quiescent());
+        // A new event must re-arm the roll.
+        t.usage[0].on_get(160, 1);
+        t.note_usage_mutation();
+        assert!(!t.window_quiescent());
+        t.roll_window(200);
+        assert_eq!(t.usage[0].window().acquired, 1);
+        assert!(!t.window_quiescent()); // still holding
+    }
+
+    #[test]
+    fn open_unit_prevents_quiescence() {
+        let mut t = rec();
+        t.on_unit_start(0);
+        t.roll_window(100);
+        t.roll_window(200);
+        assert!(!t.window_quiescent());
+        assert_eq!(t.window_active_ns(), 100);
+        t.on_unit_finish(250);
+        t.roll_window(300);
+        t.roll_window(400);
+        assert!(t.window_quiescent());
     }
 }

@@ -1,0 +1,151 @@
+//! Oracle-differential properties for the optimized policy paths.
+//!
+//! The skyline fast path ([`CancellationPolicy::select`]) must agree
+//! *bit-for-bit* — same winner, same tie-break, same f64 score — with the
+//! literal Algorithm-1 transcription kept as
+//! [`CancellationPolicy::select_naive`]. Gains are drawn from a small
+//! quantized set so equal scores, dominance ties, and duplicate gain
+//! vectors (the hard cases for a sort-based skyline) occur constantly
+//! rather than almost never.
+
+use atropos::estimator::{EstimatorSnapshot, ResourceSnapshot, TaskGainSnapshot};
+use atropos::policy::{
+    ranked, ranked_naive, CancellationPolicy, CurrentUsagePolicy, HeuristicPolicy,
+    MultiObjectivePolicy,
+};
+use atropos::{ResourceId, ResourceType, TaskId, TaskKey};
+use proptest::prelude::*;
+
+/// A gain drawn from a tiny lattice: ties and exact dominance everywhere.
+fn quantized_gain() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), Just(0.0), Just(0.25), Just(0.5), Just(1.0),]
+}
+
+/// Maximum resource count; each sampled snapshot truncates to a random
+/// `1..=MAX_RES` so different dimensionalities are exercised.
+const MAX_RES: usize = 3;
+
+fn snapshot_strategy() -> impl Strategy<Value = EstimatorSnapshot> {
+    let task = (
+        0u64..40,
+        prop::collection::vec(quantized_gain(), MAX_RES),
+        prop::collection::vec(quantized_gain(), MAX_RES),
+        any::<bool>(),
+    )
+        .prop_map(|(id, gains, current, cancellable)| TaskGainSnapshot {
+            task: TaskId(id),
+            key: TaskKey(id),
+            cancellable,
+            gains,
+            current,
+            progress: None,
+        });
+    (
+        1usize..(MAX_RES + 1),
+        prop::collection::vec(quantized_gain(), MAX_RES),
+        prop::collection::vec(task, 0..40),
+    )
+        .prop_map(|(n_res, weights, mut tasks)| {
+            tasks.sort_by_key(|t| t.task);
+            tasks.dedup_by_key(|t| t.task);
+            for t in &mut tasks {
+                t.gains.truncate(n_res);
+                t.current.truncate(n_res);
+            }
+            let weights = &weights[..n_res];
+            let total: f64 = weights.iter().sum();
+            let resources = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| ResourceSnapshot {
+                    id: ResourceId(i as u32),
+                    rtype: ResourceType::Lock,
+                    contention: w,
+                    normalized: w,
+                    weight: if total > 0.0 { w / total } else { 0.0 },
+                    wait_ns: 0,
+                    hold_ns: 0,
+                    acquired: 0,
+                    slow_amount: 0,
+                })
+                .collect();
+            EstimatorSnapshot {
+                resources,
+                tasks,
+                t_exec_ns: 1,
+            }
+        })
+}
+
+/// Bitwise equality for optional selections: the contract is *identical*
+/// output, not merely an equally good winner.
+fn assert_identical(
+    fast: Option<atropos::policy::Selection>,
+    naive: Option<atropos::policy::Selection>,
+) {
+    match (fast, naive) {
+        (None, None) => {}
+        (Some(f), Some(n)) => {
+            assert_eq!(f.task, n.task);
+            assert_eq!(f.key, n.key);
+            assert_eq!(
+                f.score.to_bits(),
+                n.score.to_bits(),
+                "scores differ in bits"
+            );
+        }
+        (f, n) => panic!("fast {f:?} vs naive {n:?}"),
+    }
+}
+
+proptest! {
+    /// The skyline select is bit-identical to the naive oracle for both
+    /// multi-objective policies on arbitrary tie-heavy snapshots.
+    #[test]
+    fn select_matches_naive_oracle(snap in snapshot_strategy()) {
+        assert_identical(
+            MultiObjectivePolicy.select(&snap),
+            MultiObjectivePolicy.select_naive(&snap),
+        );
+        assert_identical(
+            CurrentUsagePolicy.select(&snap),
+            CurrentUsagePolicy.select_naive(&snap),
+        );
+        // The heuristic has a single shared implementation; the default
+        // `select_naive` must trivially agree with it.
+        assert_identical(
+            HeuristicPolicy.select(&snap),
+            HeuristicPolicy.select_naive(&snap),
+        );
+    }
+
+    /// The skyline ranking equals the naive candidates → all-pairs
+    /// non-dominated → score → sort pipeline, element for element.
+    #[test]
+    fn ranked_matches_naive_oracle(snap in snapshot_strategy()) {
+        let fast = ranked(&snap);
+        let naive = ranked_naive(&snap);
+        prop_assert_eq!(fast.len(), naive.len(), "ranking lengths differ");
+        for (f, n) in fast.iter().zip(naive.iter()) {
+            prop_assert_eq!(f.task, n.task);
+            prop_assert_eq!(f.key, n.key);
+            prop_assert_eq!(f.score.to_bits(), n.score.to_bits());
+        }
+    }
+
+    /// The selected task is always the head of the ranking (when both
+    /// exist), tying the tick path's pick to the recorder's explanation.
+    #[test]
+    fn selection_heads_the_ranking(snap in snapshot_strategy()) {
+        let sel = MultiObjectivePolicy.select(&snap);
+        let top = ranked(&snap).into_iter().next();
+        match (sel, top) {
+            (None, None) => {}
+            (Some(s), Some(t)) => {
+                prop_assert_eq!(s.task, t.task);
+                prop_assert_eq!(s.score.to_bits(), t.score.to_bits());
+            }
+            (s, t) => panic!("select {s:?} vs ranked head {t:?}"),
+        }
+    }
+}

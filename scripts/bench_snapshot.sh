@@ -117,6 +117,25 @@ snapshot = {
         if k.startswith("tracing/")
     },
     "policy_ns": {k.split("/", 1)[1]: ns(k) for k in rows if k.startswith("policy/")},
+    "policy_index_ns": {
+        k.split("/", 1)[1]: ns(k) for k in rows if k.startswith("policy_index/")
+    },
+    # Scaling record for the indexed engine: the skyline keeps Algorithm 1
+    # within a constant factor of the single-resource greedy scan (the
+    # policy_scaling guard test enforces <= 10x at 1024), and the delta
+    # refresh shows steady-state tick cost tracking the churn rate, not
+    # the population.
+    "policy_scaling": {
+        "multi_objective_vs_heuristic_1024": ratio(
+            ns("policy/multi_objective/1024"), ns("policy/heuristic/1024")
+        ),
+        "multi_objective_vs_heuristic_16384": ratio(
+            ns("policy/multi_objective/16384"), ns("policy/heuristic/16384")
+        ),
+        "full_build_vs_delta_refresh_16384_k16": ratio(
+            ns("policy_index/full_build/16384"), ns("policy_index/delta_refresh/16")
+        ),
+    },
     "notes": notes,
 }
 
