@@ -1,0 +1,601 @@
+//! A hand-rolled async executor with detach-on-abort task slots.
+//!
+//! The workspace vendors no tokio shim, so this is a small, dependency-free
+//! executor built directly on `std::task`: an [`Executor`] owns per-task
+//! slots (the DataTracks `RuntimeManager` shape — one owner, many boxed
+//! tasks) plus a FIFO *injector* queue of ready task ids. Worker threads
+//! (or a test harness calling [`Executor::poll_one`] inline) pop ids and
+//! poll the matching future. Wakers are `Arc`-backed
+//! ([`std::task::Wake`]) and hold only a weak executor reference plus the
+//! task id, so **wake-after-drop is a structural no-op**: a waker whose
+//! task has completed or been aborted finds no slot and returns.
+//!
+//! ## Cancellation by future drop
+//!
+//! The point of this crate is the paper's third initiator category:
+//! cancellation that *detaches* the task rather than signaling it.
+//! [`AbortHandle::abort`] never touches the future on the caller's
+//! thread. It marks the slot aborted and, if the task is parked, requeues
+//! it; the next worker to pop the id **drops the future instead of
+//! polling it**. Dropping the future runs the RAII guards it holds across
+//! `await` points — async lock guards, ticket permits, the task scope —
+//! which release real holds and emit the matching `Free` events through
+//! the port. That deferral is not an optimization, it is a correctness
+//! requirement: the Atropos runtime invokes cancel initiators while
+//! holding its internal decision lock, so an initiator that dropped the
+//! future inline would re-enter the port (`free`, `free_cancel`) on the
+//! same thread and deadlock. Initiators only signal; workers unwind.
+//!
+//! The state machine per slot:
+//!
+//! ```text
+//!            spawn                    wake
+//!   Reserved ─────► Queued ◄──────────────────── Idle
+//!                     │ poll_one takes future      ▲
+//!                     ▼                            │ Pending, no wake
+//!                  Running ────────────────────────┘
+//!                     │  Ready, or Pending+abort: slot removed,
+//!                     ▼  future dropped outside the executor lock
+//!                   (gone)
+//! ```
+//!
+//! A wake that lands while `Running` sets `wake_pending` and the worker
+//! requeues after the poll; an abort that lands while `Running` wins over
+//! any wake — the slot is removed when the poll returns. All future drops
+//! happen with the executor lock released, because guard destructors call
+//! back into the port and into other tasks' wakers.
+
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Where a task currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    /// Id allocated by [`Executor::reserve`]; no future installed yet.
+    Reserved,
+    /// In the injector, waiting for a worker.
+    Queued,
+    /// A worker took the future out and is polling it.
+    Running,
+    /// Parked: waiting for a waker.
+    Idle,
+}
+
+struct TaskSlot {
+    /// `None` while a worker polls the future (it is on that worker's
+    /// stack) and before [`Executor::launch`] installs it.
+    future: Option<BoxFuture>,
+    state: RunState,
+    /// Abort requested; the future is dropped at the next worker visit.
+    abort: bool,
+    /// A wake arrived while `Running`; requeue after the poll returns.
+    wake_pending: bool,
+}
+
+struct ExecState {
+    tasks: HashMap<u64, TaskSlot>,
+    injector: VecDeque<u64>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<ExecState>,
+    /// Signaled when the injector gains work or shutdown is raised.
+    work: Condvar,
+    /// Signaled whenever a task is removed (for [`Executor::wait_idle`]).
+    idle: Condvar,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    /// Pops one ready task and either polls it or (if aborted) drops it.
+    /// Returns false when the injector held nothing actionable.
+    fn poll_one(self: &Arc<Self>) -> bool {
+        let mut st = self.state.lock();
+        let (id, mut fut) = loop {
+            let Some(id) = st.injector.pop_front() else {
+                return false;
+            };
+            match st.tasks.get_mut(&id) {
+                // Stale entry: the task completed or was detached after
+                // this id was queued. Skip it.
+                None => continue,
+                Some(slot) if slot.abort => {
+                    // Detach: this is the single drop site for aborted
+                    // futures. Remove first, then drop outside the lock —
+                    // RAII guards re-enter the port and wake other tasks.
+                    let slot = st.tasks.remove(&id).expect("slot present");
+                    drop(st);
+                    drop(slot);
+                    self.idle.notify_all();
+                    return true;
+                }
+                Some(slot) => {
+                    debug_assert_eq!(slot.state, RunState::Queued);
+                    let fut = slot.future.take().expect("queued task owns a future");
+                    slot.state = RunState::Running;
+                    slot.wake_pending = false;
+                    break (id, fut);
+                }
+            }
+        };
+        drop(st);
+
+        let waker = Waker::from(Arc::new(TaskWaker {
+            shared: Arc::downgrade(self),
+            id,
+        }));
+        let mut cx = Context::from_waker(&waker);
+        let poll = fut.as_mut().poll(&mut cx);
+
+        let mut st = self.state.lock();
+        match poll {
+            Poll::Ready(()) => {
+                st.tasks.remove(&id);
+                drop(st);
+                drop(fut);
+                self.idle.notify_all();
+            }
+            Poll::Pending => {
+                let slot = st
+                    .tasks
+                    .get_mut(&id)
+                    .expect("running slot survives until its poll returns");
+                if slot.abort {
+                    st.tasks.remove(&id);
+                    drop(st);
+                    drop(fut);
+                    self.idle.notify_all();
+                } else {
+                    slot.future = Some(fut);
+                    if slot.wake_pending {
+                        slot.state = RunState::Queued;
+                        st.injector.push_back(id);
+                        drop(st);
+                        self.work.notify_one();
+                    } else {
+                        slot.state = RunState::Idle;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn wake_task(&self, id: u64) {
+        let mut st = self.state.lock();
+        let Some(slot) = st.tasks.get_mut(&id) else {
+            // Wake-after-drop: the task is gone; nothing to do.
+            return;
+        };
+        match slot.state {
+            RunState::Idle => {
+                slot.state = RunState::Queued;
+                st.injector.push_back(id);
+                drop(st);
+                self.work.notify_one();
+            }
+            // Already queued (or not yet launched): one injector entry is
+            // enough.
+            RunState::Queued | RunState::Reserved => {}
+            RunState::Running => slot.wake_pending = true,
+        }
+    }
+}
+
+struct TaskWaker {
+    shared: Weak<Shared>,
+    id: u64,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if let Some(shared) = self.shared.upgrade() {
+            shared.wake_task(self.id);
+        }
+    }
+}
+
+/// Detaches a spawned task from the executor: the future-drop cancel
+/// initiator (the live analog of tokio's handle of the same name).
+///
+/// Cloneable; holds only a weak executor reference, so handles never keep
+/// an executor (or its tasks) alive.
+#[derive(Clone)]
+pub struct AbortHandle {
+    shared: Weak<Shared>,
+    id: u64,
+}
+
+impl std::fmt::Debug for AbortHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AbortHandle")
+            .field("id", &self.id)
+            .field("live", &self.is_live())
+            .finish()
+    }
+}
+
+impl AbortHandle {
+    /// Requests the task be detached and its future dropped. Returns true
+    /// if the task was still live (exactly one abort per task can return
+    /// true). The drop itself happens on a worker thread — never on the
+    /// caller's — because the caller may be a cancel initiator invoked
+    /// under runtime-internal locks (see the module docs).
+    pub fn abort(&self) -> bool {
+        let Some(shared) = self.shared.upgrade() else {
+            return false;
+        };
+        let mut st = shared.state.lock();
+        let Some(slot) = st.tasks.get_mut(&self.id) else {
+            return false;
+        };
+        if slot.abort {
+            return false; // idempotent: only the first abort is a delivery
+        }
+        slot.abort = true;
+        match slot.state {
+            // Parked (or never launched): requeue so a worker visits the
+            // slot and performs the drop.
+            RunState::Idle | RunState::Reserved => {
+                slot.state = RunState::Queued;
+                st.injector.push_back(self.id);
+                drop(st);
+                shared.work.notify_one();
+            }
+            // A worker will see the flag when it pops the id / finishes
+            // the in-flight poll.
+            RunState::Queued | RunState::Running => {}
+        }
+        true
+    }
+
+    /// True while the task still has a slot (not completed, not aborted).
+    pub fn is_live(&self) -> bool {
+        match self.shared.upgrade() {
+            Some(shared) => shared.state.lock().tasks.contains_key(&self.id),
+            None => false,
+        }
+    }
+}
+
+/// The executor: per-task slots, a FIFO injector, and zero or more worker
+/// threads. With zero workers ([`Executor::inline`]) nothing runs until
+/// the caller drives [`Executor::poll_one`] — the deterministic mode the
+/// unit and property tests use.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Executor {
+    /// Spawns `workers` polling threads.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(ExecState {
+                tasks: HashMap::new(),
+                injector: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            next_id: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("async-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn async worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// An executor with no worker threads; drive it with
+    /// [`Executor::poll_one`].
+    pub fn inline() -> Self {
+        Self::new(0)
+    }
+
+    /// Allocates a task id and returns its [`AbortHandle`] *before* the
+    /// future exists. Registering the handle (e.g. in an abort registry)
+    /// before [`Executor::launch`] closes the race where a fast task
+    /// completes before its handle is registered.
+    pub fn reserve(&self) -> AbortHandle {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.state.lock().tasks.insert(
+            id,
+            TaskSlot {
+                future: None,
+                state: RunState::Reserved,
+                abort: false,
+                wake_pending: false,
+            },
+        );
+        AbortHandle {
+            shared: Arc::downgrade(&self.shared),
+            id,
+        }
+    }
+
+    /// Installs the future for a reserved slot and queues it. If the slot
+    /// was aborted (or the executor shut down) between reserve and
+    /// launch, the never-polled future is dropped immediately — it has
+    /// acquired nothing, so the drop is inert.
+    pub fn launch(&self, handle: &AbortHandle, fut: impl Future<Output = ()> + Send + 'static) {
+        let mut st = self.shared.state.lock();
+        if st.shutdown {
+            st.tasks.remove(&handle.id);
+            return; // fut dropped here, unpolled
+        }
+        match st.tasks.get_mut(&handle.id) {
+            Some(slot) if !slot.abort => {
+                debug_assert_eq!(slot.state, RunState::Reserved);
+                slot.future = Some(Box::pin(fut));
+                slot.state = RunState::Queued;
+                st.injector.push_back(handle.id);
+                drop(st);
+                self.shared.work.notify_one();
+            }
+            // Aborted while reserved (slot present, abort flagged and
+            // queued): remove the slot; the injector entry goes stale.
+            Some(_) => {
+                st.tasks.remove(&handle.id);
+                drop(st);
+                self.shared.idle.notify_all();
+            }
+            None => {}
+        }
+    }
+
+    /// Reserve + launch in one call.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + Send + 'static) -> AbortHandle {
+        let handle = self.reserve();
+        self.launch(&handle, fut);
+        handle
+    }
+
+    /// Pops and services one injector entry on the calling thread (the
+    /// same code path the workers run). Returns false if nothing was
+    /// ready.
+    pub fn poll_one(&self) -> bool {
+        self.shared.poll_one()
+    }
+
+    /// Tasks currently owned (reserved, queued, running or parked).
+    pub fn live_tasks(&self) -> usize {
+        self.shared.state.lock().tasks.len()
+    }
+
+    /// Injector entries currently queued (includes stale ids).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().injector.len()
+    }
+
+    /// Blocks until no task is live, or until `timeout`. Returns whether
+    /// the executor drained.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        while !st.tasks.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let _ = self.shared.idle.wait_for(&mut st, deadline - now);
+        }
+        true
+    }
+
+    /// Stops the workers, joins them, and drops any remaining futures
+    /// (outside the executor lock: their guards may call back in).
+    /// Idempotent; also invoked on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // Abandoned tasks: take them out under the lock, drop them after.
+        let remains: Vec<TaskSlot> = {
+            let mut st = self.shared.state.lock();
+            st.injector.clear();
+            st.tasks.drain().map(|(_, slot)| slot).collect()
+        };
+        drop(remains);
+        self.shared.idle.notify_all();
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        {
+            let mut st = shared.state.lock();
+            while st.injector.is_empty() && !st.shutdown {
+                shared.work.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+        }
+        // Between the unlock and here another worker may have taken the
+        // entry; poll_one simply finds nothing and we wait again.
+        shared.poll_one();
+    }
+}
+
+/// A future that returns `Pending` once (waking itself immediately), then
+/// `Ready` — the cooperative yield point, and the injector-fairness test
+/// workload.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug, Default)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A future that parks until `ready` turns true, tracking drops.
+    struct Probe {
+        ready: Arc<std::sync::atomic::AtomicBool>,
+        polls: Arc<AtomicUsize>,
+        drops: Arc<AtomicUsize>,
+        completed: Arc<std::sync::atomic::AtomicBool>,
+        waker_out: Arc<Mutex<Option<Waker>>>,
+    }
+
+    impl Future for Probe {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            self.polls.fetch_add(1, Ordering::SeqCst);
+            *self.waker_out.lock() = Some(cx.waker().clone());
+            if self.ready.load(Ordering::SeqCst) {
+                self.completed.store(true, Ordering::SeqCst);
+                Poll::Ready(())
+            } else {
+                Poll::Pending
+            }
+        }
+    }
+
+    impl Drop for Probe {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    struct ProbeHandles {
+        ready: Arc<std::sync::atomic::AtomicBool>,
+        polls: Arc<AtomicUsize>,
+        drops: Arc<AtomicUsize>,
+        completed: Arc<std::sync::atomic::AtomicBool>,
+        waker: Arc<Mutex<Option<Waker>>>,
+    }
+
+    fn probe() -> (Probe, ProbeHandles) {
+        let h = ProbeHandles {
+            ready: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            polls: Arc::new(AtomicUsize::new(0)),
+            drops: Arc::new(AtomicUsize::new(0)),
+            completed: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            waker: Arc::new(Mutex::new(None)),
+        };
+        let p = Probe {
+            ready: h.ready.clone(),
+            polls: h.polls.clone(),
+            drops: h.drops.clone(),
+            completed: h.completed.clone(),
+            waker_out: h.waker.clone(),
+        };
+        (p, h)
+    }
+
+    #[test]
+    fn completes_when_woken_ready() {
+        let ex = Executor::inline();
+        let (p, h) = probe();
+        ex.spawn(p);
+        assert!(ex.poll_one(), "first poll parks the task");
+        assert_eq!(ex.live_tasks(), 1);
+        h.ready.store(true, Ordering::SeqCst);
+        h.waker.lock().as_ref().unwrap().wake_by_ref();
+        assert!(ex.poll_one());
+        assert!(h.completed.load(Ordering::SeqCst));
+        assert_eq!(h.drops.load(Ordering::SeqCst), 1);
+        assert_eq!(ex.live_tasks(), 0);
+    }
+
+    #[test]
+    fn abort_while_parked_drops_on_next_poll() {
+        let ex = Executor::inline();
+        let (p, h) = probe();
+        let handle = ex.spawn(p);
+        assert!(ex.poll_one());
+        assert!(handle.abort(), "first abort detaches");
+        assert!(!handle.abort(), "second abort is a no-op");
+        // Dropped by the (inline) worker, not by abort itself.
+        assert_eq!(h.drops.load(Ordering::SeqCst), 0);
+        assert!(ex.poll_one());
+        assert_eq!(h.drops.load(Ordering::SeqCst), 1);
+        assert!(!h.completed.load(Ordering::SeqCst));
+        assert!(!handle.is_live());
+    }
+
+    #[test]
+    fn abort_between_reserve_and_launch_discards_unpolled() {
+        let ex = Executor::inline();
+        let (p, h) = probe();
+        let handle = ex.reserve();
+        assert!(handle.abort());
+        ex.launch(&handle, p);
+        assert_eq!(h.drops.load(Ordering::SeqCst), 1, "dropped unpolled");
+        assert_eq!(h.polls.load(Ordering::SeqCst), 0);
+        assert_eq!(ex.live_tasks(), 0);
+    }
+
+    #[test]
+    fn threaded_smoke_run() {
+        let ex = Executor::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let done = done.clone();
+            ex.spawn(async move {
+                yield_now().await;
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert!(ex.wait_idle(Duration::from_secs(5)));
+        assert_eq!(done.load(Ordering::SeqCst), 16);
+        ex.shutdown();
+    }
+}

@@ -1,0 +1,53 @@
+//! # atropos-async — an async serving substrate with future-drop cancellation
+//!
+//! The workspace's third substrate behind `RuntimePort`, and the one that
+//! completes the paper's portability argument. The simulator cancels
+//! requests in virtual time; the thread substrate raises a cooperative
+//! `CancelToken` that culprits must poll; this crate cancels by
+//! **dropping the future**. The paper's initiator survey spans exactly
+//! these categories — cooperative flags, KILL-style operators, abort
+//! handles — and the framework is supposed to be indifferent to which one
+//! the application wires in. Here the entire serving stack is rebuilt as
+//! queued continuations (DAGOR-style) instead of parked threads, and the
+//! runtime never notices: same port, same protocol, same decisions.
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`executor`]: a hand-rolled, dependency-free executor on
+//!   `std::task` — per-task slots, a FIFO injector, worker threads, and
+//!   [`AbortHandle`]s whose abort *detaches* the task (the future is
+//!   dropped by a worker, never by the initiator: the runtime invokes
+//!   initiators under its own locks),
+//! - [`timer`]: a deadline-heap timer thread providing `Sleep` futures,
+//! - [`resources`]: [`AsyncTracedLock`], [`AsyncTicketSemaphore`],
+//!   [`AsyncLruBuffer`] — waker-queue primitives speaking the Figure 6b
+//!   protocol, whose RAII guards release holds when a dropped future
+//!   unwinds (including the abort-during-wake baton handoff),
+//! - [`abort`]: [`AbortRegistry`] — key → handle map installed as the
+//!   runtime's cancel initiator,
+//! - [`server`]: a bounded task pool serving the same classed requests
+//!   and culprit families as the thread substrate,
+//! - [`harness`]: [`run`] / [`run_with`], surface-compatible with
+//!   `atropos_live::run` so differentials pin one [`LiveConfig`] across
+//!   substrates.
+//!
+//! [`LiveConfig`]: atropos_live::LiveConfig
+
+#![warn(missing_docs)]
+
+pub mod abort;
+pub mod executor;
+pub mod harness;
+pub mod resources;
+pub mod server;
+pub mod timer;
+
+pub use abort::AbortRegistry;
+pub use executor::{yield_now, AbortHandle, Executor, YieldNow};
+pub use harness::{generate, run, run_with};
+pub use resources::{
+    AsyncLockGuard, AsyncLruBuffer, AsyncTicketPermit, AsyncTicketSemaphore, AsyncTracedLock,
+    BufferAccess, LockAcquire, TicketAcquire,
+};
+pub use server::{AsyncServerCtx, TaskPool};
+pub use timer::{Sleep, Timer};

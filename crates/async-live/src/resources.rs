@@ -1,0 +1,621 @@
+//! Async resource primitives wired to the substrate port.
+//!
+//! The async counterparts of `atropos-live`'s traced primitives: same
+//! Figure 6b protocol (`slow_by` once when a wait begins, `get` at the
+//! wait→hold transition, `free` on guard drop), but acquisition is a
+//! future and the waiter queue holds wakers instead of parked threads.
+//!
+//! ## The RAII hold-release argument
+//!
+//! Cancellation in this substrate is future drop: nothing ever resumes a
+//! canceled task to let it unwind. Release therefore cannot live in
+//! request code — it lives **entirely in guard destructors**, which run
+//! when the dropped future's locals are destroyed:
+//!
+//! - a held [`AsyncLockGuard`] / [`AsyncTicketPermit`] emits exactly one
+//!   `free` and wakes the next waiter, whether the task completed or was
+//!   dropped mid-`await`;
+//! - a *pending* acquire future that is dropped deregisters its waiter
+//!   entry and emits nothing (it acquired nothing) — and, if the resource
+//!   is currently free, re-wakes the next waiter so a wake "swallowed" by
+//!   the dropped task is never lost.
+//!
+//! That last clause is the abort-during-wake race: a release may wake
+//! waiter A just before A's task is aborted. A's acquire future is
+//! dropped without re-polling, so A passes the baton on. Exactly-once
+//! `free` emission holds because only a constructed guard emits `free`,
+//! and a guard is constructed at most once per `get`.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+use atropos::{ResourceId, ResourceType, TaskId};
+use atropos_live::{AccessStats, LruBuffer};
+use atropos_substrate::RuntimePort;
+use parking_lot::Mutex;
+
+use crate::timer::{Sleep, Timer};
+
+/// One entry in a waiter queue: a stable id (so a dropped future can
+/// remove exactly its own entry) plus the most recent waker.
+struct Waiter {
+    id: u64,
+    waker: Waker,
+}
+
+fn remove_waiter(waiters: &mut VecDeque<Waiter>, id: u64) {
+    if let Some(pos) = waiters.iter().position(|w| w.id == id) {
+        waiters.remove(pos);
+    }
+}
+
+fn front_waker(waiters: &VecDeque<Waiter>) -> Option<Waker> {
+    waiters.front().map(|w| w.waker.clone())
+}
+
+// ---------------------------------------------------------------- lock --
+
+struct LockState {
+    locked: bool,
+    next_wait: u64,
+    waiters: VecDeque<Waiter>,
+}
+
+/// An async mutual-exclusion lock that reports waits, holds and releases
+/// to Atropos as a LOCK resource. Unlike `TracedLock<T>` it protects a
+/// critical *section*, not data: async guards handing out references
+/// across `await` points would need unsafe code this crate has no reason
+/// to carry.
+pub struct AsyncTracedLock {
+    port: Arc<dyn RuntimePort>,
+    rid: ResourceId,
+    st: Mutex<LockState>,
+}
+
+impl AsyncTracedLock {
+    /// Registers a LOCK resource named `name`.
+    pub fn new(port: Arc<dyn RuntimePort>, name: &str) -> Self {
+        let rid = port.register_resource(name, ResourceType::Lock);
+        Self {
+            port,
+            rid,
+            st: Mutex::new(LockState {
+                locked: false,
+                next_wait: 0,
+                waiters: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The Atropos resource this lock reports to.
+    pub fn resource_id(&self) -> ResourceId {
+        self.rid
+    }
+
+    /// Acquires the lock on behalf of `task`. An uncontended acquire
+    /// emits only `get`; a contended one emits `slow_by` once when the
+    /// wait begins (the §3.2 wait→hold protocol).
+    pub fn lock(&self, task: TaskId) -> LockAcquire<'_> {
+        LockAcquire {
+            lock: self,
+            task,
+            wait_id: None,
+            done: false,
+        }
+    }
+
+    /// True while some task holds the lock.
+    pub fn is_locked(&self) -> bool {
+        self.st.lock().locked
+    }
+
+    /// Waiters currently queued.
+    pub fn waiters(&self) -> usize {
+        self.st.lock().waiters.len()
+    }
+}
+
+/// Future returned by [`AsyncTracedLock::lock`].
+pub struct LockAcquire<'a> {
+    lock: &'a AsyncTracedLock,
+    task: TaskId,
+    wait_id: Option<u64>,
+    done: bool,
+}
+
+impl<'a> Future for LockAcquire<'a> {
+    type Output = AsyncLockGuard<'a>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.lock.st.lock();
+        if !st.locked {
+            st.locked = true;
+            if let Some(id) = self.wait_id.take() {
+                remove_waiter(&mut st.waiters, id);
+            }
+            drop(st);
+            self.done = true;
+            self.lock.port.get(self.task, self.lock.rid, 1);
+            return Poll::Ready(AsyncLockGuard {
+                lock: self.lock,
+                task: self.task,
+            });
+        }
+        match self.wait_id {
+            Some(id) => {
+                // Woken but lost the race (or spurious): refresh the waker.
+                if let Some(w) = st.waiters.iter_mut().find(|w| w.id == id) {
+                    w.waker = cx.waker().clone();
+                }
+            }
+            None => {
+                let id = st.next_wait;
+                st.next_wait += 1;
+                st.waiters.push_back(Waiter {
+                    id,
+                    waker: cx.waker().clone(),
+                });
+                self.wait_id = Some(id);
+                drop(st);
+                self.lock.port.slow_by(self.task, self.lock.rid, 1);
+            }
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for LockAcquire<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return; // a guard exists; release is its job
+        }
+        let Some(id) = self.wait_id else {
+            return; // never polled while contended: acquired nothing
+        };
+        let mut st = self.lock.st.lock();
+        remove_waiter(&mut st.waiters, id);
+        // Pass the baton: a release may have woken *us* just before the
+        // drop; if the lock is free the next waiter must hear about it.
+        let next = if !st.locked {
+            front_waker(&st.waiters)
+        } else {
+            None
+        };
+        drop(st);
+        if let Some(w) = next {
+            w.wake();
+        }
+    }
+}
+
+/// RAII guard for [`AsyncTracedLock`]; emits `free` and wakes the next
+/// waiter on drop — including the drop performed by an abort.
+pub struct AsyncLockGuard<'a> {
+    lock: &'a AsyncTracedLock,
+    task: TaskId,
+}
+
+impl Drop for AsyncLockGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.lock.st.lock();
+        st.locked = false;
+        let next = front_waker(&st.waiters);
+        drop(st);
+        self.lock.port.free(self.task, self.lock.rid, 1);
+        if let Some(w) = next {
+            w.wake();
+        }
+    }
+}
+
+// ----------------------------------------------------------- semaphore --
+
+struct SemState {
+    available: usize,
+    next_wait: u64,
+    waiters: VecDeque<Waiter>,
+}
+
+/// An async counting semaphore of concurrency tickets, reported as a
+/// QUEUE resource (the bounded worker/connection-pool analog).
+pub struct AsyncTicketSemaphore {
+    port: Arc<dyn RuntimePort>,
+    rid: ResourceId,
+    st: Mutex<SemState>,
+}
+
+impl AsyncTicketSemaphore {
+    /// Registers a QUEUE resource named `name` with `capacity` tickets.
+    pub fn new(port: Arc<dyn RuntimePort>, name: &str, capacity: usize) -> Self {
+        let rid = port.register_resource(name, ResourceType::Queue);
+        Self {
+            port,
+            rid,
+            st: Mutex::new(SemState {
+                available: capacity,
+                next_wait: 0,
+                waiters: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The Atropos resource this semaphore reports to.
+    pub fn resource_id(&self) -> ResourceId {
+        self.rid
+    }
+
+    /// Acquires one ticket on behalf of `task`.
+    pub fn acquire(&self, task: TaskId) -> TicketAcquire<'_> {
+        TicketAcquire {
+            sem: self,
+            task,
+            wait_id: None,
+            done: false,
+        }
+    }
+
+    /// Tickets currently available.
+    pub fn available(&self) -> usize {
+        self.st.lock().available
+    }
+}
+
+/// Future returned by [`AsyncTicketSemaphore::acquire`].
+pub struct TicketAcquire<'a> {
+    sem: &'a AsyncTicketSemaphore,
+    task: TaskId,
+    wait_id: Option<u64>,
+    done: bool,
+}
+
+impl<'a> Future for TicketAcquire<'a> {
+    type Output = AsyncTicketPermit<'a>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.sem.st.lock();
+        if st.available > 0 {
+            st.available -= 1;
+            if let Some(id) = self.wait_id.take() {
+                remove_waiter(&mut st.waiters, id);
+            }
+            drop(st);
+            self.done = true;
+            self.sem.port.get(self.task, self.sem.rid, 1);
+            return Poll::Ready(AsyncTicketPermit {
+                sem: self.sem,
+                task: self.task,
+            });
+        }
+        match self.wait_id {
+            Some(id) => {
+                if let Some(w) = st.waiters.iter_mut().find(|w| w.id == id) {
+                    w.waker = cx.waker().clone();
+                }
+            }
+            None => {
+                let id = st.next_wait;
+                st.next_wait += 1;
+                st.waiters.push_back(Waiter {
+                    id,
+                    waker: cx.waker().clone(),
+                });
+                self.wait_id = Some(id);
+                drop(st);
+                self.sem.port.slow_by(self.task, self.sem.rid, 1);
+            }
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for TicketAcquire<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        let Some(id) = self.wait_id else {
+            return;
+        };
+        let mut st = self.sem.st.lock();
+        remove_waiter(&mut st.waiters, id);
+        let next = if st.available > 0 {
+            front_waker(&st.waiters)
+        } else {
+            None
+        };
+        drop(st);
+        if let Some(w) = next {
+            w.wake();
+        }
+    }
+}
+
+/// RAII permit for [`AsyncTicketSemaphore`]; emits `free` and wakes the
+/// next waiter on drop.
+pub struct AsyncTicketPermit<'a> {
+    sem: &'a AsyncTicketSemaphore,
+    task: TaskId,
+}
+
+impl Drop for AsyncTicketPermit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.sem.st.lock();
+        st.available += 1;
+        let next = front_waker(&st.waiters);
+        drop(st);
+        self.sem.port.free(self.task, self.sem.rid, 1);
+        if let Some(w) = next {
+            w.wake();
+        }
+    }
+}
+
+// ---------------------------------------------------------------- lru --
+
+/// An async LRU page buffer reported as a MEMORY resource.
+///
+/// Bookkeeping (residency, owner attribution, the `get`/`free`/`slow_by`
+/// emission) is the live crate's [`LruBuffer`] — it never blocks, so the
+/// sync implementation is reused verbatim. What *is* async is the miss
+/// cost: where a live worker thread sleeps off the penalty, an async
+/// request parks on the [`Timer`], and an abort mid-penalty simply stops
+/// paying it (the eviction events were already attributed at access
+/// time, so dropping here loses nothing).
+pub struct AsyncLruBuffer {
+    inner: LruBuffer,
+    timer: Arc<Timer>,
+    miss_penalty: Duration,
+}
+
+impl AsyncLruBuffer {
+    /// Registers a MEMORY resource named `name` holding up to `capacity`
+    /// pages, charging `miss_penalty` of virtual load per missed page.
+    pub fn new(
+        port: Arc<dyn RuntimePort>,
+        name: &str,
+        capacity: usize,
+        timer: Arc<Timer>,
+        miss_penalty: Duration,
+    ) -> Self {
+        Self {
+            inner: LruBuffer::new(port, name, capacity),
+            timer,
+            miss_penalty,
+        }
+    }
+
+    /// The Atropos resource this buffer reports to.
+    pub fn resource_id(&self) -> ResourceId {
+        self.inner.resource_id()
+    }
+
+    /// Touches `pages` on behalf of `task` (emitting the protocol events
+    /// synchronously), then awaits the miss penalty.
+    pub fn access<'a>(&'a self, task: TaskId, pages: &[u64]) -> BufferAccess<'a> {
+        let stats = self.inner.access(task, pages);
+        let penalty = (stats.misses > 0).then(|| {
+            self.timer
+                .sleep(self.miss_penalty * u32::try_from(stats.misses).unwrap_or(u32::MAX))
+        });
+        BufferAccess {
+            stats,
+            penalty,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+/// Future returned by [`AsyncLruBuffer::access`]: the stats are final at
+/// creation; awaiting pays the miss penalty.
+pub struct BufferAccess<'a> {
+    stats: AccessStats,
+    penalty: Option<Sleep>,
+    // Tie the lifetime to the buffer so the API reads like the sync one.
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BufferAccess<'_> {
+    /// What the access did (available without awaiting).
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+}
+
+impl Future for BufferAccess<'_> {
+    type Output = AccessStats;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<AccessStats> {
+        let this = self.get_mut();
+        match this.penalty.as_mut() {
+            Some(sleep) => match Pin::new(sleep).poll(cx) {
+                Poll::Ready(()) => Poll::Ready(this.stats),
+                Poll::Pending => Poll::Pending,
+            },
+            None => Poll::Ready(this.stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use atropos::{AtroposConfig, AtroposRuntime};
+    use atropos_sim::SystemClock;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn runtime() -> Arc<AtroposRuntime> {
+        Arc::new(AtroposRuntime::new(
+            AtroposConfig::default(),
+            Arc::new(SystemClock::new()),
+        ))
+    }
+
+    #[test]
+    fn uncontended_lock_emits_get_and_free() {
+        let rt = runtime();
+        let lock = Arc::new(AsyncTracedLock::new(rt.clone(), "l"));
+        let t = rt.create_cancel(None);
+        let ex = Executor::inline();
+        let l = lock.clone();
+        ex.spawn(async move {
+            let _g = l.lock(t).await;
+        });
+        assert!(ex.poll_one());
+        assert_eq!(ex.live_tasks(), 0);
+        assert!(!lock.is_locked());
+        // get + free, no slow_by.
+        assert_eq!(rt.stats().trace_events, 2);
+    }
+
+    #[test]
+    fn contended_lock_emits_slow_by_once_and_hands_over() {
+        let rt = runtime();
+        let lock = Arc::new(AsyncTracedLock::new(rt.clone(), "l"));
+        let a = rt.create_cancel(None);
+        let b = rt.create_cancel(None);
+        let ex = Executor::inline();
+        let order = Arc::new(AtomicU64::new(0));
+
+        let (l, o) = (lock.clone(), order.clone());
+        ex.spawn(async move {
+            let _g = l.lock(a).await;
+            // Hold until the other task has queued, then yield and release.
+            while o.load(Ordering::SeqCst) == 0 {
+                crate::executor::yield_now().await;
+            }
+        });
+        let (l, o) = (lock.clone(), order.clone());
+        ex.spawn(async move {
+            let _g = l.lock(b).await;
+            o.store(2, Ordering::SeqCst);
+        });
+        // Task A acquires, task B queues (slow_by), then A spins yielding.
+        assert!(ex.poll_one()); // A: acquire + park on yield loop
+        assert!(ex.poll_one()); // B: contended, registers waiter
+        assert_eq!(lock.waiters(), 1);
+        order.store(1, Ordering::SeqCst);
+        while ex.live_tasks() > 0 {
+            assert!(ex.poll_one(), "deadlock: tasks parked with no wake");
+        }
+        assert_eq!(order.load(Ordering::SeqCst), 2, "B ran after A released");
+        // A: get+free; B: slow_by+get+free.
+        assert_eq!(rt.stats().trace_events, 5);
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn dropped_waiter_passes_the_baton() {
+        let rt = runtime();
+        let lock = Arc::new(AsyncTracedLock::new(rt.clone(), "l"));
+        let ex = Executor::inline();
+        let holder = rt.create_cancel(None);
+        let w1 = rt.create_cancel(None);
+        let w2 = rt.create_cancel(None);
+        let got2 = Arc::new(AtomicU64::new(0));
+
+        let l = lock.clone();
+        let h_holder = ex.spawn(async move {
+            let _g = l.lock(holder).await;
+            std::future::pending::<()>().await;
+        });
+        let l = lock.clone();
+        let h_w1 = ex.spawn(async move {
+            let _g = l.lock(w1).await;
+            std::future::pending::<()>().await;
+        });
+        let l = lock.clone();
+        let g2 = got2.clone();
+        ex.spawn(async move {
+            let _g = l.lock(w2).await;
+            g2.store(1, Ordering::SeqCst);
+        });
+        assert!(ex.poll_one()); // holder acquires
+        assert!(ex.poll_one()); // w1 waits
+        assert!(ex.poll_one()); // w2 waits
+        assert_eq!(lock.waiters(), 2);
+        // Release the lock (abort the holder): wakes w1.
+        assert!(h_holder.abort());
+        assert!(ex.poll_one()); // drop holder future → guard frees → wakes w1
+                                // Abort w1 before it re-polls: its acquire future must hand the
+                                // wake to w2 instead of swallowing it.
+        assert!(h_w1.abort());
+        // Only w2 remains after the drops; drive until it completes.
+        while ex.live_tasks() > 0 {
+            assert!(ex.poll_one(), "baton lost: w2 never woken");
+        }
+        assert_eq!(got2.load(Ordering::SeqCst), 1, "w2 acquired after handoff");
+    }
+
+    #[test]
+    fn semaphore_counts_and_wakes() {
+        let rt = runtime();
+        let sem = Arc::new(AsyncTicketSemaphore::new(rt.clone(), "tickets", 1));
+        let a = rt.create_cancel(None);
+        let b = rt.create_cancel(None);
+        let ex = Executor::inline();
+        let done = Arc::new(AtomicU64::new(0));
+
+        let (s, d) = (sem.clone(), done.clone());
+        ex.spawn(async move {
+            let _p = s.acquire(a).await;
+            crate::executor::yield_now().await;
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        let (s, d) = (sem.clone(), done.clone());
+        ex.spawn(async move {
+            let _p = s.acquire(b).await;
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        while ex.live_tasks() > 0 {
+            assert!(ex.poll_one());
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 2);
+        assert_eq!(sem.available(), 1);
+        // a: get+free; b: slow_by+get+free.
+        assert_eq!(rt.stats().trace_events, 5);
+    }
+
+    #[test]
+    fn buffer_access_resolves_stats_and_pays_penalty_async() {
+        let rt = runtime();
+        let timer = Timer::spawn();
+        let buf = AsyncLruBuffer::new(
+            rt.clone(),
+            "pool",
+            2,
+            timer.clone(),
+            Duration::from_millis(5),
+        );
+        let t = rt.create_cancel(None);
+        let ex = Executor::new(1);
+        let buf = Arc::new(buf);
+        let b = buf.clone();
+        let start = std::time::Instant::now();
+        ex.spawn(async move {
+            let stats = b.access(t, &[1, 2]).await;
+            assert_eq!(stats.misses, 2);
+            let stats = b.access(t, &[1, 2]).await;
+            assert_eq!(stats.hits, 2);
+        });
+        assert!(ex.wait_idle(Duration::from_secs(5)));
+        // Two misses at 5 ms each were actually awaited.
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        ex.shutdown();
+        timer.shutdown();
+    }
+}

@@ -1,0 +1,233 @@
+//! A wall-clock timer for the hand-rolled executor: one thread, a
+//! deadline heap, and [`Sleep`] futures.
+//!
+//! The executor knows nothing about time; parked futures are woken by
+//! whoever holds their waker. For time-based parking that is the
+//! [`Timer`]: `sleep` registers a `(deadline, waker)` entry, the timer
+//! thread waits until the earliest deadline and fires the wakers that
+//! came due. A dropped [`Sleep`] (an aborted task sleeping across an
+//! `await`) deregisters its waker but leaves the heap entry behind — the
+//! entry fires into nothing, which is safe precisely because
+//! wake-after-drop is a no-op in this substrate. Entries are small and
+//! runs are short; stale entries are a non-issue.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+struct TimerState {
+    /// Min-heap of (deadline, entry id).
+    deadlines: BinaryHeap<Reverse<(Instant, u64)>>,
+    /// Live entries; absent id = the sleeper completed or was dropped.
+    wakers: HashMap<u64, Waker>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct TimerInner {
+    st: Mutex<TimerState>,
+    cv: Condvar,
+}
+
+/// The timer service. Create with [`Timer::spawn`], share via `Arc`,
+/// stop with [`Timer::shutdown`] (also run on drop).
+pub struct Timer {
+    inner: Arc<TimerInner>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Timer {
+    /// Starts the timer thread.
+    pub fn spawn() -> Arc<Self> {
+        let inner = Arc::new(TimerInner {
+            st: Mutex::new(TimerState {
+                deadlines: BinaryHeap::new(),
+                wakers: HashMap::new(),
+                next_id: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let thread_inner = inner.clone();
+        let thread = std::thread::Builder::new()
+            .name("async-timer".into())
+            .spawn(move || timer_loop(&thread_inner))
+            .expect("spawn async timer");
+        Arc::new(Self {
+            inner,
+            thread: Mutex::new(Some(thread)),
+        })
+    }
+
+    /// A future that completes `dur` from now.
+    pub fn sleep(self: &Arc<Self>, dur: Duration) -> Sleep {
+        Sleep {
+            inner: self.inner.clone(),
+            deadline: Instant::now() + dur,
+            id: None,
+        }
+    }
+
+    /// Pending sleep entries (live wakers).
+    pub fn pending(&self) -> usize {
+        self.inner.st.lock().wakers.len()
+    }
+
+    /// Stops and joins the timer thread. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.st.lock().shutdown = true;
+        self.inner.cv.notify_all();
+        if let Some(h) = self.thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn timer_loop(inner: &TimerInner) {
+    loop {
+        let mut fired: Vec<Waker> = Vec::new();
+        {
+            let mut st = inner.st.lock();
+            if st.shutdown {
+                return;
+            }
+            let now = Instant::now();
+            while let Some(&Reverse((deadline, id))) = st.deadlines.peek() {
+                if deadline > now {
+                    break;
+                }
+                st.deadlines.pop();
+                if let Some(w) = st.wakers.remove(&id) {
+                    fired.push(w);
+                }
+            }
+            if fired.is_empty() {
+                match st.deadlines.peek().copied() {
+                    None => inner.cv.wait(&mut st),
+                    Some(Reverse((deadline, _))) => {
+                        let _ = inner
+                            .cv
+                            .wait_for(&mut st, deadline.saturating_duration_since(now));
+                    }
+                }
+            }
+        }
+        // Wake outside the timer lock: wakers take the executor lock.
+        for w in fired {
+            w.wake();
+        }
+    }
+}
+
+/// Future returned by [`Timer::sleep`].
+pub struct Sleep {
+    inner: Arc<TimerInner>,
+    deadline: Instant,
+    id: Option<u64>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            if let Some(id) = self.id.take() {
+                self.inner.st.lock().wakers.remove(&id);
+            }
+            return Poll::Ready(());
+        }
+        let deadline = self.deadline;
+        let registered = {
+            let mut st = self.inner.st.lock();
+            match self.id {
+                Some(id) => {
+                    // Re-polled before the deadline: refresh the waker.
+                    st.wakers.insert(id, cx.waker().clone());
+                    None
+                }
+                None => {
+                    let id = st.next_id;
+                    st.next_id += 1;
+                    st.wakers.insert(id, cx.waker().clone());
+                    st.deadlines.push(Reverse((deadline, id)));
+                    Some(id)
+                }
+            }
+        };
+        if let Some(id) = registered {
+            self.id = Some(id);
+            // A new earliest deadline may need the thread to re-arm.
+            self.inner.cv.notify_all();
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            self.inner.st.lock().wakers.remove(&id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn sleep_completes_after_deadline() {
+        let timer = Timer::spawn();
+        let ex = Executor::new(1);
+        let done = Arc::new(AtomicBool::new(false));
+        let d = done.clone();
+        let t = timer.clone();
+        let start = Instant::now();
+        ex.spawn(async move {
+            t.sleep(Duration::from_millis(20)).await;
+            d.store(true, Ordering::SeqCst);
+        });
+        assert!(ex.wait_idle(Duration::from_secs(5)));
+        assert!(done.load(Ordering::SeqCst));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(timer.pending(), 0);
+        ex.shutdown();
+        timer.shutdown();
+    }
+
+    #[test]
+    fn dropped_sleep_deregisters_its_waker() {
+        let timer = Timer::spawn();
+        let ex = Executor::new(1);
+        let t = timer.clone();
+        let handle = ex.spawn(async move {
+            t.sleep(Duration::from_secs(3600)).await;
+        });
+        // Let the task park in the sleep.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while timer.pending() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(timer.pending(), 1);
+        assert!(handle.abort());
+        assert!(ex.wait_idle(Duration::from_secs(5)));
+        assert_eq!(timer.pending(), 0, "aborted sleeper removed its waker");
+        ex.shutdown();
+        timer.shutdown();
+    }
+}

@@ -1,0 +1,299 @@
+//! Executor-contract tests: wake-after-drop is a no-op, the FIFO injector
+//! never starves a ready task, and a property test drives random
+//! poll/wake/abort interleavings against a reference state machine.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use atropos_async::{yield_now, Executor};
+use proptest::prelude::*;
+
+/// A future that parks until `ready` turns true, stashing its waker and
+/// counting polls/drops — the external observer of executor behaviour.
+struct Probe {
+    ready: Arc<AtomicBool>,
+    polls: Arc<AtomicUsize>,
+    drops: Arc<AtomicUsize>,
+    completed: Arc<AtomicBool>,
+    waker_out: Arc<Mutex<Option<Waker>>>,
+}
+
+impl Future for Probe {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        self.polls.fetch_add(1, Ordering::SeqCst);
+        *self.waker_out.lock().unwrap() = Some(cx.waker().clone());
+        if self.ready.load(Ordering::SeqCst) {
+            self.completed.store(true, Ordering::SeqCst);
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+impl Drop for Probe {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+struct ProbeHandles {
+    ready: Arc<AtomicBool>,
+    polls: Arc<AtomicUsize>,
+    drops: Arc<AtomicUsize>,
+    completed: Arc<AtomicBool>,
+    waker: Arc<Mutex<Option<Waker>>>,
+}
+
+fn probe() -> (Probe, ProbeHandles) {
+    let h = ProbeHandles {
+        ready: Arc::new(AtomicBool::new(false)),
+        polls: Arc::new(AtomicUsize::new(0)),
+        drops: Arc::new(AtomicUsize::new(0)),
+        completed: Arc::new(AtomicBool::new(false)),
+        waker: Arc::new(Mutex::new(None)),
+    };
+    let p = Probe {
+        ready: h.ready.clone(),
+        polls: h.polls.clone(),
+        drops: h.drops.clone(),
+        completed: h.completed.clone(),
+        waker_out: h.waker.clone(),
+    };
+    (p, h)
+}
+
+fn wake(h: &ProbeHandles) -> bool {
+    match h.waker.lock().unwrap().as_ref() {
+        Some(w) => {
+            w.wake_by_ref();
+            true
+        }
+        None => false,
+    }
+}
+
+/// A waker held past its task's completion must do nothing: no panic, no
+/// stale execution, no injector entry.
+#[test]
+fn wake_after_completion_is_noop() {
+    let ex = Executor::inline();
+    let (p, h) = probe();
+    h.ready.store(true, Ordering::SeqCst);
+    ex.spawn(p);
+    assert!(ex.poll_one());
+    assert!(h.completed.load(Ordering::SeqCst));
+    assert_eq!(ex.live_tasks(), 0);
+    // The stashed waker outlives the task; waking through it is inert.
+    assert!(wake(&h));
+    assert_eq!(ex.queued(), 0, "wake-after-drop queued nothing");
+    assert!(!ex.poll_one());
+    assert_eq!(h.polls.load(Ordering::SeqCst), 1, "no zombie poll");
+    assert_eq!(h.drops.load(Ordering::SeqCst), 1, "no double drop");
+}
+
+/// Same contract for a task removed by abort rather than completion.
+#[test]
+fn wake_after_abort_drop_is_noop() {
+    let ex = Executor::inline();
+    let (p, h) = probe();
+    let handle = ex.spawn(p);
+    assert!(ex.poll_one()); // parks, stashes waker
+    assert!(handle.abort());
+    assert!(ex.poll_one()); // worker drops the future
+    assert_eq!(h.drops.load(Ordering::SeqCst), 1);
+    assert!(wake(&h));
+    assert_eq!(ex.queued(), 0);
+    assert!(!ex.poll_one());
+    assert_eq!(h.drops.load(Ordering::SeqCst), 1);
+    assert!(!h.completed.load(Ordering::SeqCst));
+}
+
+/// FIFO injector fairness: K perpetually-ready tasks (each re-queuing via
+/// `yield_now`) are served strict round-robin — at every point the
+/// most-served and least-served live tasks differ by at most one poll, so
+/// no ready task starves across any window of K ticks.
+#[test]
+fn injector_round_robin_fairness() {
+    const K: usize = 5;
+    const ROUNDS: usize = 40;
+    let ex = Executor::inline();
+    let served: Vec<Arc<AtomicUsize>> = (0..K).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+    for counter in &served {
+        let counter = counter.clone();
+        ex.spawn(async move {
+            for _ in 0..ROUNDS {
+                counter.fetch_add(1, Ordering::SeqCst);
+                yield_now().await;
+            }
+        });
+    }
+    let mut polled = 0usize;
+    while ex.live_tasks() > 0 {
+        assert!(ex.poll_one(), "ready tasks pending but injector empty");
+        polled += 1;
+        assert!(polled <= K * (ROUNDS + 1), "injector loops");
+        let counts: Vec<usize> = served.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        // Finished tasks cap at ROUNDS; only compare while all live.
+        if max < ROUNDS {
+            assert!(
+                max - min <= 1,
+                "starvation: serve counts diverged: {counts:?}"
+            );
+        }
+    }
+    for c in &served {
+        assert_eq!(c.load(Ordering::SeqCst), ROUNDS);
+    }
+}
+
+// --------------------------- property test ---------------------------
+
+/// Reference model of one task on an inline executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ModelState {
+    Queued,
+    Idle,
+    Gone,
+}
+
+#[derive(Debug)]
+struct Model {
+    state: ModelState,
+    abort: bool,
+    ready: bool,
+    completed: bool,
+    drops: usize,
+    polled_once: bool,
+}
+
+impl Model {
+    fn new() -> Self {
+        Self {
+            state: ModelState::Queued,
+            abort: false,
+            ready: false,
+            completed: false,
+            drops: 0,
+            polled_once: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Drive `Executor::poll_one`.
+    Poll,
+    /// Make the future ready, then wake it through the stashed waker.
+    SetReadyAndWake,
+    /// Wake without making the future ready.
+    SpuriousWake,
+    /// `AbortHandle::abort`.
+    Abort,
+}
+
+fn apply_model(m: &mut Model, op: Op) -> bool {
+    match op {
+        Op::Poll => match m.state {
+            ModelState::Queued => {
+                if m.abort {
+                    m.state = ModelState::Gone;
+                    m.drops += 1;
+                } else {
+                    m.polled_once = true;
+                    if m.ready {
+                        m.state = ModelState::Gone;
+                        m.drops += 1;
+                        m.completed = true;
+                    } else {
+                        m.state = ModelState::Idle;
+                    }
+                }
+                true
+            }
+            ModelState::Idle | ModelState::Gone => false,
+        },
+        Op::SetReadyAndWake | Op::SpuriousWake => {
+            if matches!(op, Op::SetReadyAndWake) {
+                m.ready = true;
+            }
+            if m.polled_once && m.state == ModelState::Idle {
+                m.state = ModelState::Queued;
+            }
+            // Waking Queued/Gone (or before any waker exists) changes
+            // nothing; return value mirrors "a waker was available".
+            m.polled_once
+        }
+        Op::Abort => {
+            let delivered = m.state != ModelState::Gone && !m.abort;
+            if delivered {
+                m.abort = true;
+                if m.state == ModelState::Idle {
+                    m.state = ModelState::Queued;
+                }
+            }
+            delivered
+        }
+    }
+}
+
+proptest! {
+    /// Random poll/wake/abort interleavings: the real executor agrees
+    /// with the reference model on every observable after every step —
+    /// poll productivity, abort delivery, liveness, completion, and
+    /// exactly-once future drop.
+    #[test]
+    fn executor_matches_reference_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                Just(Op::Poll),
+                Just(Op::Poll), // weight polls up so sequences make progress
+                Just(Op::SetReadyAndWake),
+                Just(Op::SpuriousWake),
+                Just(Op::Abort),
+            ],
+            1..40,
+        ),
+    ) {
+        let ex = Executor::inline();
+        let (p, h) = probe();
+        let handle = ex.spawn(p);
+        let mut model = Model::new();
+        for op in ops {
+            let expect = apply_model(&mut model, op);
+            let got = match op {
+                Op::Poll => ex.poll_one(),
+                Op::SetReadyAndWake => {
+                    h.ready.store(true, Ordering::SeqCst);
+                    wake(&h)
+                }
+                Op::SpuriousWake => wake(&h),
+                Op::Abort => handle.abort(),
+            };
+            prop_assert_eq!(got, expect, "op {:?} diverged (model {:?})", op, model);
+            let live = model.state != ModelState::Gone;
+            prop_assert_eq!(ex.live_tasks(), live as usize, "liveness after {:?}", op);
+            prop_assert_eq!(handle.is_live(), live);
+            prop_assert_eq!(h.drops.load(Ordering::SeqCst), model.drops, "drops after {:?}", op);
+            prop_assert_eq!(
+                h.completed.load(Ordering::SeqCst),
+                model.completed,
+                "completion after {:?}",
+                op
+            );
+        }
+        // Drain: abort whatever is left and drive to quiescence; the
+        // future must be dropped exactly once no matter the prefix.
+        handle.abort();
+        while ex.poll_one() {}
+        ex.shutdown();
+        prop_assert_eq!(ex.live_tasks(), 0);
+        prop_assert_eq!(h.drops.load(Ordering::SeqCst), 1, "exactly one drop at the end");
+    }
+}

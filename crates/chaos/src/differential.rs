@@ -1,13 +1,22 @@
-//! Sim ↔ live differential: the same overload, two execution substrates.
+//! Sim ↔ thread ↔ async differential: the same overload, three execution
+//! substrates.
 //!
-//! The simulator (`atropos-app` on a virtual clock) and the live harness
-//! (`atropos-live` on real threads) both reproduce the three scenario
-//! families of [`ScenarioFamily`]: a lock-hog convoy, a buffer-pool scan,
-//! and a ticket-queue hog. Each family is pinned by a shared
+//! The simulator (`atropos-app` on a virtual clock), the thread harness
+//! (`atropos-live` on real threads with cooperative cancel tokens), and
+//! the async harness (`atropos-async` on a hand-rolled executor with
+//! future-drop cancellation) all reproduce the three scenario families of
+//! [`ScenarioFamily`]: a lock-hog convoy, a buffer-pool scan, and a
+//! ticket-queue hog. Each family is pinned by a shared
 //! [`ScenarioDescriptor`] — one sim seed plus the live geometry — so
-//! both sides provably run the same story. This module replays each
-//! through both substrates and compares the *decision trace* — who was
+//! every side provably runs the same story. This module replays each
+//! through the substrates and compares the *decision trace* — who was
 //! blamed, who was canceled, in what order.
+//!
+//! The async leg additionally runs with the chaos [`FaultInjector`]
+//! composed over its port (armed with a quiet plan, i.e. pure
+//! pass-through): the middleware stack that was written against the
+//! thread substrate must compose over the async substrate *unchanged* —
+//! that compositionality is part of the portability claim under test.
 //!
 //! ## What must agree, and the timing tolerance
 //!
@@ -38,14 +47,18 @@
 //! never do — target a completed task — is invariant **I5**'s job
 //! ([`crate::checker`]).
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use atropos_app::ids::ClassId;
 use atropos_live::{
-    live_atropos_config, run, ControlMode, CulpritKind, LiveConfig, CULPRIT_KEY_BASE,
+    live_atropos_config, run, ControlMode, CulpritKind, LiveConfig, LiveReport, CULPRIT_KEY_BASE,
 };
 use atropos_scenarios::chaos::{run_variant, variant_for, ChaosCulprit};
 use atropos_substrate::{ScenarioDescriptor, ScenarioFamily};
+
+use crate::injector::FaultInjector;
+use crate::plan::FaultPlan;
 
 /// Both substrates must issue their first cancellation within this much
 /// of the disturbance, on their own clock (virtual for the sim, wall for
@@ -126,6 +139,8 @@ pub fn live_config_for(d: &ScenarioDescriptor) -> LiveConfig {
             ScenarioFamily::BufferScan => CulpritKind::Scan,
             ScenarioFamily::TicketQueue => CulpritKind::TicketHog,
         },
+        workers: d.workers,
+        interarrival: Duration::from_micros(d.interarrival_us),
         culprit_after: Duration::from_millis(d.culprit_after_ms),
         culprit_hold: Duration::from_millis(d.culprit_hold_ms),
         hot_pages: d.hot_pages,
@@ -138,39 +153,83 @@ pub fn live_config_for(d: &ScenarioDescriptor) -> LiveConfig {
     }
 }
 
-/// Runs a scenario family through the live harness at its descriptor's
+/// Runs a scenario family through the thread harness at its descriptor's
 /// pinned geometry.
 pub fn live_trace_for(family: ScenarioFamily) -> DecisionTrace {
     live_trace(&family.descriptor())
 }
 
-/// Runs the live analog of a chaos variant and extracts its decision
-/// trace from the runtime's issued-cancellation key log: culprit keys
-/// are `>= CULPRIT_KEY_BASE` by construction of the live workload, so
-/// classification is exact. The delivered-count cross-check (victims
-/// never register cancel tokens, so only culprit cancellations can be
-/// delivered) guards the classification.
-pub fn live_trace(descriptor: &ScenarioDescriptor) -> DecisionTrace {
-    let report = run(
-        live_config_for(descriptor),
-        ControlMode::Atropos(live_atropos_config()),
-    );
+/// Extracts a wall-clock substrate's decision trace from its report's
+/// issued-cancellation key log: culprit keys are `>= CULPRIT_KEY_BASE` by
+/// construction of the shared workload, so classification is exact.
+///
+/// The delivered-count cross-check guards the classification, scoped by
+/// `victims_deliverable`. In the thread substrate victims never register
+/// cancel tokens, so every delivered cancellation must correspond to a
+/// culprit key. In the async substrate *every* task registers an abort
+/// handle — cancellation is future drop, there is no opt-in token — so
+/// after the decision episode resolves, sustained over-SLO latency (e.g.
+/// cache refill behind a buffer scan) can legitimately shed a victim,
+/// exactly like the sim's post-resolution load regulation. There the
+/// bound is the full issued log, and misblame detection falls to the
+/// episode-scoped `victim_cancels` / `first_is_culprit` fields.
+fn trace_from_report(
+    substrate: &'static str,
+    report: &LiveReport,
+    victims_deliverable: bool,
+) -> DecisionTrace {
     let keys = &report.canceled_keys;
     let is_culprit = |k: u64| k >= CULPRIT_KEY_BASE;
     let culprit_cancels = keys.iter().filter(|&&k| is_culprit(k)).count() as u64;
-    assert!(
-        report.cancellations_delivered <= culprit_cancels,
-        "delivered {} cancellations but only {} targeted culprit keys",
-        report.cancellations_delivered,
+    let deliverable = if victims_deliverable {
+        keys.len() as u64
+    } else {
         culprit_cancels
+    };
+    assert!(
+        report.cancellations_delivered <= deliverable,
+        "{substrate}: delivered {} cancellations but only {} were deliverable",
+        report.cancellations_delivered,
+        deliverable
     );
     DecisionTrace {
-        substrate: "live",
+        substrate,
         culprit_cancels,
         victim_cancels: keys.iter().take_while(|&&k| !is_culprit(k)).count() as u64,
         first_is_culprit: keys.first().map(|&k| is_culprit(k)).unwrap_or(false),
         first_cancel_delay_ns: report.time_to_cancel.map(|d| d.as_nanos() as u64),
     }
+}
+
+/// Runs the thread-substrate analog of a chaos variant and extracts its
+/// decision trace.
+pub fn live_trace(descriptor: &ScenarioDescriptor) -> DecisionTrace {
+    let report = run(
+        live_config_for(descriptor),
+        ControlMode::Atropos(live_atropos_config()),
+    );
+    trace_from_report("live", &report, false)
+}
+
+/// Runs a scenario family through the async harness at its descriptor's
+/// pinned geometry.
+pub fn async_trace_for(family: ScenarioFamily) -> DecisionTrace {
+    async_trace(&family.descriptor())
+}
+
+/// Runs the async-substrate analog and extracts its decision trace. The
+/// run goes through [`FaultInjector`] middleware armed with a quiet plan
+/// (pure pass-through), proving the chaos stack composes over the async
+/// port unchanged: tracing, the supervisor tick, and the abort-initiator
+/// installation all cross the middleware.
+pub fn async_trace(descriptor: &ScenarioDescriptor) -> DecisionTrace {
+    let plan = FaultPlan::quiet(descriptor.sim_seed);
+    let report = atropos_async::run_with(
+        live_config_for(descriptor),
+        ControlMode::Atropos(live_atropos_config()),
+        move |port| Arc::new(FaultInjector::over(port, &plan)),
+    );
+    trace_from_report("async", &report, true)
 }
 
 /// Asserts one substrate's trace is a correct decision, returning a
@@ -207,5 +266,20 @@ fn check_trace(t: &DecisionTrace) -> Result<(), String> {
 pub fn compare(sim: &DecisionTrace, live: &DecisionTrace) -> Result<(), String> {
     check_trace(sim)?;
     check_trace(live)?;
+    Ok(())
+}
+
+/// The three-way judgment: sim, thread, and async substrates each
+/// satisfy the decision contract, which means all three agree on culprit
+/// identity modulo the documented timing tolerance — across a virtual
+/// clock, parked threads with cooperative tokens, and dropped futures.
+pub fn compare3(
+    sim: &DecisionTrace,
+    live: &DecisionTrace,
+    asynchronous: &DecisionTrace,
+) -> Result<(), String> {
+    check_trace(sim)?;
+    check_trace(live)?;
+    check_trace(asynchronous)?;
     Ok(())
 }

@@ -1,56 +1,69 @@
-//! Sim ↔ live differential tests: the simulator and the wall-clock
-//! harness, driven from the same pinned [`ScenarioDescriptor`], reach
-//! the same decision — the culprit is canceled, victims are spared,
-//! within the documented timing tolerance
+//! Sim ↔ thread ↔ async differential tests: three execution substrates,
+//! driven from the same pinned [`ScenarioDescriptor`], reach the same
+//! decision — the culprit is canceled, victims are spared, within the
+//! documented timing tolerance
 //! ([`atropos_chaos::differential::DECISION_TOLERANCE_NS`]).
 //!
-//! These run real threads on the live side; margins follow the live
-//! crate's e2e test (structural contrast far above scheduler noise).
+//! The thread leg runs real worker threads with cooperative cancel
+//! tokens; the async leg runs the hand-rolled executor with future-drop
+//! cancellation, behind a quiet-plan [`FaultInjector`] to prove the
+//! chaos middleware composes over the async port unchanged. Margins
+//! follow the live crate's e2e test (structural contrast far above
+//! scheduler noise).
 //!
-//! On failure, each test dumps both decision traces to
+//! On failure, each test dumps all three decision traces to
 //! `$DIFFERENTIAL_OUT/<family>.txt` (if the env var is set) so CI can
 //! upload the disagreement as an artifact.
 //!
 //! [`ScenarioDescriptor`]: atropos_substrate::ScenarioDescriptor
+//! [`FaultInjector`]: atropos_chaos::FaultInjector
 
-use atropos_chaos::differential::{compare, live_trace_for, sim_trace_for, DecisionTrace};
+use atropos_chaos::differential::{
+    async_trace_for, compare3, live_trace_for, sim_trace_for, DecisionTrace,
+};
 use atropos_substrate::ScenarioFamily;
 
 fn differential(family: ScenarioFamily) {
     let sim = sim_trace_for(family);
     let live = live_trace_for(family);
-    if let Err(e) = compare(&sim, &live) {
-        dump_artifact(family, &sim, &live, &e);
-        panic!("decision traces disagree: {e}\n  sim: {sim:?}\n  live: {live:?}");
+    let asynchronous = async_trace_for(family);
+    if let Err(e) = compare3(&sim, &live, &asynchronous) {
+        dump_artifact(family, &[&sim, &live, &asynchronous], &e);
+        panic!(
+            "decision traces disagree: {e}\n  sim: {sim:?}\n  live: {live:?}\n  async: {asynchronous:?}"
+        );
     }
 }
 
 /// Writes the disagreeing traces where CI can pick them up. Best-effort:
 /// artifact trouble must never mask the real failure.
-fn dump_artifact(family: ScenarioFamily, sim: &DecisionTrace, live: &DecisionTrace, err: &str) {
+fn dump_artifact(family: ScenarioFamily, traces: &[&DecisionTrace], err: &str) {
     let Ok(dir) = std::env::var("DIFFERENTIAL_OUT") else {
         return;
     };
     let _ = std::fs::create_dir_all(&dir);
-    let body = format!(
-        "family: {}\ndescriptor: {:?}\nerror: {err}\nsim: {sim:?}\nlive: {live:?}\n",
+    let mut body = format!(
+        "family: {}\ndescriptor: {:?}\nerror: {err}\n",
         family.name(),
         family.descriptor(),
     );
+    for t in traces {
+        body.push_str(&format!("{}: {t:?}\n", t.substrate));
+    }
     let _ = std::fs::write(format!("{dir}/{}.txt", family.name()), body);
 }
 
 #[test]
-fn sim_and_live_agree_on_the_lock_hog_culprit() {
+fn substrates_agree_on_the_lock_hog_culprit() {
     differential(ScenarioFamily::LockHog);
 }
 
 #[test]
-fn sim_and_live_agree_on_the_buffer_scan_culprit() {
+fn substrates_agree_on_the_buffer_scan_culprit() {
     differential(ScenarioFamily::BufferScan);
 }
 
 #[test]
-fn sim_and_live_agree_on_the_ticket_queue_culprit() {
+fn substrates_agree_on_the_ticket_queue_culprit() {
     differential(ScenarioFamily::TicketQueue);
 }

@@ -31,6 +31,15 @@ use atropos_sim::Clock;
 /// these with the task's *key*. Only `cancel` is mandatory; the
 /// re-execution and drop legs default to no-ops for integrations that
 /// park nothing.
+///
+/// **Delivery context:** the runtime may invoke an initiator while
+/// holding runtime-internal locks (the canonical implementation delivers
+/// from inside `tick`). An initiator must therefore only *signal* — raise
+/// a flag, enqueue an abort — and never synchronously run unwinding that
+/// re-enters the port (`free`, `free_cancel`, …) on the delivering
+/// thread. Cooperative tokens satisfy this trivially; detach-style
+/// initiators (the async substrate's abort handles) must defer the
+/// actual teardown to their own execution context.
 pub trait CancelInitiator: Send + Sync {
     /// Cancel the work registered under `key` at its next safe checkpoint.
     fn cancel(&self, key: TaskKey);

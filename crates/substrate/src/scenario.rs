@@ -46,6 +46,8 @@ impl ScenarioFamily {
             ScenarioFamily::LockHog => ScenarioDescriptor {
                 family: self,
                 sim_seed: 42,
+                workers: 4,
+                interarrival_us: 2000,
                 tickets: 4,
                 culprit_after_ms: 400,
                 culprit_hold_ms: 1200,
@@ -58,6 +60,8 @@ impl ScenarioFamily {
             ScenarioFamily::BufferScan => ScenarioDescriptor {
                 family: self,
                 sim_seed: 42,
+                workers: 4,
+                interarrival_us: 2000,
                 // Two tickets so the scan's page misses convoy admission
                 // behind it instead of being absorbed by spare workers.
                 tickets: 2,
@@ -73,6 +77,8 @@ impl ScenarioFamily {
             ScenarioFamily::TicketQueue => ScenarioDescriptor {
                 family: self,
                 sim_seed: 42,
+                workers: 4,
+                interarrival_us: 2000,
                 // Few tickets so one hog holding them all starves every
                 // arrival immediately.
                 tickets: 2,
@@ -97,6 +103,12 @@ pub struct ScenarioDescriptor {
     pub family: ScenarioFamily,
     /// Seed for the simulator side's workload RNG.
     pub sim_seed: u64,
+    /// Concurrent service slots: worker threads in the thread substrate,
+    /// the task-pool admission cap in the async substrate. Pinned so the
+    /// runtime-visible task footprint matches across substrates.
+    pub workers: usize,
+    /// Open-loop spacing between normal arrivals, µs.
+    pub interarrival_us: u64,
     /// Ticket-queue permits in the live server.
     pub tickets: usize,
     /// When the live culprit arrives, ms after start.

@@ -37,6 +37,7 @@ run_bench() {
 run_bench tracing "$raw"
 run_bench policy "$raw"
 run_bench live "$live_raw"
+run_bench async_live "$live_raw"
 
 python3 - "$raw" "$out" <<'PY'
 import json
@@ -166,8 +167,10 @@ def ns(bench_id):
 cores = os.cpu_count()
 baseline_p99 = ns("live/victim_p99/no_control")
 atropos_p99 = ns("live/victim_p99/atropos")
+async_baseline_p99 = ns("async_live/victim_p99/no_control")
+async_atropos_p99 = ns("async_live/victim_p99/atropos")
 snapshot = {
-    "schema": "bench_live/v1",
+    "schema": "bench_live/v2",
     "hardware": {"cores": cores},
     "traced_lock_roundtrip_ns": ns("live/traced_lock_roundtrip"),
     "victim_p99_ns": {"no_control": baseline_p99, "atropos": atropos_p99},
@@ -175,12 +178,29 @@ snapshot = {
         round(baseline_p99 / atropos_p99, 2) if baseline_p99 and atropos_p99 else None
     ),
     "time_to_cancel_ns": ns("live/time_to_cancel"),
+    # Same overload on the future-drop substrate: cancellation is an
+    # executor-delivered future drop instead of a cooperative token flip.
+    "async_live": {
+        "spawned_lock_roundtrip_ns": ns("async_live/spawned_lock_roundtrip"),
+        "victim_p99_ns": {
+            "no_control": async_baseline_p99,
+            "atropos": async_atropos_p99,
+        },
+        "victim_p99_improvement": (
+            round(async_baseline_p99 / async_atropos_p99, 2)
+            if async_baseline_p99 and async_atropos_p99
+            else None
+        ),
+        "time_to_cancel_ns": ns("async_live/time_to_cancel"),
+    },
     "notes": (
-        "Wall-clock smoke run of the atropos-live harness (a ~500 req/s "
-        "4-worker server with one lock-hog culprit): victim p99 with the "
-        "convoy running to the stop flag vs cut short by a supervised "
+        "Wall-clock smoke runs of the atropos-live (thread) and "
+        "atropos-async (future-drop) harnesses (a ~500 req/s 4-worker "
+        "server with one lock-hog culprit): victim p99 with the convoy "
+        "running to the stop flag vs cut short by a supervised "
         "cancellation. Auto-detected a {}-core host; absolute numbers are "
-        "scheduling-sensitive, the improvement ratio is the stable signal."
+        "scheduling-sensitive, the improvement ratios are the stable "
+        "signal."
     ).format(cores),
 }
 
