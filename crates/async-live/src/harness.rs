@@ -109,6 +109,18 @@ pub fn run_with(
     mode: ControlMode,
     wrap: impl FnOnce(Arc<dyn RuntimePort>) -> Arc<dyn RuntimePort>,
 ) -> LiveReport {
+    run_instrumented(cfg, mode, wrap).0
+}
+
+/// Like [`run_with`], but also hands back the underlying runtime so a
+/// checker can take a [`DebugSnapshot`](atropos::DebugSnapshot) of the
+/// quiesced state — the chaos fault leg validates its invariants against
+/// this after the report is in.
+pub fn run_instrumented(
+    cfg: LiveConfig,
+    mode: ControlMode,
+    wrap: impl FnOnce(Arc<dyn RuntimePort>) -> Arc<dyn RuntimePort>,
+) -> (LiveReport, Arc<AtroposRuntime>) {
     let clock = Arc::new(SystemClock::new());
     let atropos_cfg = match &mode {
         ControlMode::Atropos(c) => c.clone(),
@@ -176,7 +188,7 @@ pub fn run_with(
     let names = atropos_obs::ResourceNames::from_snapshot(&rt.debug_snapshot());
     let episodes = obs.drain_episodes(&names);
     let metrics = obs.metrics();
-    LiveReport {
+    let report = LiveReport {
         victim,
         culprit,
         offered: ctx.metrics.offered.load(Ordering::Relaxed),
@@ -195,7 +207,8 @@ pub fn run_with(
         runtime: rt.stats(),
         episodes,
         metrics,
-    }
+    };
+    (report, rt)
 }
 
 #[cfg(test)]

@@ -76,13 +76,49 @@ impl Dagor {
     /// The composed (business, user) priority of a request, in
     /// `[0, LEVELS)`; higher is more important.
     fn priority(req: &Request) -> u32 {
+        Self::priority_of(req.class.0 as u8, req.client.0 as u64)
+    }
+
+    /// The composed (business, user) priority for bare identity fields,
+    /// in `[0, LEVELS)`; higher is more important. This is the exact
+    /// function [`Controller::on_arrival`] ranks by, exposed so harnesses
+    /// outside the simulator (the federation tiers) can piggyback the
+    /// same priority on their requests without constructing a full
+    /// [`Request`].
+    pub fn priority_of(class: u8, client: u64) -> u32 {
         // Business priority from the class (lower class id = more
         // important, mirroring how operators hand-rank entry services);
         // user priority from a hash of the client so each user keeps a
         // consistent level.
-        let business = 7u32.saturating_sub(req.class.0 as u32).min(7);
-        let user = (req.client.0 as u32).wrapping_mul(2654435761) % 8;
+        let business = 7u32.saturating_sub(class as u32).min(7);
+        let user = (client as u32).wrapping_mul(2654435761) % 8;
         business * 8 + user
+    }
+
+    /// Bare-field admission check: would a foreground request with this
+    /// (class, client) identity be admitted right now? Counts a
+    /// rejection exactly like [`Controller::on_arrival`].
+    pub fn admit_bare(&mut self, class: u8, client: u64) -> bool {
+        if Self::priority_of(class, client) >= self.threshold {
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// Bare-field epoch adaptation: feed the average queuing delay DAGOR
+    /// samples and apply the one-step-up / proportional-step-down rule —
+    /// the same arithmetic as [`Controller::on_tick`], for harnesses that
+    /// measure their own queues.
+    pub fn adapt(&mut self, avg_wait_ns: u64) {
+        if avg_wait_ns > self.cfg.queue_time_ns {
+            let admitted = LEVELS - self.threshold;
+            let cut = ((admitted as f64 * self.cfg.step_down).ceil() as u32).max(1);
+            self.threshold = (self.threshold + cut).min(LEVELS - 1);
+        } else if self.threshold > 0 {
+            self.threshold -= 1;
+        }
     }
 }
 
@@ -117,15 +153,7 @@ impl Controller for Dagor {
         } else {
             waits.iter().sum::<u64>() / waits.len() as u64
         };
-        if avg_wait > self.cfg.queue_time_ns {
-            // Overloaded: cut a fraction of the admitted levels.
-            let admitted = LEVELS - self.threshold;
-            let cut = ((admitted as f64 * self.cfg.step_down).ceil() as u32).max(1);
-            self.threshold = (self.threshold + cut).min(LEVELS - 1);
-        } else if self.threshold > 0 {
-            // Healthy: re-admit one level per epoch.
-            self.threshold -= 1;
-        }
+        self.adapt(avg_wait);
         Vec::new()
     }
 }

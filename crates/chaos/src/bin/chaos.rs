@@ -5,9 +5,14 @@
 //! minimized plan on the first violation.
 //!
 //! ```text
-//! chaos [--scenario lock_hog|buffer_scan|ticket_queue|all] [--seed N] [--plans N]
-//!       [--load N] [--quiet-only] [--episodes]
+//! chaos [--scenario lock_hog|buffer_scan|ticket_queue|all|async_live] [--seed N]
+//!       [--plans N] [--load N] [--quiet-only] [--episodes]
 //! ```
+//!
+//! `--scenario async_live` soaks the wall-clock async substrate behind
+//! armed fault plans instead of the scripted virtual-clock scenarios
+//! (plan `i` exercises scenario family `i % 3`), validating the quiesced
+//! invariants after every run.
 //!
 //! `--episodes` dumps each run's folded decision episodes (why every
 //! cancellation was issued) — the flight recorder's audit trail.
@@ -18,10 +23,12 @@
 
 use std::process::ExitCode;
 
-use atropos_chaos::{run_checked, FaultPlan, ScenarioKind};
+use atropos_chaos::{run_async_scenario, run_checked, FaultPlan, ScenarioKind};
+use atropos_substrate::ScenarioFamily;
 
 struct Args {
     scenarios: Vec<ScenarioKind>,
+    async_live: bool,
     seed: u64,
     plans: u64,
     load: u64,
@@ -32,6 +39,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scenarios: ScenarioKind::ALL.to_vec(),
+        async_live: false,
         seed: std::env::var("CHAOS_SEED")
             .ok()
             .and_then(|s| s.trim().parse().ok())
@@ -52,6 +60,10 @@ fn parse_args() -> Result<Args, String> {
                     "buffer_scan" | "buffer-scan" => vec![ScenarioKind::BufferScan],
                     "ticket_queue" | "ticket-queue" => vec![ScenarioKind::TicketQueue],
                     "all" => ScenarioKind::ALL.to_vec(),
+                    "async_live" | "async-live" => {
+                        args.async_live = true;
+                        vec![]
+                    }
                     other => return Err(format!("unknown scenario {other:?}")),
                 };
             }
@@ -91,12 +103,19 @@ fn main() -> ExitCode {
         args.seed,
         args.plans,
         args.load,
-        args.scenarios
-            .iter()
-            .map(|s| s.name())
-            .collect::<Vec<_>>()
-            .join(",")
+        if args.async_live {
+            "async_live".to_string()
+        } else {
+            args.scenarios
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
     );
+    if args.async_live {
+        return soak_async(&args);
+    }
     let mut runs = 0u64;
     for scenario in &args.scenarios {
         for i in 0..args.plans {
@@ -136,5 +155,62 @@ fn main() -> ExitCode {
         }
     }
     println!("chaos soak: all {runs} runs clean");
+    ExitCode::SUCCESS
+}
+
+/// The async fault leg: wall-clock async runs behind armed plans, the
+/// quiesced invariants validated after each. Plan `i` (seed `base + i`)
+/// exercises scenario family `i % 3`.
+fn soak_async(args: &Args) -> ExitCode {
+    let mut runs = 0u64;
+    for i in 0..args.plans {
+        let seed = args.seed.wrapping_add(i);
+        let plan = if args.quiet_only {
+            FaultPlan::quiet(seed)
+        } else {
+            FaultPlan::sample(seed)
+        };
+        let family = ScenarioFamily::ALL[(i % 3) as usize];
+        let out = run_async_scenario(family, &plan);
+        if let Some(v) = &out.violation {
+            eprintln!(
+                "chaos: async_live {} seed {seed} FAILED after {runs} clean runs: {v}\n\
+                 replay: cargo run -p atropos-chaos --bin chaos -- \
+                 --scenario async_live --seed {seed} --plans 1",
+                family.name()
+            );
+            return ExitCode::FAILURE;
+        }
+        if out.leaked_tasks > 0 {
+            eprintln!(
+                "chaos: async_live {} seed {seed}: {} task scope(s) leaked",
+                family.name(),
+                out.leaked_tasks
+            );
+            return ExitCode::FAILURE;
+        }
+        runs += 1;
+        if args.episodes && !out.report.episodes.is_empty() {
+            println!(
+                "  async_live {} seed {seed} decision episodes:",
+                family.name()
+            );
+            for line in atropos_obs::render_episodes(&out.report.episodes).lines() {
+                println!("    {line}");
+            }
+        }
+        if i == 0 || (i + 1) % 25 == 0 {
+            println!(
+                "  async_live {} seed {seed} ok: {} faults armed, {} ticks, {} served, \
+                 {} cancel(s) issued",
+                family.name(),
+                plan.faults.len(),
+                out.report.ticks,
+                out.report.victim.count,
+                out.report.canceled_keys.len()
+            );
+        }
+    }
+    println!("chaos soak: all {runs} async runs clean");
     ExitCode::SUCCESS
 }

@@ -30,7 +30,13 @@
 //!   issued (as witnessed at the initiator boundary) is explained by a
 //!   recorded decision episode naming the same key. Checked end-of-run
 //!   via [`check_episode_coverage`].
+//! - **I9 blame conservation across edges** — every cross-node
+//!   cancellation observed at an RPC edge traces to a root key witnessed
+//!   on the originating node, no proxy task without a blame-table entry
+//!   is ever canceled upstream, and no identity frame was rejected.
+//!   Checked each tick in the federation soaks via [`check_edge_blame`].
 
+use std::collections::HashSet;
 use std::fmt;
 
 use atropos::{AtroposRuntime, DebugSnapshot, ResourceId, TaskId};
@@ -41,7 +47,7 @@ use crate::injector::Truth;
 /// One violated invariant, with enough detail to debug from the log line.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// Which invariant (I1..I7).
+    /// Which invariant (I1..I9).
     pub invariant: &'static str,
     /// Human-readable specifics: task, resource, observed vs bound.
     pub detail: String,
@@ -94,6 +100,23 @@ impl InvariantChecker {
         self.check_cancel_liveness(truth)?;
         self.check_detector(&snap)?;
         self.check_blame(rt, &snap)?;
+        Ok(())
+    }
+
+    /// End-of-run variant for wall-clock substrates (the async fault
+    /// leg): the estimator-window half of I7 is only meaningful when the
+    /// checker observes every tick on a virtual clock, but all the
+    /// *cumulative* invariants — I1–I6 plus the wait/hold-vs-elapsed half
+    /// of I7 — hold against the final quiesced state, and that is what
+    /// this validates.
+    pub fn final_check(&mut self, rt: &AtroposRuntime, truth: &Truth) -> Result<(), Violation> {
+        let snap = rt.debug_snapshot();
+        self.checks += 1;
+        self.max_live_tasks = self.max_live_tasks.max(snap.tasks.len() as u64);
+        self.check_accounting(&snap, truth)?;
+        self.check_cancel_liveness(truth)?;
+        self.check_detector(&snap)?;
+        self.check_time_bounds(&snap)?;
         Ok(())
     }
 
@@ -227,8 +250,9 @@ impl InvariantChecker {
         Ok(())
     }
 
-    fn check_blame(&self, rt: &AtroposRuntime, snap: &DebugSnapshot) -> Result<(), Violation> {
-        // Cumulative wait/hold per (task, resource) cannot outrun the clock.
+    /// The wait/hold-vs-elapsed half of I7: cumulative per-(task,
+    /// resource) wait/hold time cannot outrun the clock.
+    fn check_time_bounds(&self, snap: &DebugSnapshot) -> Result<(), Violation> {
         for task in &snap.tasks {
             for (idx, u) in task.usage.iter().enumerate() {
                 if u.total_wait_ns > snap.now_ns || u.total_hold_ns > snap.now_ns {
@@ -243,6 +267,11 @@ impl InvariantChecker {
                 }
             }
         }
+        Ok(())
+    }
+
+    fn check_blame(&self, rt: &AtroposRuntime, snap: &DebugSnapshot) -> Result<(), Violation> {
+        self.check_time_bounds(snap)?;
         // Estimator window blame: each resource's attributed waiting time
         // is at most (every live task waiting the entire window).
         if let Some(est) = rt.last_estimate() {
@@ -306,6 +335,70 @@ pub fn check_episode_coverage(
                 truth.cancel_log.len()
             ),
         });
+    }
+    Ok(())
+}
+
+/// One cross-node cancellation as observed at an RPC edge: a callee node
+/// canceled a task and the edge routed (or declined to route) the cancel
+/// upstream toward the identity's claimed origin. Recorded by the
+/// federation harness at the edge boundary, *before* any injected edge
+/// faults, so partitioned or delayed deliveries still appear here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeCancelObservation {
+    /// Root key the upstream leg carried.
+    pub root_key: u64,
+    /// Node the piggybacked identity claims as origin.
+    pub origin_node: u16,
+    /// Whether the edge held a blame-table entry for the canceled proxy
+    /// key. `false` means a cancel crossed the edge with no blame path.
+    pub had_blame: bool,
+    /// Harness tick when observed.
+    pub tick: u64,
+}
+
+/// I9: blame conservation across edges. Every cross-node cancellation
+/// must (a) carry a blame path — the edge's blame table knew the proxy
+/// key — and (b) name a root key actually witnessed (registered) on the
+/// originating node; and no identity frame may have been rejected by the
+/// codec. Together these say the federation never sheds anonymous load:
+/// a cancel that crosses a node boundary is always the targeted
+/// cancellation of a specific, witnessed end-to-end root.
+pub fn check_edge_blame(
+    witnessed_roots: &HashSet<u64>,
+    observations: &[EdgeCancelObservation],
+    frames_rejected: u64,
+) -> Result<(), Violation> {
+    if frames_rejected > 0 {
+        return Err(Violation {
+            invariant: "I9",
+            detail: format!("{frames_rejected} identity frames rejected by the edge codec"),
+        });
+    }
+    for obs in observations {
+        if !obs.had_blame {
+            return Err(Violation {
+                invariant: "I9",
+                detail: format!(
+                    "cross-node cancel of root {} (origin n{}) at tick {} crossed the \
+                     edge without a blame-table entry",
+                    obs.root_key, obs.origin_node, obs.tick
+                ),
+            });
+        }
+        if !witnessed_roots.contains(&obs.root_key) {
+            return Err(Violation {
+                invariant: "I9",
+                detail: format!(
+                    "cross-node cancel names root {} (origin n{}) at tick {} but no such \
+                     root was witnessed on the originating node ({} roots witnessed)",
+                    obs.root_key,
+                    obs.origin_node,
+                    obs.tick,
+                    witnessed_roots.len()
+                ),
+            });
+        }
     }
     Ok(())
 }

@@ -382,13 +382,18 @@ impl FaultInjector {
     /// finished *before* forwarding — any cancellation issued after this
     /// point that targets the key is an invariant violation.
     pub fn free_cancel(&self, task: TaskId) {
-        {
-            let mut s = self.st.lock();
-            if let Some(k) = s.task_keys.get(&task).copied() {
-                s.truth.finished_keys.insert(k);
-            }
-        }
+        // Forward first, record second. On wall-clock substrates the
+        // runtime's tick thread can issue a cancel for this still-live
+        // task while we block on the runtime lock here; marking the key
+        // finished before the runtime has processed the free would make
+        // that perfectly legal cancel look like an I5 violation. Under
+        // the scripted (single-threaded, virtual-clock) scenarios the two
+        // orders are indistinguishable, so I5 stays falsifiable.
         self.inner.free_cancel(task);
+        let mut s = self.st.lock();
+        if let Some(k) = s.task_keys.get(&task).copied() {
+            s.truth.finished_keys.insert(k);
+        }
     }
 
     /// Mirrors [`AtroposRuntime::unit_started`] (never faulted).

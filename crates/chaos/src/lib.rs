@@ -30,6 +30,7 @@
 //! delta-debugging — the vendored proptest shim does not shrink), which
 //! the `chaos` soak binary can replay.
 
+pub mod async_leg;
 pub mod checker;
 pub mod differential;
 pub mod injector;
@@ -38,8 +39,10 @@ pub mod scenario;
 
 use std::fmt;
 
+pub use async_leg::{run_async_scenario, AsyncLegOutcome};
 pub use checker::{
-    check_detector_monotonicity, check_episode_coverage, InvariantChecker, Violation,
+    check_detector_monotonicity, check_edge_blame, check_episode_coverage, EdgeCancelObservation,
+    InvariantChecker, Violation,
 };
 pub use injector::{CancelObservation, FaultInjector, InjectionLog, Truth};
 pub use plan::{Fault, FaultPlan};

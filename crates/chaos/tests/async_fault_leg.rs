@@ -1,0 +1,98 @@
+//! The async substrate under armed fault plans, and I9 falsifiability.
+//!
+//! PR 7's differential only ever ran the async port behind the *quiet*
+//! plan. These tests arm real plans — dropped/duplicated frees, delayed
+//! and reordered batches, failed/delayed cancels, tick skew — over full
+//! wall-clock async serving sessions and validate the quiesced
+//! invariants (I1–I6, the wait/hold half of I7, I8) plus the drain
+//! guarantee that no fault pattern wedges a task scope open.
+
+use std::collections::HashSet;
+
+use atropos_chaos::{check_edge_blame, run_async_scenario, EdgeCancelObservation, FaultPlan};
+use atropos_substrate::ScenarioFamily;
+
+/// Quiet plan first: the leg itself is sound — the culprit story plays
+/// out through the instrumented run and nothing violates.
+#[test]
+fn async_leg_quiet_plan_is_clean_and_cancels_the_culprit() {
+    let out = run_async_scenario(ScenarioFamily::LockHog, &FaultPlan::quiet(7));
+    assert!(out.violation.is_none(), "{:?}", out.violation);
+    assert_eq!(out.leaked_tasks, 0);
+    assert!(
+        out.report.culprits_canceled >= 1,
+        "quiet async run never canceled the culprit: {:?}",
+        out.report.canceled_keys
+    );
+    assert!(out.injection.frees_dropped == 0 && out.injection.frees_duplicated == 0);
+}
+
+/// Armed plans across all three families: invariants hold against the
+/// quiesced end state and every task scope closes, whatever the plan
+/// dropped, duplicated, delayed, reordered or swallowed.
+#[test]
+fn async_leg_survives_armed_fault_plans() {
+    let mut armed_seen = false;
+    for (i, family) in ScenarioFamily::ALL.iter().cycle().take(6).enumerate() {
+        let seed = 900 + i as u64;
+        let plan = FaultPlan::sample(seed);
+        armed_seen |= !plan.faults.is_empty();
+        let out = run_async_scenario(*family, &plan);
+        assert!(
+            out.violation.is_none(),
+            "async {} seed {seed}: {}",
+            family.name(),
+            out.violation.unwrap()
+        );
+        assert_eq!(
+            out.leaked_tasks,
+            0,
+            "async {} seed {seed} leaked task scopes under {:?}",
+            family.name(),
+            plan.faults
+        );
+    }
+    assert!(
+        armed_seen,
+        "every sampled plan was quiet; soak proved nothing"
+    );
+}
+
+fn obs(root_key: u64, had_blame: bool) -> EdgeCancelObservation {
+    EdgeCancelObservation {
+        root_key,
+        origin_node: 0,
+        had_blame,
+        tick: 3,
+    }
+}
+
+/// I9 accepts exactly the conserving histories...
+#[test]
+fn edge_blame_conservation_passes_on_witnessed_roots() {
+    let witnessed: HashSet<u64> = [5, 9].into_iter().collect();
+    let log = [obs(5, true), obs(9, true)];
+    assert!(check_edge_blame(&witnessed, &log, 0).is_ok());
+}
+
+/// ...and is falsifiable on each leg: a cancel without a blame path, a
+/// root never witnessed at the origin, and a rejected identity frame are
+/// all caught.
+#[test]
+fn edge_blame_conservation_is_falsifiable() {
+    let witnessed: HashSet<u64> = [5].into_iter().collect();
+
+    let no_path = [obs(5, false)];
+    let v = check_edge_blame(&witnessed, &no_path, 0).unwrap_err();
+    assert_eq!(v.invariant, "I9");
+    assert!(v.detail.contains("without a blame-table entry"), "{v}");
+
+    let unwitnessed = [obs(6, true)];
+    let v = check_edge_blame(&witnessed, &unwitnessed, 0).unwrap_err();
+    assert_eq!(v.invariant, "I9");
+    assert!(v.detail.contains("no such root was witnessed"), "{v}");
+
+    let v = check_edge_blame(&witnessed, &[], 2).unwrap_err();
+    assert_eq!(v.invariant, "I9");
+    assert!(v.detail.contains("frames rejected"), "{v}");
+}

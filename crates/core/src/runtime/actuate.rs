@@ -161,20 +161,48 @@ impl AtroposRuntime {
             .tasks
             .values()
             .find(|t| t.key == key)
-            .map(|t| (t.id, t.background));
-        let background = match task {
-            Some((id, background)) => {
+            .map(|t| (t.id, t.background, t.origin));
+        let (background, origin) = match task {
+            Some((id, background, origin)) => {
                 if let Some(t) = inner.tasks.get_mut(&id) {
                     t.state = TaskState::CancelRequested;
                 }
-                background
+                (background, origin)
             }
-            None => false,
+            None => (false, None),
         };
         let sink = inner.recorder.clone();
         let handle = RecorderHandle::new(sink.as_deref(), inner.stats.ticks);
-        inner
-            .cancel
-            .request_cancel_recorded(now, key, background, CancelOrigin::Operator, &handle)
+        let d = inner.cancel.request_cancel_recorded(
+            now,
+            key,
+            background,
+            CancelOrigin::Operator,
+            &handle,
+        );
+        if d == CancelDecision::Issued {
+            // Cross-node blame (§4): operator kills of proxy tasks are
+            // attributed to the remote root just like policy cancels.
+            if let Some(origin) = origin {
+                inner.remote_blame.push(crate::task::RemoteBlame {
+                    local_key: key,
+                    origin,
+                    at_ns: now,
+                });
+            }
+        }
+        d
+    }
+
+    /// Records the cross-node provenance of `task` (§4): the root
+    /// identity piggybacked over the RPC edge that created it. Installed
+    /// by the federation edge when a proxy task is opened; cancels of the
+    /// task are then attributed to the remote root in
+    /// [`DebugSnapshot`](crate::DebugSnapshot) blame records.
+    pub fn set_task_origin(&self, task: TaskId, origin: crate::task::RemoteOrigin) {
+        let mut inner = self.inner.lock();
+        if let Some(t) = inner.tasks.get_mut(&task) {
+            t.origin = Some(origin);
+        }
     }
 }

@@ -157,11 +157,11 @@ impl AtroposRuntime {
                                     victims_waiting,
                                 });
                             }
-                            let background = inner
+                            let (background, origin) = inner
                                 .tasks
                                 .get(&s.task)
-                                .map(|t| t.background)
-                                .unwrap_or(false);
+                                .map(|t| (t.background, t.origin))
+                                .unwrap_or((false, None));
                             if let Some(t) = inner.tasks.get_mut(&s.task) {
                                 t.state = TaskState::CancelRequested;
                             }
@@ -173,6 +173,15 @@ impl AtroposRuntime {
                                 &rec,
                             );
                             if d == CancelDecision::Issued {
+                                // Cross-node blame (§4): a canceled proxy
+                                // task is attributed to its remote root.
+                                if let Some(origin) = origin {
+                                    inner.remote_blame.push(crate::task::RemoteBlame {
+                                        local_key: s.key,
+                                        origin,
+                                        at_ns: now,
+                                    });
+                                }
                                 // Distributed extension: propagate the root
                                 // cancellation to all descendant tasks.
                                 let keys = descendant_keys(&inner.tasks, s.task);

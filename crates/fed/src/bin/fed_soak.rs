@@ -1,0 +1,135 @@
+//! Federation chaos soak driver.
+//!
+//! Runs seeded fault plans through the federated scenarios with I1–I8
+//! checked per node per tick and the cross-edge blame-conservation
+//! invariant I9 checked across edges, exiting nonzero with a replayable
+//! seed on the first violation.
+//!
+//! ```text
+//! fed_soak [--kind partition|delayed_cancel|fan_convoy|all] [--seed N]
+//!          [--plans N] [--quiet-only]
+//! ```
+//!
+//! The base seed defaults to `$CHAOS_SEED`, then 42; plan `i` uses seed
+//! `base + i`. Quiet plans additionally assert the full story: the
+//! culprit root canceled end to end, zero innocent upstream cancels.
+
+use std::process::ExitCode;
+
+use atropos_fed::{run_fed_scenario, FedScenarioKind};
+
+struct Args {
+    kinds: Vec<FedScenarioKind>,
+    seed: u64,
+    plans: u64,
+    quiet_only: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        kinds: FedScenarioKind::ALL.to_vec(),
+        seed: std::env::var("CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(42),
+        plans: 128,
+        quiet_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--kind" => {
+                let v = value("--kind")?;
+                args.kinds = match v.as_str() {
+                    "partition" => vec![FedScenarioKind::Partition],
+                    "delayed_cancel" | "delayed-cancel" => vec![FedScenarioKind::DelayedCancel],
+                    "fan_convoy" | "fan-convoy" => vec![FedScenarioKind::FanConvoy],
+                    "all" => FedScenarioKind::ALL.to_vec(),
+                    other => return Err(format!("unknown kind {other:?}")),
+                };
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--plans" => {
+                args.plans = value("--plans")?
+                    .parse()
+                    .map_err(|e| format!("--plans: {e}"))?
+            }
+            "--quiet-only" => args.quiet_only = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fed_soak: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "fed soak: base seed {} | {} plan(s) per kind | kinds: {}",
+        args.seed,
+        args.plans,
+        args.kinds
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let mut runs = 0u64;
+    for kind in &args.kinds {
+        for i in 0..args.plans {
+            let seed = args.seed.wrapping_add(i);
+            let armed = !args.quiet_only;
+            let out = run_fed_scenario(*kind, seed, armed);
+            if let Some(v) = &out.violation {
+                eprintln!(
+                    "fed_soak: {} seed {seed} FAILED after {runs} clean runs: {v}\n\
+                     replay: cargo run -p atropos-fed --bin fed_soak -- \
+                     --kind {} --seed {seed} --plans 1{}",
+                    kind.name(),
+                    kind.name(),
+                    if armed { "" } else { " --quiet-only" }
+                );
+                return ExitCode::FAILURE;
+            }
+            if !armed && (!out.root_canceled || out.victim_roots_canceled > 0) {
+                eprintln!(
+                    "fed_soak: {} seed {seed} quiet story broke: root_canceled={} \
+                     innocent={} roots={:?}",
+                    kind.name(),
+                    out.root_canceled,
+                    out.victim_roots_canceled,
+                    out.canceled_roots
+                );
+                return ExitCode::FAILURE;
+            }
+            runs += 1;
+            if i == 0 || (i + 1) % 32 == 0 {
+                println!(
+                    "  {} seed {seed} ok: root_canceled={} window={:?} innocent={} \
+                     upstream={} frames={}",
+                    kind.name(),
+                    out.root_canceled,
+                    out.root_cancel_window,
+                    out.victim_roots_canceled,
+                    out.edge_stats
+                        .iter()
+                        .map(|s| s.upstream_cancels)
+                        .sum::<u64>(),
+                    out.edge_stats.iter().map(|s| s.frames_carried).sum::<u64>(),
+                );
+            }
+        }
+    }
+    println!("fed soak: all {runs} runs clean");
+    ExitCode::SUCCESS
+}

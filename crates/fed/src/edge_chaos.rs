@@ -1,0 +1,258 @@
+//! Seeded faults on the upstream cancel leg of an RPC edge.
+//!
+//! The single-node chaos plans (`atropos_chaos::FaultPlan`) perturb the
+//! protocol *inside* one node. Federation adds a fault surface of its
+//! own: the cross-node path a cancellation takes from a callee back
+//! toward the origin. [`EdgeFaultSink`] wraps the upstream
+//! [`CancelInitiator`] a [`FedEdge`](atropos_substrate::FedEdge) forwards
+//! to and interposes three edge behaviours, all seeded and replayable:
+//!
+//! - **partition**: during a window interval the edge is down; upstream
+//!   cancels are buffered and flushed when the partition heals (the edge
+//!   retries until acknowledged — at-least-once, never silent loss),
+//! - **delay**: every upstream cancel is held for a fixed number of
+//!   windows before delivery,
+//! - **reorder**: deliveries that become due on the same window are
+//!   released in reverse arrival order.
+//!
+//! The sink is driven by the scenario's window loop
+//! ([`EdgeFaultSink::advance_to`]); everything it ever delivered, and
+//! when, is kept for assertions ([`EdgeFaultSink::delivered`]).
+
+use std::sync::Arc;
+
+use atropos::TaskKey;
+use atropos_sim::SimRng;
+use atropos_substrate::CancelInitiator;
+use parking_lot::Mutex;
+
+use crate::scenario::FedScenarioKind;
+
+/// Seeded fault parameters for one edge's upstream cancel leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeFaultPlan {
+    /// Window interval `[start, end)` during which the edge is
+    /// partitioned; upstream cancels are buffered until `end`.
+    pub partition: Option<(u64, u64)>,
+    /// Windows each upstream cancel is delayed before delivery.
+    pub delay_windows: u64,
+    /// Whether same-window releases are delivered in reverse order.
+    pub reorder: bool,
+}
+
+impl EdgeFaultPlan {
+    /// A fault-free edge.
+    pub fn healthy() -> Self {
+        Self {
+            partition: None,
+            delay_windows: 0,
+            reorder: false,
+        }
+    }
+
+    /// The seeded edge faults a federation scenario kind arms: a healed
+    /// partition for [`FedScenarioKind::Partition`], delayed + reordered
+    /// deliveries for [`FedScenarioKind::DelayedCancel`], and light
+    /// jitter for [`FedScenarioKind::FanConvoy`] (the convoy itself is
+    /// the fault there).
+    pub fn for_kind(kind: FedScenarioKind, seed: u64) -> Self {
+        let mut rng = SimRng::new(seed ^ 0xED6E_FA17);
+        match kind {
+            FedScenarioKind::Partition => {
+                // Start at the hog window so the partition always covers
+                // detection (the first tick after the hog can already see
+                // over-SLO give-ups); the cancel must wait for the heal.
+                let start = 2;
+                let len = 2 + rng.below(3);
+                Self {
+                    partition: Some((start, start + len)),
+                    delay_windows: 0,
+                    reorder: false,
+                }
+            }
+            FedScenarioKind::DelayedCancel => Self {
+                partition: None,
+                delay_windows: 1 + rng.below(2),
+                reorder: true,
+            },
+            FedScenarioKind::FanConvoy => Self {
+                partition: None,
+                delay_windows: rng.below(2),
+                reorder: true,
+            },
+        }
+    }
+}
+
+struct SinkState {
+    now_window: u64,
+    /// `(release_window, arrival_seq, key)` not yet delivered.
+    held: Vec<(u64, u64, u64)>,
+    seq: u64,
+    /// `(delivery_window, key)` in delivery order.
+    delivered: Vec<(u64, u64)>,
+}
+
+/// A faulty upstream cancel leg: buffers, delays and reorders
+/// cross-node cancellations per an [`EdgeFaultPlan`], delivering into the
+/// real upstream initiator when the scenario clock reaches the release
+/// window. Cancels are never dropped — the federation contract is
+/// at-least-once — only displaced in time and order.
+pub struct EdgeFaultSink {
+    inner: Arc<dyn CancelInitiator>,
+    plan: EdgeFaultPlan,
+    st: Mutex<SinkState>,
+}
+
+impl EdgeFaultSink {
+    /// Wraps `inner` in the edge faults of `plan`.
+    pub fn new(plan: EdgeFaultPlan, inner: Arc<dyn CancelInitiator>) -> Arc<Self> {
+        Arc::new(Self {
+            inner,
+            plan,
+            st: Mutex::new(SinkState {
+                now_window: 0,
+                held: Vec::new(),
+                seq: 0,
+                delivered: Vec::new(),
+            }),
+        })
+    }
+
+    /// Advances the edge to `window`, flushing every buffered cancel
+    /// whose release window has arrived (in reverse arrival order within
+    /// a batch when the plan reorders).
+    pub fn advance_to(&self, window: u64) {
+        let due: Vec<(u64, u64, u64)> = {
+            let mut st = self.st.lock();
+            st.now_window = window;
+            let mut due: Vec<_> = Vec::new();
+            st.held.retain(|entry| {
+                if entry.0 <= window {
+                    due.push(*entry);
+                    false
+                } else {
+                    true
+                }
+            });
+            due.sort_by_key(|&(release, seq, _)| {
+                (
+                    release,
+                    if self.plan.reorder {
+                        u64::MAX - seq
+                    } else {
+                        seq
+                    },
+                )
+            });
+            for &(_, _, key) in &due {
+                st.delivered.push((window, key));
+            }
+            due
+        };
+        for (_, _, key) in due {
+            self.inner.cancel(TaskKey(key));
+        }
+    }
+
+    /// Every delivery so far as `(window, root_key)` in delivery order.
+    pub fn delivered(&self) -> Vec<(u64, u64)> {
+        self.st.lock().delivered.clone()
+    }
+
+    /// Cancels currently buffered (partitioned or delayed).
+    pub fn held(&self) -> usize {
+        self.st.lock().held.len()
+    }
+}
+
+impl CancelInitiator for EdgeFaultSink {
+    fn cancel(&self, key: TaskKey) {
+        let deliver_now = {
+            let mut st = self.st.lock();
+            let now = st.now_window;
+            let mut release = now + self.plan.delay_windows;
+            if let Some((start, end)) = self.plan.partition {
+                if now >= start && now < end {
+                    release = release.max(end);
+                }
+            }
+            if release <= now {
+                st.delivered.push((now, key.0));
+                true
+            } else {
+                let seq = st.seq;
+                st.seq += 1;
+                st.held.push((release, seq, key.0));
+                false
+            }
+        };
+        if deliver_now {
+            self.inner.cancel(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atropos_substrate::CancelFn;
+
+    fn sink(plan: EdgeFaultPlan) -> (Arc<EdgeFaultSink>, Arc<Mutex<Vec<u64>>>) {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = seen.clone();
+        let sink = EdgeFaultSink::new(
+            plan,
+            Arc::new(CancelFn(move |k: TaskKey| s.lock().push(k.0))),
+        );
+        (sink, seen)
+    }
+
+    #[test]
+    fn healthy_edge_delivers_immediately() {
+        let (sink, seen) = sink(EdgeFaultPlan::healthy());
+        sink.advance_to(2);
+        sink.cancel(TaskKey(9));
+        assert_eq!(seen.lock().clone(), vec![9]);
+        assert_eq!(sink.delivered(), vec![(2, 9)]);
+        assert_eq!(sink.held(), 0);
+    }
+
+    #[test]
+    fn partition_buffers_until_heal_and_never_drops() {
+        let plan = EdgeFaultPlan {
+            partition: Some((2, 5)),
+            delay_windows: 0,
+            reorder: false,
+        };
+        let (sink, seen) = sink(plan);
+        sink.advance_to(3);
+        sink.cancel(TaskKey(1));
+        sink.cancel(TaskKey(2));
+        assert!(seen.lock().is_empty());
+        assert_eq!(sink.held(), 2);
+        sink.advance_to(4);
+        assert!(seen.lock().is_empty(), "partition still up");
+        sink.advance_to(5);
+        assert_eq!(seen.lock().clone(), vec![1, 2]);
+        assert_eq!(sink.delivered(), vec![(5, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn delay_and_reorder_displace_in_time_and_order() {
+        let plan = EdgeFaultPlan {
+            partition: None,
+            delay_windows: 2,
+            reorder: true,
+        };
+        let (sink, seen) = sink(plan);
+        sink.advance_to(1);
+        sink.cancel(TaskKey(10));
+        sink.cancel(TaskKey(11));
+        sink.advance_to(2);
+        assert!(seen.lock().is_empty());
+        sink.advance_to(3);
+        // Same release batch, reversed arrival order.
+        assert_eq!(seen.lock().clone(), vec![11, 10]);
+    }
+}

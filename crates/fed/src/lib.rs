@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Multi-runtime federation: Atropos across a service graph.
+//!
+//! The paper treats one application as one runtime; §4 sketches the
+//! distributed extension: when a request fans out over RPC, the callee's
+//! detector should blame the *originating* end-to-end request, not an
+//! anonymous local task, and the cancellation should travel back upstream
+//! to the root instead of shedding innocent local load. This crate builds
+//! that extension out of pieces the workspace already has:
+//!
+//! - several [`atropos::AtroposRuntime`] instances composed as tiers of a
+//!   service graph on one clock, each behind its own chaos
+//!   [`FaultInjector`](atropos_chaos::FaultInjector),
+//! - the substrate's [`FedEdge`](atropos_substrate::FedEdge) port
+//!   middleware on every callee, piggybacking the caller's
+//!   [`EdgeIdentity`](atropos_substrate::EdgeIdentity) (root key + hop
+//!   path) on each request the way DAGOR piggybacks priority,
+//! - [`edge_chaos`]: seeded partition / delay / reorder faults on the
+//!   *upstream cancel leg* of an edge — the federation-specific fault
+//!   surface the single-node chaos plans cannot express,
+//! - [`scenario`]: scripted cascading-overload scenarios (a backend
+//!   culprit convoys a shared shard; victims fan in from the frontend)
+//!   run on a virtual clock with invariants I1–I8 checked per node per
+//!   tick and the cross-edge blame-conservation invariant I9 checked per
+//!   tick across edges,
+//! - [`node`]: the per-tier bundle (runtime + flight recorder + injector
+//!   + optional edge) the scenarios compose,
+//! - [`live`]: a two-tier wall-clock harness where real worker threads
+//!   RPC through an edge into a backend runtime, with a NoControl
+//!   baseline and a DAGOR-style per-node admission baseline that sheds
+//!   victims because it cannot see the culprit.
+//!
+//! The headline property, asserted end to end by the test suite: under a
+//! backend culprit, the federation cancels the *remote root* — and only
+//! the remote root — while a per-node admission baseline sheds innocent
+//! upstream victims.
+
+pub mod edge_chaos;
+pub mod live;
+pub mod node;
+pub mod scenario;
+
+pub use edge_chaos::{EdgeFaultPlan, EdgeFaultSink};
+pub use live::{run_fed_live, FedLiveConfig, FedLiveReport, FedMode};
+pub use node::{fed_runtime_config, FedNode};
+pub use scenario::{
+    run_fed_degenerate, run_fed_scenario, DegenerateOutcome, FedOutcome, FedScenarioKind,
+    ROOT_HOG_KEY,
+};

@@ -1,0 +1,383 @@
+//! Two-tier wall-clock federation harness.
+//!
+//! Real worker threads on the frontend tier serve an open-loop workload;
+//! each request registers a root task on the frontend runtime, then RPCs
+//! through a [`FedEdge`] into the backend tier, where the work contends
+//! on a [`TracedLock`] shard. A culprit request holds the shard far past
+//! its SLO; victims convoy behind it and their *end-to-end* latency is
+//! measured at the frontend.
+//!
+//! Three control modes:
+//!
+//! - [`FedMode::NoControl`]: nothing ticks; the convoy runs its course.
+//! - [`FedMode::Atropos`]: the backend runtime ticks, blames the proxy,
+//!   and the edge propagates the cancellation upstream; the frontend's
+//!   [`CancelRegistry`] token makes the culprit release cooperatively.
+//!   Only the culprit's *root* is ever canceled — no innocent upstream
+//!   load is shed.
+//! - [`FedMode::DagorAdmission`]: a DAGOR-style per-node admission
+//!   baseline at the backend entry. It measures queueing, raises its
+//!   threshold, and sheds low-priority *victims* — it cannot see which
+//!   admitted request is the culprit, so the convoy persists and
+//!   innocent load pays.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use atropos::ticker::Ticker;
+use atropos::{AtroposRuntime, TaskKey};
+use atropos_baselines::Dagor;
+use atropos_live::{live_atropos_config, CancelRegistry, TracedLock, CULPRIT_KEY_BASE};
+use atropos_metrics::LatencyHistogram;
+use atropos_sim::SystemClock;
+use atropos_substrate::{CancelFn, EdgeIdentity, EdgeStats, FedEdge, NodeId, RuntimePort};
+use parking_lot::Mutex;
+
+/// Control discipline for one federated live run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FedMode {
+    /// No overload control anywhere; the baseline the recovery claim is
+    /// measured against.
+    NoControl,
+    /// Atropos on both tiers with cross-node blame propagation.
+    Atropos,
+    /// DAGOR-style priority admission at the backend entry (per-node: no
+    /// cross-node identity, no cancellation of running work).
+    DagorAdmission,
+}
+
+/// Workload parameters for one two-tier run.
+#[derive(Debug, Clone)]
+pub struct FedLiveConfig {
+    /// Frontend worker threads.
+    pub workers: usize,
+    /// Wall-clock duration load is offered for.
+    pub run_for: Duration,
+    /// Open-loop spacing between arrivals.
+    pub interarrival: Duration,
+    /// Backend shard hold of a normal request.
+    pub backend_hold: Duration,
+    /// When the culprit is injected.
+    pub culprit_after: Duration,
+    /// Maximum time the culprit holds the shard if never canceled.
+    pub culprit_hold: Duration,
+    /// Interval between the culprit's cancellation checkpoints.
+    pub checkpoint: Duration,
+    /// Supervisor tick period (Atropos) / adaptation epoch (DAGOR).
+    pub tick_period: Duration,
+    /// DAGOR's average queuing-time overload threshold (ns).
+    pub queue_time_ns: u64,
+}
+
+impl Default for FedLiveConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            run_for: Duration::from_millis(1500),
+            interarrival: Duration::from_millis(3),
+            backend_hold: Duration::from_micros(300),
+            culprit_after: Duration::from_millis(300),
+            culprit_hold: Duration::from_millis(1100),
+            checkpoint: Duration::from_millis(1),
+            tick_period: Duration::from_millis(25),
+            queue_time_ns: 20_000_000,
+        }
+    }
+}
+
+/// What one federated live run observed.
+#[derive(Debug, Clone)]
+pub struct FedLiveReport {
+    /// Victim completions measured end to end at the frontend.
+    pub victim_count: u64,
+    /// Victim p99 end-to-end latency (ns).
+    pub victim_p99_ns: u64,
+    /// Victim mean end-to-end latency (ns).
+    pub victim_mean_ns: f64,
+    /// Whether the culprit began executing.
+    pub culprit_started: bool,
+    /// Whether the culprit observed its frontend cancel token (the
+    /// cross-node cancellation arrived end to end).
+    pub root_canceled: bool,
+    /// Culprit start → token observed, when canceled.
+    pub time_to_cancel: Option<Duration>,
+    /// Keys canceled on the frontend runtime, in issue order.
+    pub frontend_canceled_roots: Vec<u64>,
+    /// Frontend cancellations that named anything but the culprit root.
+    pub innocent_upstream_cancels: u64,
+    /// Victims the DAGOR baseline rejected at the backend door.
+    pub shed: u64,
+    /// Edge counters.
+    pub edge: EdgeStats,
+    /// Backend supervisor ticks.
+    pub backend_ticks: u64,
+}
+
+struct Job {
+    key: u64,
+    class: u8,
+    client: u64,
+    culprit: bool,
+    /// Enqueue instant — victim latency is end to end (queue + serve),
+    /// so a convoy that backs the queue up is visible in the tail even
+    /// for jobs that never physically block on the shard.
+    born: Instant,
+}
+
+/// The culprit's root key on the frontend (the live culprit namespace).
+pub const FED_LIVE_CULPRIT_KEY: u64 = CULPRIT_KEY_BASE + 1;
+
+/// Runs one two-tier wall-clock session and reports it.
+pub fn run_fed_live(cfg: FedLiveConfig, mode: FedMode) -> FedLiveReport {
+    let front_rt = Arc::new(AtroposRuntime::new(
+        live_atropos_config(),
+        Arc::new(SystemClock::new()),
+    ));
+    let back_rt = Arc::new(AtroposRuntime::new(
+        live_atropos_config(),
+        Arc::new(SystemClock::new()),
+    ));
+    let edge = FedEdge::over(NodeId(1), back_rt.clone());
+    let hook_rt = back_rt.clone();
+    edge.set_origin_hook(move |task, id| hook_rt.set_task_origin(task, id.remote_origin()));
+    // Local leg of the edge: nothing to do on the backend beyond the
+    // runtime's own bookkeeping — the culprit watches its *frontend*
+    // token. Installing it also arms the upstream splitter.
+    let edge_port: Arc<dyn RuntimePort> = edge.clone();
+    edge_port.install_initiator(Arc::new(CancelFn(|_key: TaskKey| {})));
+    let up_rt = front_rt.clone();
+    edge.install_upstream(Arc::new(CancelFn(move |key: TaskKey| {
+        let _ = up_rt.cancel_key(key);
+    })));
+
+    let registry = Arc::new(CancelRegistry::new());
+    let atropos = mode == FedMode::Atropos;
+    if atropos {
+        registry.install(&front_rt);
+    }
+
+    let shard = TracedLock::new(edge_port.clone(), "backend_shard", ());
+    // `FedEdge::bind` + `create_cancel` is a two-step arm; serialize the
+    // pair across workers.
+    let rpc_open = Mutex::new(());
+    let dagor = Mutex::new(Dagor::new(cfg.queue_time_ns));
+    let waiters: Mutex<Vec<Instant>> = Mutex::new(Vec::new());
+    let queue: Mutex<VecDeque<Job>> = Mutex::new(VecDeque::new());
+    let stop = AtomicBool::new(false);
+    let victims = Mutex::new(LatencyHistogram::new());
+    let victim_count = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let culprit_started = AtomicBool::new(false);
+    let root_canceled = AtomicBool::new(false);
+    let time_to_cancel: Mutex<Option<Duration>> = Mutex::new(None);
+
+    let mut backend_ticker = atropos.then(|| {
+        let rt = back_rt.clone();
+        Ticker::spawn_fn(move || rt.tick(), cfg.tick_period, |_| {})
+    });
+    let mut front_ticker = atropos.then(|| {
+        let rt = front_rt.clone();
+        Ticker::spawn_fn(move || rt.tick(), cfg.tick_period, |_| {})
+    });
+    let dagor_stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Generator: open-loop arrivals; the culprit is injected once.
+        let gen = {
+            let queue = &queue;
+            let stop = &stop;
+            let cfg = cfg.clone();
+            s.spawn(move || {
+                let t0 = Instant::now();
+                let mut key = 1u64;
+                let mut culprit_sent = false;
+                while !stop.load(Ordering::Acquire) {
+                    let culprit = !culprit_sent && t0.elapsed() >= cfg.culprit_after;
+                    if culprit {
+                        culprit_sent = true;
+                        queue.lock().push_back(Job {
+                            key: FED_LIVE_CULPRIT_KEY,
+                            class: 0,
+                            client: 7, // composes to DAGOR's top level
+                            culprit: true,
+                            born: Instant::now(),
+                        });
+                    } else {
+                        queue.lock().push_back(Job {
+                            key,
+                            class: 1 + (key % 7) as u8,
+                            client: key,
+                            culprit: false,
+                            born: Instant::now(),
+                        });
+                        key += 1;
+                    }
+                    std::thread::sleep(cfg.interarrival);
+                }
+            })
+        };
+
+        // DAGOR's adaptation epoch: sample the average wait of requests
+        // currently queued at the backend shard and adapt the threshold.
+        let dagor_thread = (mode == FedMode::DagorAdmission).then(|| {
+            let stopped = dagor_stop.clone();
+            let dagor = &dagor;
+            let waiters = &waiters;
+            let period = cfg.tick_period;
+            s.spawn(move || {
+                while !stopped.load(Ordering::Acquire) {
+                    std::thread::sleep(period);
+                    let now = Instant::now();
+                    let snapshot = waiters.lock();
+                    let avg = if snapshot.is_empty() {
+                        0
+                    } else {
+                        snapshot
+                            .iter()
+                            .map(|w| now.duration_since(*w).as_nanos() as u64)
+                            .sum::<u64>()
+                            / snapshot.len() as u64
+                    };
+                    drop(snapshot);
+                    dagor.lock().adapt(avg);
+                }
+            })
+        });
+
+        // Frontend workers: serve jobs end to end through the edge.
+        let mut workers = Vec::new();
+        for _ in 0..cfg.workers {
+            let queue = &queue;
+            let stop = &stop;
+            let cfg = cfg.clone();
+            let front_port: Arc<dyn RuntimePort> = front_rt.clone();
+            let registry = registry.clone();
+            let edge = edge.clone();
+            let edge_port = edge_port.clone();
+            let shard = &shard;
+            let rpc_open = &rpc_open;
+            let dagor = &dagor;
+            let waiters = &waiters;
+            let victims = &victims;
+            let victim_count = &victim_count;
+            let shed = &shed;
+            let culprit_started = &culprit_started;
+            let root_canceled = &root_canceled;
+            let time_to_cancel = &time_to_cancel;
+            workers.push(s.spawn(move || loop {
+                let job = queue.lock().pop_front();
+                let Some(job) = job else {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                    continue;
+                };
+                let t0 = job.born;
+                let root = front_port.create_cancel(Some(job.key));
+                front_port.unit_started(root);
+                let token = registry.register(job.key);
+
+                // DAGOR admission happens at the backend door, before the
+                // proxy task even opens. The culprit composes to the top
+                // priority level, so it is always admitted — DAGOR's
+                // exact blind spot.
+                if mode == FedMode::DagorAdmission
+                    && !dagor.lock().admit_bare(job.class, job.client)
+                {
+                    shed.fetch_add(1, Ordering::Relaxed);
+                    front_port.record_drop();
+                    front_port.unit_finished(root);
+                    front_port.free_cancel(root);
+                    registry.unregister(job.key);
+                    continue;
+                }
+
+                // The RPC: piggyback identity, open the proxy, contend.
+                let identity = EdgeIdentity::local(NodeId(0), job.key).hop(NodeId(1));
+                let proxy = {
+                    let _g = rpc_open.lock();
+                    edge.open(&identity)
+                };
+                edge_port.unit_started(proxy);
+                waiters.lock().push(t0);
+                {
+                    let guard = shard.lock(proxy);
+                    waiters.lock().retain(|w| *w != t0);
+                    if job.culprit {
+                        culprit_started.store(true, Ordering::Release);
+                        let held = Instant::now();
+                        while held.elapsed() < cfg.culprit_hold {
+                            if token.is_canceled() {
+                                root_canceled.store(true, Ordering::Release);
+                                *time_to_cancel.lock() = Some(held.elapsed());
+                                break;
+                            }
+                            std::thread::sleep(cfg.checkpoint);
+                        }
+                    } else {
+                        std::thread::sleep(cfg.backend_hold);
+                    }
+                    drop(guard);
+                }
+                edge_port.unit_finished(proxy);
+                edge_port.free_cancel(proxy);
+                front_port.unit_finished(root);
+                front_port.free_cancel(root);
+                registry.unregister(job.key);
+                if !job.culprit {
+                    victims.lock().record(t0.elapsed().as_nanos() as u64);
+                    victim_count.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+
+        std::thread::sleep(cfg.run_for);
+        stop.store(true, Ordering::Release);
+        gen.join().expect("generator panicked");
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        dagor_stop.store(true, Ordering::Release);
+        if let Some(t) = dagor_thread {
+            t.join().expect("dagor ticker panicked");
+        }
+    });
+
+    let backend_ticks = backend_ticker.as_mut().map_or(0, |t| {
+        t.stop();
+        t.ticks()
+    });
+    if let Some(t) = front_ticker.as_mut() {
+        t.stop();
+    }
+
+    let frontend_canceled_roots: Vec<u64> = front_rt
+        .debug_snapshot()
+        .cancel
+        .canceled_keys
+        .iter()
+        .map(|(k, _)| k.0)
+        .collect();
+    let innocent = frontend_canceled_roots
+        .iter()
+        .filter(|&&k| k != FED_LIVE_CULPRIT_KEY)
+        .count() as u64;
+    let victims = victims.into_inner();
+    let time_to_cancel = *time_to_cancel.lock();
+    FedLiveReport {
+        victim_count: victim_count.load(Ordering::Relaxed),
+        victim_p99_ns: victims.p99(),
+        victim_mean_ns: victims.mean(),
+        culprit_started: culprit_started.load(Ordering::Acquire),
+        root_canceled: root_canceled.load(Ordering::Acquire),
+        time_to_cancel,
+        frontend_canceled_roots,
+        innocent_upstream_cancels: innocent,
+        shed: shed.load(Ordering::Relaxed),
+        edge: edge.stats(),
+        backend_ticks,
+    }
+}

@@ -1,0 +1,118 @@
+//! Golden decision-trace regression suite over the federation scenarios.
+//!
+//! Each federated cascading-overload scenario runs quiet (no armed node
+//! faults — the edge faults the kind itself defines stay on) at two
+//! pinned seeds, and the run is reduced to a stable fingerprint: which
+//! roots were canceled end to end, which node-qualified resources the
+//! episodes blamed, how many cancellations crossed upstream (bucketed),
+//! and the window the culprit root's cancel reached the frontend. The
+//! fingerprints are compared against checked-in
+//! `tests/golden/fed_<kind>.json` files.
+//!
+//! To regenerate after an intentional detector/policy/edge change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -q -p atropos-scenarios golden_federation
+//! ```
+
+use std::path::PathBuf;
+
+use atropos_fed::{run_fed_scenario, FedScenarioKind};
+use serde::{Deserialize, Serialize};
+
+/// Same pinned seeds as the single-node golden suite.
+const SEEDS: [u64; 2] = [7, 20250806];
+
+/// One seed's federation fingerprint for one scenario kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GoldenEntry {
+    seed: u64,
+    /// Root keys canceled end to end at the frontend (sorted).
+    canceled_roots: Vec<u64>,
+    /// Node-qualified resources episodes blamed, e.g. `"n1/shard_lock"`
+    /// (sorted, deduped).
+    blamed_resources: Vec<String>,
+    /// Bucketed count of upstream cancellations across all edges:
+    /// "0", "1", "2-3", "4-7", or "8+".
+    upstream_bucket: String,
+    /// Window the culprit root's cancellation reached the frontend.
+    root_cancel_window: Option<u64>,
+}
+
+/// The checked-in snapshot for one scenario kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GoldenCase {
+    case: String,
+    entries: Vec<GoldenEntry>,
+}
+
+fn bucket(n: u64) -> String {
+    match n {
+        0 => "0",
+        1 => "1",
+        2..=3 => "2-3",
+        4..=7 => "4-7",
+        _ => "8+",
+    }
+    .to_string()
+}
+
+fn fingerprint(kind: FedScenarioKind, seed: u64) -> GoldenEntry {
+    let out = run_fed_scenario(kind, seed, false);
+    assert!(
+        out.violation.is_none(),
+        "{} seed {seed}: {:?}",
+        kind.name(),
+        out.violation
+    );
+    let mut roots: Vec<u64> = out.canceled_roots.iter().map(|(_, k)| *k).collect();
+    roots.sort_unstable();
+    GoldenEntry {
+        seed,
+        canceled_roots: roots,
+        blamed_resources: out.blamed_resources.clone(),
+        upstream_bucket: bucket(out.edge_stats.iter().map(|s| s.upstream_cancels).sum()),
+        root_cancel_window: out.root_cancel_window,
+    }
+}
+
+fn golden_path(kind: FedScenarioKind) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("fed_{}.json", kind.name()))
+}
+
+#[test]
+fn golden_federation_across_the_3_scenarios() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let mut failures = Vec::new();
+    for kind in FedScenarioKind::ALL {
+        let actual = GoldenCase {
+            case: format!("fed_{}", kind.name()),
+            entries: SEEDS.iter().map(|&s| fingerprint(kind, s)).collect(),
+        };
+        let path = golden_path(kind);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, serde_json::to_string_pretty(&actual).unwrap()).unwrap();
+            continue;
+        }
+        let Ok(raw) = std::fs::read_to_string(&path) else {
+            failures.push(format!(
+                "{}: no golden snapshot at {} (run with UPDATE_GOLDEN=1 to create)",
+                actual.case,
+                path.display()
+            ));
+            continue;
+        };
+        let expected: GoldenCase = serde_json::from_str(&raw)
+            .unwrap_or_else(|e| panic!("{}: bad golden JSON: {e}", actual.case));
+        if expected != actual {
+            failures.push(format!(
+                "{}: federation trace diverged from golden snapshot\n  expected: {expected:?}\n  actual:   {actual:?}\n  (if intentional, regenerate with UPDATE_GOLDEN=1)",
+                actual.case
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}

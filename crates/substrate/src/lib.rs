@@ -29,11 +29,13 @@
 //! runtime: faults corrupt what the runtime hears, observability counts
 //! what survived.
 
+pub mod fed;
 pub mod ids;
 pub mod port;
 pub mod protocol;
 pub mod scenario;
 
+pub use fed::{EdgeIdentity, EdgeStats, FedEdge, FrameError, NodeId, FED_KEY_BASE, MAX_HOPS};
 pub use ids::{ClassId, ClientId, LockId, PoolId, QueueId, RequestId};
 pub use port::{CancelFn, CancelInitiator, ProbeCounts, ProbePort, RuntimePort};
 pub use protocol::{Action, ResourceEvent, TraceKind};

@@ -56,6 +56,8 @@ impl ScenarioFamily {
                 pages_per_request: 4,
                 miss_penalty_us: 50,
                 scan_pages: 1 << 16,
+                tiers: 1,
+                fanout: 1,
             },
             ScenarioFamily::BufferScan => ScenarioDescriptor {
                 family: self,
@@ -73,6 +75,8 @@ impl ScenarioFamily {
                 pages_per_request: 8,
                 miss_penalty_us: 1000,
                 scan_pages: 1 << 16,
+                tiers: 1,
+                fanout: 1,
             },
             ScenarioFamily::TicketQueue => ScenarioDescriptor {
                 family: self,
@@ -89,6 +93,8 @@ impl ScenarioFamily {
                 pages_per_request: 4,
                 miss_penalty_us: 50,
                 scan_pages: 1 << 16,
+                tiers: 1,
+                fanout: 1,
             },
         }
     }
@@ -125,6 +131,12 @@ pub struct ScenarioDescriptor {
     pub miss_penalty_us: u64,
     /// Pages the live scan culprit sweeps.
     pub scan_pages: u64,
+    /// Service-graph depth when the scenario runs federated (DESIGN.md
+    /// §15): 1 means a single runtime (every pre-federation family).
+    pub tiers: u8,
+    /// Backend fan-out per frontend request in a federated topology; 1
+    /// for a plain chain (and for single-runtime families).
+    pub fanout: u8,
 }
 
 #[cfg(test)]

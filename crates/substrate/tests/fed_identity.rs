@@ -1,0 +1,83 @@
+//! Property tests for the piggybacked edge-identity codec (DESIGN.md §15).
+//!
+//! The federation story leans on one encoding: the root key + hop path
+//! frame every RPC carries. These properties pin the codec contract the
+//! chaos edge faults rely on:
+//!
+//! - round-trip: any identity survives encode→decode bit-exactly;
+//! - transport-shape independence: frames are stateless, so arbitrary
+//!   reordering and duplication of a batch still decodes to the same
+//!   multiset of identities;
+//! - loud rejection: *any* single-byte corruption of a frame decodes to
+//!   an error, never to a plausible wrong identity (FNV-1a's per-byte
+//!   state update is bijective, so a one-byte change always lands in a
+//!   different checksum).
+
+use atropos_substrate::{EdgeIdentity, NodeId, MAX_HOPS};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn identity_strategy() -> BoxedStrategy<EdgeIdentity> {
+    (any::<u64>(), 1usize..MAX_HOPS, any::<u64>())
+        .prop_map(|(root_key, hops, path_seed)| {
+            let mut rng = StdRng::seed_from_u64(path_seed);
+            let path = (0..hops).map(|_| NodeId(rng.gen::<u32>() as u16)).collect();
+            EdgeIdentity { root_key, path }
+        })
+        .boxed()
+}
+
+proptest! {
+    #[test]
+    fn round_trips_bit_exactly(id in identity_strategy()) {
+        let frame = id.encode();
+        prop_assert_eq!(EdgeIdentity::decode(&frame), Ok(id));
+    }
+
+    #[test]
+    fn survives_edge_reorder_and_duplication(
+        ids in prop::collection::vec(identity_strategy(), 1..12),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Model a faulty edge: every frame possibly duplicated, then the
+        // whole batch delivered in arbitrary order.
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for id in &ids {
+            let copies = 1 + rng.gen_range(0usize..3);
+            for _ in 0..copies {
+                frames.push(id.encode());
+            }
+        }
+        for i in (1..frames.len()).rev() {
+            frames.swap(i, rng.gen_range(0..=i));
+        }
+        let mut decoded: Vec<EdgeIdentity> = frames
+            .iter()
+            .map(|f| EdgeIdentity::decode(f).expect("well-formed frame"))
+            .collect();
+        // Every decoded identity is one that was sent, and every sent
+        // identity arrived at least once: root key and hop path survive
+        // the reorder/duplication intact.
+        decoded.dedup();
+        for id in &decoded {
+            prop_assert!(ids.contains(id));
+        }
+        for id in &ids {
+            prop_assert!(decoded.contains(id));
+        }
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_rejected(
+        id in identity_strategy(),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut frame = id.encode();
+        let pos = (pos_seed % frame.len() as u64) as usize;
+        frame[pos] ^= flip;
+        prop_assert!(EdgeIdentity::decode(&frame).is_err());
+    }
+}
