@@ -453,7 +453,8 @@ mod tests {
     /// The controller drives the runtime identically whichever ingest
     /// path the config selects: the same hog scenario produces the same
     /// action stream and the same event accounting under direct
-    /// per-event ingestion and sharded batch-drained ingestion.
+    /// per-event ingestion, sharded batch-drained ingestion, and the
+    /// lock-free epoch-drained default.
     #[test]
     fn ingest_modes_produce_identical_action_streams() {
         let drive = |mode: atropos::IngestMode| {
@@ -519,7 +520,9 @@ mod tests {
         };
         let direct = drive(atropos::IngestMode::Direct);
         let sharded = drive(atropos::IngestMode::Sharded);
+        let lockfree = drive(atropos::IngestMode::LockFree);
         assert_eq!(direct, sharded);
+        assert_eq!(direct, lockfree);
         assert!(direct.0.contains(&Action::Cancel(RequestId(99))));
     }
 

@@ -7,8 +7,10 @@
 
 use std::sync::Arc;
 
+use atropos::lockfree::LockFreeIngest;
 use atropos::trace::{PushOutcome, ShardedIngest};
 use atropos::{AtroposConfig, AtroposRuntime, IngestMode, ResourceType, TimestampMode};
+use atropos_bench::scaling;
 use atropos_sim::{Clock, SystemClock};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -68,10 +70,11 @@ fn bench_tracing(c: &mut Criterion) {
 /// Full ingest cycle under producer contention: `threads` producers each
 /// emit `events` tracing calls on their own task. In `Direct` mode every
 /// call takes the runtime's global lock and lands in the accounting
-/// inline; in `Sharded` mode calls append to stripe-local buffers and the
-/// periodic replay (here the mid-window flush whenever a stripe fills) is
-/// paid inside the measured interval, so the comparison includes the
-/// drain work, not just the cheap append.
+/// inline; in `Sharded` mode calls append to stripe-locked buffers, and
+/// in `LockFree` mode to wait-free per-producer rings; for both buffered
+/// modes the periodic replay (here the mid-window flush whenever a lane
+/// fills) is paid inside the measured interval, so the comparison
+/// includes the drain work, not just the cheap append.
 fn contended_emit(rt: &Arc<AtroposRuntime>, threads: u64, events: u64) {
     std::thread::scope(|s| {
         for p in 0..threads {
@@ -99,6 +102,7 @@ fn bench_contended_ingest(c: &mut Criterion) {
     for (mode, mode_name) in [
         (IngestMode::Direct, "direct"),
         (IngestMode::Sharded, "sharded"),
+        (IngestMode::LockFree, "lockfree"),
     ] {
         for (ts, ts_name) in [
             (TimestampMode::Sampled, "sampled"),
@@ -125,8 +129,9 @@ fn bench_contended_ingest(c: &mut Criterion) {
     g.finish();
 }
 
-/// The isolated hot-path cost the tentpole optimizes: a stripe-local
-/// bounded append (`ShardedIngest::push`) vs the direct path's
+/// The isolated hot-path cost the tentpole optimizes: a stripe-locked
+/// bounded append (`ShardedIngest::push`) vs a wait-free seqlock-cell
+/// claim (`LockFreeIngest::push`) vs the direct path's
 /// global-lock-plus-inline-accounting, measured per event without any
 /// drain in the loop.
 fn bench_emit_path(c: &mut Criterion) {
@@ -152,10 +157,53 @@ fn bench_emit_path(c: &mut Criterion) {
             }
         })
     });
+    let lf = LockFreeIngest::new(8, 1 << 14);
+    g.bench_function("lockfree_push", |b| {
+        b.iter(|| {
+            match lf.push(
+                black_box(task),
+                black_box(rid),
+                1,
+                atropos::trace::EventKind::Get,
+                0,
+            ) {
+                PushOutcome::Buffered => {}
+                PushOutcome::Full(_) => {
+                    let _ = lf.drain();
+                }
+            }
+        })
+    });
     let (rt, task, rid) = runtime();
     g.bench_function("direct_apply", |b| {
         b.iter(|| rt.get_resource(black_box(task), black_box(rid), 1))
     });
+    g.finish();
+}
+
+/// Multi-core emit-phase scaling: N persistent producers burst into the
+/// buffered sinks while a background drainer plays the tick side, and
+/// only the emit phase is timed (see `atropos_bench::scaling`). On a
+/// single-core runner these curves are degenerate — the snapshot script
+/// records the detected core count next to them, and the efficiency
+/// regression guard (`tests/ingest_scaling.rs`) skips loudly rather
+/// than gate on time-sliced numbers.
+fn bench_emit_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emit_scaling");
+    g.sample_size(20);
+    for mode in ["sharded", "lockfree"] {
+        for producers in [1u64, 2, 4, 8] {
+            let sink = scaling::sink_for(mode);
+            let _drainer = scaling::BackgroundDrainer::start(sink.clone());
+            let team = scaling::ProducerTeam::new(producers, sink);
+            g.throughput(Throughput::Elements(producers * scaling::BURST));
+            g.bench_with_input(
+                BenchmarkId::new(mode, format!("{producers}producers")),
+                &producers,
+                |b, _| b.iter(|| team.burst()),
+            );
+        }
+    }
     g.finish();
 }
 
@@ -203,6 +251,7 @@ criterion_group!(
     bench_tracing,
     bench_contended_ingest,
     bench_emit_path,
+    bench_emit_scaling,
     bench_tick_drain,
     bench_timestamp_modes
 );

@@ -12,6 +12,8 @@
 //!   the multi-objective policy at scale, accounting window rollups, and
 //!   the simulator substrate itself.
 
+pub mod scaling;
+
 pub use atropos_scenarios::experiments::{all_ids, run_by_id, ExpOptions, ExpReport};
 
 /// Writes a report's JSON payload under `dir`, creating it if needed.

@@ -46,7 +46,9 @@ pub use checker::{
 };
 pub use injector::{CancelObservation, FaultInjector, InjectionLog, Truth};
 pub use plan::{Fault, FaultPlan};
-pub use scenario::{run_scenario, ScenarioKind, ScenarioOutcome, HOG_KEY};
+pub use scenario::{
+    run_scenario, run_scenario_with_ingest, ScenarioKind, ScenarioOutcome, HOG_KEY,
+};
 
 /// A reproducible scenario failure: the violated invariant plus the
 /// minimized plan that still reproduces it.

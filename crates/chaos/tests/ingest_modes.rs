@@ -1,0 +1,122 @@
+//! Cross-mode runtime equivalence over the chaos scenario corpus.
+//!
+//! Every scripted scenario runs on a virtual clock with deterministic
+//! seeds, so two runs that differ only in [`IngestMode`] must be
+//! **bit-identical** in everything the application can observe: the
+//! cancellations issued and delivered (and their order), the tick and
+//! candidate counts, the invariant verdict, the decision episodes folded
+//! from the flight recorder, and the final runtime snapshot's counters.
+//! This is the whole-corpus extension of the scripted equivalence tests
+//! in `atropos::runtime` — if the lock-free epoch drain reordered,
+//! dropped, or duplicated a single record anywhere in these runs, some
+//! fingerprint below would diverge.
+//!
+//! The only normalization allowed: `Direct` applies events inline and so
+//! never counts a mid-window flush; the buffered modes must agree with
+//! each other on that counter exactly.
+
+use atropos::IngestMode;
+use atropos_chaos::{run_scenario_with_ingest, FaultPlan, ScenarioKind, ScenarioOutcome};
+
+/// Everything the application can observe from one run, in a comparable
+/// form. `mid_window_flushes` is carried separately so the Direct
+/// comparison can normalize it (and *only* it).
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    canceled_keys: Vec<u64>,
+    issued_keys: Vec<u64>,
+    hog_canceled: bool,
+    victim_canceled: bool,
+    ticks: u64,
+    candidates: u64,
+    violation: Option<String>,
+    stats: String,
+    mid_window_flushes: u64,
+    tasks: String,
+    episodes: String,
+}
+
+fn fingerprint(out: &ScenarioOutcome) -> Fingerprint {
+    let mut stats = out.final_snapshot.stats;
+    let mid_window_flushes = stats.mid_window_flushes;
+    stats.mid_window_flushes = 0;
+    Fingerprint {
+        canceled_keys: out.canceled_keys.clone(),
+        issued_keys: out.issued_keys.clone(),
+        hog_canceled: out.hog_canceled,
+        victim_canceled: out.victim_canceled,
+        ticks: out.ticks,
+        candidates: out.candidates,
+        violation: out.violation.as_ref().map(|v| format!("{v:?}")),
+        stats: format!("{stats:?}"),
+        mid_window_flushes,
+        tasks: format!("{:?}", out.final_snapshot.tasks),
+        episodes: format!("{:?}", out.episodes),
+    }
+}
+
+/// Runs one (scenario, plan, load) cell under all three ingest modes and
+/// demands identical fingerprints: LockFree vs Direct (normalizing only
+/// the flush counter, which Direct cannot have) and LockFree vs Sharded
+/// (including the flush counter — both buffer at the same geometry).
+fn modes_agree(kind: ScenarioKind, plan: &FaultPlan, load: u64) {
+    let direct = fingerprint(&run_scenario_with_ingest(
+        kind,
+        plan,
+        load,
+        IngestMode::Direct,
+    ));
+    let sharded = fingerprint(&run_scenario_with_ingest(
+        kind,
+        plan,
+        load,
+        IngestMode::Sharded,
+    ));
+    let lockfree = fingerprint(&run_scenario_with_ingest(
+        kind,
+        plan,
+        load,
+        IngestMode::LockFree,
+    ));
+
+    assert_eq!(
+        lockfree, sharded,
+        "{kind:?}: LockFree diverged from the Sharded oracle"
+    );
+    let mut normalized = lockfree;
+    normalized.mid_window_flushes = direct.mid_window_flushes;
+    assert_eq!(
+        normalized, direct,
+        "{kind:?}: buffered ingest diverged from Direct beyond the flush counter"
+    );
+}
+
+const KINDS: [ScenarioKind; 3] = [
+    ScenarioKind::LockHog,
+    ScenarioKind::BufferScan,
+    ScenarioKind::TicketQueue,
+];
+
+/// The healthy corpus: every scenario kind under quiet plans and two
+/// load scales.
+#[test]
+fn ingest_modes_agree_on_quiet_corpus() {
+    for kind in KINDS {
+        for seed in [1u64, 7] {
+            modes_agree(kind, &FaultPlan::quiet(seed), 1);
+        }
+        modes_agree(kind, &FaultPlan::quiet(3), 2);
+    }
+}
+
+/// The faulted corpus: armed plans fire delay/fail/skew faults mid-run;
+/// whatever the injected chaos does to the outcome, it must do it
+/// identically under every ingest mode.
+#[test]
+fn ingest_modes_agree_under_armed_fault_plans() {
+    for kind in KINDS {
+        for seed in [11u64, 42] {
+            modes_agree(kind, &FaultPlan::sample(seed), 1);
+        }
+    }
+}

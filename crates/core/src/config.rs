@@ -49,8 +49,21 @@ pub enum IngestMode {
     /// stripe by stripe, preserving per-task emit order. Under the
     /// single-threaded virtual clock this is bit-identical to `Direct`;
     /// under concurrent producers it removes the global lock from the
-    /// request path.
+    /// request path. Kept as the oracle the lock-free path is
+    /// differential-tested against.
     Sharded,
+    /// The production default: the same task-sharded buffering contract
+    /// as `Sharded`, but each shard is a bounded lock-free ring
+    /// ([`LockFreeIngest`](crate::lockfree::LockFreeIngest)) — producers
+    /// claim a slot with one CAS and publish with a release store, no
+    /// lock, no allocation — and the drain is epoch-based: the tick-time
+    /// drainer snapshots every queue's claim cursor and harvests exactly
+    /// the records claimed before the boundary, so a drain is bounded
+    /// work even under live producers. Single-threaded replay is
+    /// bit-identical to both `Sharded` and `Direct` (same stamps, same
+    /// per-task order, same overflow accounting); see DESIGN.md §16 for
+    /// the memory-ordering argument.
+    LockFree,
 }
 
 /// Overload-detector parameters (§3.3).
@@ -112,13 +125,15 @@ pub struct AtroposConfig {
     pub sample_interval_ns: u64,
     /// How tracing calls reach the accounting state (see [`IngestMode`]).
     pub ingest_mode: IngestMode,
-    /// Number of ingest buffer stripes in [`IngestMode::Sharded`]
-    /// (rounded up to a power of two). More stripes reduce producer
-    /// contention; the drain replays them all.
+    /// Number of ingest buffer stripes in the buffered modes
+    /// ([`IngestMode::Sharded`] locked buffers, [`IngestMode::LockFree`]
+    /// rings; rounded up to a power of two). More stripes reduce
+    /// producer contention; the drain replays them all.
     pub ingest_stripes: usize,
-    /// Per-stripe record capacity in [`IngestMode::Sharded`]. A full
-    /// stripe triggers a mid-window flush, or sheds its oldest record if
-    /// the runtime state is busy.
+    /// Per-stripe record capacity in the buffered modes. A full stripe
+    /// triggers a mid-window flush, or sheds a record if the runtime
+    /// state is busy (`Sharded` sheds the stripe's oldest record,
+    /// `LockFree` the incoming one; both are counted identically).
     pub ingest_stripe_capacity: usize,
     /// Number of consecutive overload-free windows after which canceled
     /// tasks are re-executed ("sustained resource availability", §4).
@@ -148,7 +163,7 @@ impl Default for AtroposConfig {
             policy_engine: PolicyEngine::Indexed,
             cancel_min_interval_ns: 50_000_000, // 50 ms
             sample_interval_ns: 1_000_000,      // 1 ms
-            ingest_mode: IngestMode::Sharded,
+            ingest_mode: IngestMode::LockFree,
             ingest_stripes: 8,
             ingest_stripe_capacity: 4096,
             reexec_quiet_windows: 100, // 1 s of sustained availability
@@ -232,6 +247,8 @@ mod tests {
             AtroposConfig::default().policy_engine,
             PolicyEngine::Indexed
         );
+        // So is the lock-free emit path.
+        assert_eq!(AtroposConfig::default().ingest_mode, IngestMode::LockFree);
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub mod detect;
 pub mod estimator;
 pub mod guide;
 pub mod ids;
+pub mod lockfree;
 pub mod policy;
 pub mod progress;
 pub mod record;

@@ -5,8 +5,9 @@
 //! progress, and the unit lifecycle that drives the detector. Nothing in
 //! this module makes decisions; that is `decide.rs`.
 
-use super::{AtroposRuntime, Inner};
+use super::{AtroposRuntime, IngestBuffers, Inner};
 use crate::ids::{ResourceId, ResourceType, TaskId};
+use crate::lockfree::LockFreeIngest;
 use crate::trace::{EventKind, PushOutcome, ShardedIngest};
 
 impl Inner {
@@ -58,21 +59,55 @@ impl Inner {
     /// Replays every buffered tracing call and folds overflow-shed
     /// records into the ignored count.
     ///
-    /// Stripes are replayed one after another with no global merge or
+    /// Shards are replayed one after another with no global merge or
     /// sort. That is still equivalent to emit-order replay: a task maps
-    /// to one stripe for its whole life, so each task's events apply in
+    /// to one shard for its whole life, so each task's events apply in
     /// emit order; the accounting state is task-local and the stats
     /// counters commute; the resource registry and task map cannot change
     /// mid-drain (both are mutated only under the `inner` lock we hold);
     /// and [`crate::trace::BatchStamper`] assigns every record the same
     /// stamp a sequential emit-order replay would (closed form over the
     /// time-monotone emission sequence).
-    pub(super) fn drain_ingest(&mut self, ingest: &ShardedIngest) {
+    pub(super) fn drain_ingest(&mut self, ingest: &IngestBuffers) {
+        match ingest {
+            IngestBuffers::Sharded(i) => self.drain_sharded(i),
+            IngestBuffers::LockFree(i) => self.drain_lockfree(i),
+        }
+    }
+
+    /// Drain of the stripe-locked oracle: swap each stripe's `Vec` out
+    /// under its lock and replay it.
+    fn drain_sharded(&mut self, ingest: &ShardedIngest) {
         self.stats.ignored_events += ingest.take_overflow_dropped();
         let mut stamper = self.ts.begin_batch();
         let mut scratch = std::mem::take(&mut self.scratch);
         for i in 0..ingest.stripe_count() {
             ingest.swap_stripe(i, &mut scratch);
+            for rec in scratch.drain(..) {
+                let stamp = stamper.stamp(rec.now);
+                self.apply_stamped(rec.task, rec.rid, rec.amount, rec.kind, stamp);
+            }
+        }
+        self.scratch = scratch;
+        self.ts.commit_batch(stamper);
+    }
+
+    /// Epoch-based drain of the lock-free path: advance the epoch,
+    /// snapshot every queue's claim cursor, and harvest exactly the
+    /// records claimed before the boundary. Producers appending
+    /// mid-drain land in the next epoch, so one drain is bounded work;
+    /// a claimed-but-unpublished cell stops its queue's harvest early
+    /// (the drainer never spins on a preempted producer) and those
+    /// records also carry over. Single-threaded, the boundary always
+    /// covers everything, which keeps this replay bit-identical to the
+    /// sharded oracle.
+    fn drain_lockfree(&mut self, ingest: &LockFreeIngest) {
+        self.stats.ignored_events += ingest.take_overflow_dropped();
+        let boundary = ingest.begin_epoch();
+        let mut stamper = self.ts.begin_batch();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for i in 0..ingest.queue_count() {
+            ingest.harvest(i, &boundary, &mut scratch);
             for rec in scratch.drain(..) {
                 let stamp = stamper.stamp(rec.now);
                 self.apply_stamped(rec.task, rec.rid, rec.amount, rec.kind, stamp);
@@ -110,7 +145,9 @@ impl AtroposRuntime {
             self.inner.lock().apply_trace(task, rid, amount, kind, now);
             return;
         };
-        // Sharded mode: the hot path is a stripe-local bounded append.
+        // Buffered modes: the hot path is a shard-local bounded append —
+        // a mutex-guarded `Vec` push (`Sharded`) or a lock-free ring
+        // claim + publish (`LockFree`).
         if let PushOutcome::Full(rec) = ingest.push(task, rid, amount, kind, now) {
             // The stripe filled mid-window. Flush every stripe if the
             // runtime state is free (it always is under the

@@ -36,11 +36,12 @@ use crate::config::{AtroposConfig, IngestMode};
 use crate::detect::Detector;
 use crate::estimator::EstimatorSnapshot;
 use crate::ids::{ResourceId, TaskId, TaskKey};
+use crate::lockfree::LockFreeIngest;
 use crate::policy::{CancellationPolicy, PolicyIndex};
 use crate::record::Recorder;
 use crate::resource::ResourceRegistry;
 use crate::task::{TaskRecord, TaskState};
-use crate::trace::{self, ShardedIngest, TimestampMode, TimestampPolicy};
+use crate::trace::{self, EventKind, PushOutcome, ShardedIngest, TimestampMode, TimestampPolicy};
 
 /// Auto-generated keys live in the top half of the key space so they never
 /// collide with developer-provided keys (which are expected to be small
@@ -126,14 +127,59 @@ struct Inner {
     scratch: Vec<trace::TraceRecord>,
 }
 
+/// The emit-side buffers of a buffered [`IngestMode`]: the structures
+/// tracing calls append to without touching `inner`. Both variants share
+/// the same outward contract (task-sharded bounded buffers, per-task
+/// FIFO, `Full` hand-back, overflow accounting); the drain side differs
+/// (stripe swap vs epoch harvest) and is dispatched in
+/// [`Inner::drain_ingest`].
+pub(crate) enum IngestBuffers {
+    /// Stripe-locked `Vec`s, kept as the oracle.
+    Sharded(ShardedIngest),
+    /// Lock-free rings with epoch-based drain (the default).
+    LockFree(LockFreeIngest),
+}
+
+impl IngestBuffers {
+    #[inline]
+    pub(crate) fn push(
+        &self,
+        task: TaskId,
+        rid: ResourceId,
+        amount: u64,
+        kind: EventKind,
+        now: u64,
+    ) -> PushOutcome {
+        match self {
+            IngestBuffers::Sharded(i) => i.push(task, rid, amount, kind, now),
+            IngestBuffers::LockFree(i) => i.push(task, rid, amount, kind, now),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn force_push(&self, rec: trace::TraceRecord) {
+        match self {
+            IngestBuffers::Sharded(i) => i.force_push(rec),
+            IngestBuffers::LockFree(i) => i.force_push(rec),
+        }
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        match self {
+            IngestBuffers::Sharded(i) => i.pending(),
+            IngestBuffers::LockFree(i) => i.pending(),
+        }
+    }
+}
+
 /// The Atropos runtime. See the [crate-level docs](crate) for an overview
 /// and a usage example.
 pub struct AtroposRuntime {
     clock: Arc<dyn Clock>,
-    /// Present iff [`AtroposConfig::ingest_mode`] is
-    /// [`IngestMode::Sharded`]: the stripe buffers tracing calls append to
-    /// without touching `inner`.
-    ingest: Option<ShardedIngest>,
+    /// Present iff [`AtroposConfig::ingest_mode`] is a buffered mode
+    /// ([`IngestMode::Sharded`] or [`IngestMode::LockFree`]): the buffers
+    /// tracing calls append to without touching `inner`.
+    ingest: Option<IngestBuffers>,
     inner: Mutex<Inner>,
 }
 
@@ -166,10 +212,14 @@ impl AtroposRuntime {
         let origin = clock.now_ns();
         let ingest = match cfg.ingest_mode {
             IngestMode::Direct => None,
-            IngestMode::Sharded => Some(ShardedIngest::new(
+            IngestMode::Sharded => Some(IngestBuffers::Sharded(ShardedIngest::new(
                 cfg.ingest_stripes,
                 cfg.ingest_stripe_capacity,
-            )),
+            ))),
+            IngestMode::LockFree => Some(IngestBuffers::LockFree(LockFreeIngest::new(
+                cfg.ingest_stripes,
+                cfg.ingest_stripe_capacity,
+            ))),
         };
         let inner = Inner {
             detector: Detector::new(cfg.detector.clone(), origin),
@@ -251,10 +301,20 @@ impl AtroposRuntime {
 
     /// How tracing calls are ingested (fixed at construction).
     pub fn ingest_mode(&self) -> IngestMode {
-        if self.ingest.is_some() {
-            IngestMode::Sharded
-        } else {
-            IngestMode::Direct
+        match &self.ingest {
+            None => IngestMode::Direct,
+            Some(IngestBuffers::Sharded(_)) => IngestMode::Sharded,
+            Some(IngestBuffers::LockFree(_)) => IngestMode::LockFree,
+        }
+    }
+
+    /// Completed drain epochs of the lock-free ingest path (0 in the
+    /// other modes): each drain point advances exactly one epoch and
+    /// harvests exactly the records claimed before its boundary.
+    pub fn ingest_epochs(&self) -> u64 {
+        match &self.ingest {
+            Some(IngestBuffers::LockFree(i)) => i.epochs(),
+            _ => 0,
         }
     }
 
@@ -732,6 +792,66 @@ mod tests {
         assert_eq!(direct.1, normalized, "stats diverged beyond flush count");
     }
 
+    /// The lock-free default's correctness contract: under the
+    /// single-threaded virtual clock, lock-free epoch-drained ingestion
+    /// is observationally identical to direct per-event ingestion — the
+    /// same contract the sharded oracle satisfies, so all three modes
+    /// agree and the goldens hold without regeneration.
+    #[test]
+    fn lockfree_ingest_matches_direct_ingest() {
+        let direct = drive_scripted(AtroposConfig {
+            ingest_mode: IngestMode::Direct,
+            ..AtroposConfig::default()
+        });
+        let lockfree = drive_scripted(AtroposConfig {
+            ingest_mode: IngestMode::LockFree,
+            ..AtroposConfig::default()
+        });
+        assert_eq!(direct.0, lockfree.0, "tick outcomes diverged");
+        assert_eq!(direct.1, lockfree.1, "stats diverged");
+        assert!(direct.1.trace_events > 0);
+    }
+
+    /// With tiny rings the lock-free path must flush mid-window exactly
+    /// as often as the sharded oracle at the same geometry (the `Full`
+    /// threshold is the logical capacity, not the rounded ring length),
+    /// and lose nothing single-threaded.
+    #[test]
+    fn tiny_rings_flush_identically_to_sharded_stripes() {
+        let sharded = drive_scripted(AtroposConfig {
+            ingest_mode: IngestMode::Sharded,
+            ingest_stripes: 1,
+            ingest_stripe_capacity: 8,
+            ..AtroposConfig::default()
+        });
+        let lockfree = drive_scripted(AtroposConfig {
+            ingest_mode: IngestMode::LockFree,
+            ingest_stripes: 1,
+            ingest_stripe_capacity: 8,
+            ..AtroposConfig::default()
+        });
+        assert_eq!(sharded.0, lockfree.0, "tick outcomes diverged");
+        assert_eq!(sharded.1, lockfree.1, "stats diverged (incl. flush count)");
+        assert!(lockfree.1.mid_window_flushes > 0);
+    }
+
+    /// Every drain point advances exactly one epoch in lock-free mode.
+    #[test]
+    fn drain_points_advance_epochs() {
+        let (_c, rt) = setup(10);
+        assert_eq!(rt.ingest_epochs(), 0);
+        let pool = rt.register_resource("pool", ResourceType::Memory); // drain 1
+        let t = rt.create_cancel(None);
+        rt.get_resource(t, pool, 1);
+        let epochs_before = rt.ingest_epochs();
+        rt.stats(); // drains
+        assert_eq!(rt.ingest_epochs(), epochs_before + 1);
+        rt.tick(); // drains again
+        assert_eq!(rt.ingest_epochs(), epochs_before + 2);
+        rt.stats_relaxed(); // must NOT drain
+        assert_eq!(rt.ingest_epochs(), epochs_before + 2);
+    }
+
     /// The sublinear engine's correctness contract: for every policy
     /// kind, the incrementally indexed engine produces exactly the same
     /// observable behavior — tick outcomes, cancellations, stats — as the
@@ -763,7 +883,7 @@ mod tests {
     #[test]
     fn ingest_pending_drains_on_stats() {
         let (_c, rt) = setup(10);
-        assert_eq!(rt.ingest_mode(), IngestMode::Sharded);
+        assert_eq!(rt.ingest_mode(), IngestMode::LockFree);
         let pool = rt.register_resource("pool", ResourceType::Memory);
         let t = rt.create_cancel(None);
         rt.get_resource(t, pool, 1);

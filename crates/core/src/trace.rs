@@ -208,7 +208,7 @@ impl BatchStamper {
 /// emit order, which the stripe's FIFO order preserves (a task always
 /// maps to the same stripe), and a global sequence would put a shared
 /// atomic back on the hot path.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Clock reading at emit time (ns).
     pub now: u64,
@@ -222,7 +222,8 @@ pub struct TraceRecord {
     pub kind: EventKind,
 }
 
-/// Result of [`ShardedIngest::push`].
+/// Result of [`ShardedIngest::push`] (and its lock-free sibling,
+/// [`LockFreeIngest::push`](crate::lockfree::LockFreeIngest::push)).
 #[derive(Debug)]
 pub enum PushOutcome {
     /// The record was appended to its stripe.

@@ -19,14 +19,24 @@ const EVENTS_PER_PRODUCER: u64 = 10_000;
 const CHURN_TASKS: u64 = 2_000;
 
 #[test]
-fn concurrent_producers_conserve_event_accounting() {
+fn concurrent_producers_conserve_event_accounting_sharded() {
+    concurrent_producers_conserve_event_accounting(IngestMode::Sharded);
+}
+
+#[test]
+fn concurrent_producers_conserve_event_accounting_lockfree() {
+    concurrent_producers_conserve_event_accounting(IngestMode::LockFree);
+}
+
+fn concurrent_producers_conserve_event_accounting(mode: IngestMode) {
     let clock = Arc::new(SystemClock::new());
     let cfg = AtroposConfig {
-        ingest_mode: IngestMode::Sharded,
+        ingest_mode: mode,
         ingest_stripes: 4,
         // Far smaller than the event volume so overflow handling (the
         // mid-window flush and, when the ticker holds the state lock,
-        // drop-oldest shedding) is actually exercised.
+        // shedding — drop-oldest under Sharded, shed-newest under
+        // LockFree) is actually exercised.
         ingest_stripe_capacity: 128,
         ..AtroposConfig::default()
     };

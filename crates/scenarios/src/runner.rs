@@ -481,11 +481,13 @@ mod tests {
             .run(rc.duration, rc.warmup)
         };
         let direct = run_mode(atropos::IngestMode::Direct);
-        let sharded = run_mode(atropos::IngestMode::Sharded);
-        assert_eq!(direct.completed, sharded.completed);
-        assert_eq!(direct.dropped, sharded.dropped);
-        assert_eq!(direct.canceled, sharded.canceled);
-        assert_eq!(direct.offered, sharded.offered);
-        assert_eq!(direct.latency.p99(), sharded.latency.p99());
+        for mode in [atropos::IngestMode::Sharded, atropos::IngestMode::LockFree] {
+            let buffered = run_mode(mode);
+            assert_eq!(direct.completed, buffered.completed, "{mode:?}");
+            assert_eq!(direct.dropped, buffered.dropped, "{mode:?}");
+            assert_eq!(direct.canceled, buffered.canceled, "{mode:?}");
+            assert_eq!(direct.offered, buffered.offered, "{mode:?}");
+            assert_eq!(direct.latency.p99(), buffered.latency.p99(), "{mode:?}");
+        }
     }
 }
