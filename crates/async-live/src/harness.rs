@@ -16,27 +16,16 @@ use std::time::{Duration, Instant};
 use atropos::ticker::Ticker;
 use atropos::AtroposRuntime;
 use atropos_live::{
-    live_atropos_config, ControlMode, LatencySummary, LiveConfig, LiveReport, Request,
-    RequestClass, CULPRIT_KEY_BASE,
+    assemble_report, live_atropos_config, ControlMode, LiveConfig, LiveReport, ReportInputs,
+    Request, RequestClass, CULPRIT_KEY_BASE,
 };
-use atropos_metrics::LatencyHistogram;
 use atropos_sim::SystemClock;
-use atropos_substrate::RuntimePort;
+use atropos_substrate::{RuntimePort, ScenarioDescriptor};
 
 use crate::abort::AbortRegistry;
 use crate::executor::Executor;
 use crate::server::{AsyncServerCtx, TaskPool};
 use crate::timer::Timer;
-
-fn summarize(h: &LatencyHistogram) -> LatencySummary {
-    LatencySummary {
-        count: h.count(),
-        mean_ns: h.mean(),
-        p50_ns: h.p50(),
-        p99_ns: h.p99(),
-        max_ns: h.max(),
-    }
-}
 
 /// Open-loop load generation against the task pool: request `n` is due at
 /// `start + n * interarrival` whether or not the server keeps up; backlog
@@ -173,42 +162,30 @@ pub fn run_instrumented(
     executor.shutdown();
     timer.shutdown();
 
-    let time_to_cancel = registry.first_delivery_ns().and_then(|cancel_ns| {
-        let start_ns = ctx.metrics.first_culprit_start_ns.load(Ordering::Acquire);
-        (start_ns != 0 && cancel_ns >= start_ns).then(|| Duration::from_nanos(cancel_ns - start_ns))
-    });
-
-    let victim = summarize(&ctx.metrics.victim.lock());
-    let culprit = summarize(&ctx.metrics.culprit.lock());
-    // Reconcile abort deliveries into the observer so `cancels_failed`
-    // reflects only cancellations that never reached a live handle.
-    for _ in 0..registry.delivered() {
-        obs.registry().observe_cancel_delivered();
-    }
-    let names = atropos_obs::ResourceNames::from_snapshot(&rt.debug_snapshot());
-    let episodes = obs.drain_episodes(&names);
-    let metrics = obs.metrics();
-    let report = LiveReport {
-        victim,
-        culprit,
+    let inputs = ReportInputs {
+        first_delivery_ns: registry.first_delivery_ns(),
+        delivered: registry.delivered(),
+        first_culprit_start_ns: ctx.metrics.first_culprit_start_ns.load(Ordering::Acquire),
         offered: ctx.metrics.offered.load(Ordering::Relaxed),
         culprits_started: ctx.metrics.culprits_started.load(Ordering::Relaxed),
         culprits_canceled: ctx.metrics.culprits_canceled.load(Ordering::Relaxed),
-        time_to_cancel,
-        cancellations_delivered: registry.delivered(),
-        canceled_keys: rt
-            .debug_snapshot()
-            .cancel
-            .canceled_keys
-            .iter()
-            .map(|(k, _)| k.0)
-            .collect(),
         ticks,
-        runtime: rt.stats(),
-        episodes,
-        metrics,
     };
+    let report = assemble_report(
+        &rt,
+        &obs,
+        &ctx.metrics.victim.lock(),
+        &ctx.metrics.culprit.lock(),
+        inputs,
+    );
     (report, rt)
+}
+
+/// Runs one async session at a [`ScenarioDescriptor`]'s pinned geometry —
+/// the descriptor-file entry point the differential and capacity
+/// harnesses share.
+pub fn run_descriptor(d: &ScenarioDescriptor, mode: ControlMode) -> LiveReport {
+    run(LiveConfig::from_scenario(d), mode)
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ pub mod timer;
 
 pub use abort::AbortRegistry;
 pub use executor::{yield_now, AbortHandle, Executor, YieldNow};
-pub use harness::{generate, run, run_instrumented, run_with};
+pub use harness::{generate, run, run_descriptor, run_instrumented, run_with};
 pub use resources::{
     AsyncLockGuard, AsyncLruBuffer, AsyncTicketPermit, AsyncTicketSemaphore, AsyncTracedLock,
     BufferAccess, LockAcquire, TicketAcquire,

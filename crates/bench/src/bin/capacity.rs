@@ -1,0 +1,143 @@
+//! `capacity` — execute a workload descriptor's offered-load ramp against
+//! the sim / thread / async substrates and emit knee curves.
+//!
+//! ```text
+//! capacity --workload capacity_smoke [--substrate sim,thread,async]
+//!          [--out results/BENCH_capacity.json] [--adaptive-only]
+//!          [--quick]
+//! capacity --check-corpus
+//! ```
+//!
+//! `--workload` accepts either the name of a checked-in descriptor
+//! (`capacity_smoke`, `capacity_c5`) or a path to a `.toml` descriptor
+//! file on disk. `--check-corpus` parses every checked-in descriptor and
+//! exits non-zero on the first failure — the CI fail-loud gate.
+
+use atropos_bench::capacity::{report_json, run_capacity, CapacityOptions};
+use atropos_workload::{SubstrateSel, WorkloadDescriptor};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: capacity --workload <name|file.toml> [--substrate sim,thread,async] \
+         [--out PATH] [--quick]\n       capacity --check-corpus"
+    );
+    std::process::exit(2);
+}
+
+fn check_corpus() -> ! {
+    // Touching the parsed corpus validates every file; a parse failure
+    // panics with file, line and field.
+    let all = atropos_workload::all_descriptors();
+    for d in all {
+        println!("ok: {}", d.name);
+    }
+    println!("{} descriptors parse", all.len());
+    std::process::exit(0);
+}
+
+fn resolve(workload: &str) -> WorkloadDescriptor {
+    if let Some(d) = atropos_workload::descriptor(workload) {
+        return d.clone();
+    }
+    let text = std::fs::read_to_string(workload).unwrap_or_else(|e| {
+        eprintln!(
+            "capacity: `{workload}` is neither a checked-in descriptor nor a readable file: {e}"
+        );
+        std::process::exit(2);
+    });
+    let name = std::path::Path::new(workload)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(workload)
+        .to_string();
+    WorkloadDescriptor::parse(&name, &text).unwrap_or_else(|e| {
+        eprintln!("capacity: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_substrates(arg: &str) -> Vec<SubstrateSel> {
+    arg.split(',')
+        .map(|s| match s.trim() {
+            "sim" => SubstrateSel::Sim,
+            "thread" => SubstrateSel::Thread,
+            "async" => SubstrateSel::Async,
+            other => {
+                eprintln!("capacity: unknown substrate `{other}` (expected sim|thread|async)");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload: Option<String> = None;
+    let mut out = std::path::PathBuf::from("results/BENCH_capacity.json");
+    let mut substrates: Option<Vec<SubstrateSel>> = None;
+    let mut opts = CapacityOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check-corpus" => check_corpus(),
+            "--workload" => {
+                i += 1;
+                workload = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| usage()).into();
+            }
+            "--substrate" => {
+                i += 1;
+                substrates = Some(parse_substrates(
+                    &args.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
+            }
+            "--quick" => opts.quick = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(workload) = workload else { usage() };
+    let d = resolve(&workload);
+    if d.ramp.is_none() {
+        eprintln!("capacity: descriptor `{}` has no [ramp] stanza", d.name);
+        std::process::exit(2);
+    }
+    let substrates = substrates.unwrap_or_else(|| {
+        if d.substrates.is_empty() {
+            vec![SubstrateSel::Sim, SubstrateSel::Thread, SubstrateSel::Async]
+        } else {
+            d.substrates.clone()
+        }
+    });
+
+    eprintln!(
+        "capacity: sweeping `{}` over {:?}{}",
+        d.name,
+        substrates,
+        if opts.quick { " (quick)" } else { "" }
+    );
+    let report = run_capacity(&d, &substrates, &opts);
+    let payload = report_json(&d, &opts, &report);
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    let pretty = serde_json::to_string_pretty(&payload).expect("serialize payload");
+    std::fs::write(&out, &pretty).expect("write BENCH_capacity.json");
+    // Human-readable knee summary on stdout; the JSON is the artifact.
+    let show = |k: Option<f64>| k.map_or("none".to_string(), |v| format!("{v}"));
+    for curve in &report.curves {
+        println!("{:>7}: knee {} rps", curve.substrate, show(curve.knee_rps));
+    }
+    println!(
+        "adaptive: knee {} rps (best static {}, delta {})",
+        show(report.adaptive.knee_rps),
+        show(report.best_static_knee_rps()),
+        show(report.adaptive_delta_rps())
+    );
+    println!("wrote {}", out.display());
+}

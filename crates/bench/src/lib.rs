@@ -12,6 +12,7 @@
 //!   the multi-objective policy at scale, accounting window rollups, and
 //!   the simulator substrate itself.
 
+pub mod capacity;
 pub mod scaling;
 
 pub use atropos_scenarios::experiments::{all_ids, run_by_id, ExpOptions, ExpReport};

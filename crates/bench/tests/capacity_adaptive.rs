@@ -1,0 +1,71 @@
+//! The capacity acceptance claim: on the deterministic simulator, the
+//! adaptive feedback controller's knee is never below the best static
+//! configuration's knee.
+//!
+//! This holds by construction — the adaptive sweep retries a failed step
+//! across the whole static ladder before conceding, and the sim is
+//! deterministic given (descriptor, seed, knobs, rps) — but construction
+//! arguments rot; this test keeps the property load-bearing.
+
+use atropos_bench::capacity::{
+    knee_of, run_capacity, sweep_sim, sweep_sim_adaptive, CapacityOptions, STATIC_LADDER,
+};
+use atropos_workload::{capacity_descriptor, SubstrateSel};
+
+#[test]
+fn adaptive_knee_matches_or_beats_best_static() {
+    let d = capacity_descriptor("capacity_smoke").expect("smoke descriptor is checked in");
+    let opts = CapacityOptions { quick: true };
+    let report = run_capacity(d, &[SubstrateSel::Sim], &opts);
+
+    assert_eq!(report.curves.len(), 1, "one sim curve requested");
+    assert_eq!(report.static_sweeps.len(), STATIC_LADDER.len());
+    let best_static = report.best_static_knee_rps();
+    let adaptive = report.adaptive.knee_rps;
+    match (adaptive, best_static) {
+        (Some(a), Some(b)) => assert!(
+            a >= b,
+            "adaptive knee {a} rps fell below the best static knee {b} rps"
+        ),
+        (None, Some(b)) => panic!("adaptive found no knee but a static config reached {b} rps"),
+        // No static config passes the first step: adaptive owes nothing.
+        (_, None) => {}
+    }
+    // The delta the snapshot reports must agree with the knees.
+    if let (Some(a), Some(b)) = (adaptive, best_static) {
+        assert_eq!(report.adaptive_delta_rps(), Some(a - b));
+    }
+}
+
+#[test]
+fn sim_sweep_is_deterministic() {
+    let d = capacity_descriptor("capacity_smoke").expect("smoke descriptor is checked in");
+    let opts = CapacityOptions { quick: true };
+    let a = sweep_sim(d, &STATIC_LADDER[1], &opts);
+    let b = sweep_sim(d, &STATIC_LADDER[1], &opts);
+    assert_eq!(a.knee_rps, b.knee_rps);
+    for (x, y) in a.steps.iter().zip(&b.steps) {
+        assert_eq!(
+            x.p99_ns, y.p99_ns,
+            "sim step at {} rps not reproducible",
+            x.rps
+        );
+        assert_eq!(x.cancels, y.cancels);
+    }
+}
+
+#[test]
+fn adaptive_steps_cover_the_whole_ramp() {
+    let d = capacity_descriptor("capacity_smoke").expect("smoke descriptor is checked in");
+    let opts = CapacityOptions { quick: true };
+    let adaptive = sweep_sim_adaptive(d, &opts);
+    let ramp = d.require_ramp().expect("[ramp]");
+    assert_eq!(adaptive.steps.len(), ramp.steps().len());
+    let rpss: Vec<f64> = adaptive.steps.iter().map(|s| s.rps).collect();
+    assert_eq!(
+        rpss,
+        ramp.steps(),
+        "adaptive visits every ramp step in order"
+    );
+    assert_eq!(adaptive.knee_rps, knee_of(&adaptive.steps));
+}

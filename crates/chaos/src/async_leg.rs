@@ -54,7 +54,7 @@ pub struct AsyncLegOutcome {
 /// descriptor compressed in time (same shape, shorter run) so a 128-plan
 /// soak stays affordable.
 pub fn run_async_scenario(family: ScenarioFamily, plan: &FaultPlan) -> AsyncLegOutcome {
-    let mut cfg = live_config_for(&family.descriptor());
+    let mut cfg = live_config_for(&atropos_workload::family_descriptor(family));
     cfg.run_for = Duration::from_millis(450);
     cfg.culprit_after = Duration::from_millis(120);
     cfg.culprit_hold = Duration::from_millis(250);

@@ -48,14 +48,14 @@
 //! ([`crate::checker`]).
 
 use std::sync::Arc;
-use std::time::Duration;
 
 use atropos_app::ids::ClassId;
 use atropos_live::{
-    live_atropos_config, run, ControlMode, CulpritKind, LiveConfig, LiveReport, CULPRIT_KEY_BASE,
+    live_atropos_config, run, ControlMode, LiveConfig, LiveReport, CULPRIT_KEY_BASE,
 };
 use atropos_scenarios::chaos::{run_variant, variant_for, ChaosCulprit};
 use atropos_substrate::{ScenarioDescriptor, ScenarioFamily};
+use atropos_workload::family_descriptor;
 
 use crate::injector::FaultInjector;
 use crate::plan::FaultPlan;
@@ -94,7 +94,7 @@ pub fn family_culprit(family: ScenarioFamily) -> ChaosCulprit {
 /// Runs a scenario family through the simulator at its descriptor's
 /// pinned seed.
 pub fn sim_trace_for(family: ScenarioFamily) -> DecisionTrace {
-    sim_trace(family_culprit(family), family.descriptor().sim_seed)
+    sim_trace(family_culprit(family), family_descriptor(family).sim_seed)
 }
 
 /// Runs a chaos variant through the simulator and extracts its decision
@@ -120,43 +120,17 @@ pub fn sim_trace(culprit: ChaosCulprit, seed: u64) -> DecisionTrace {
     }
 }
 
-/// The live configuration a scenario descriptor pins.
-///
-/// Every geometry field comes straight off the descriptor, so the live
-/// side of a differential run cannot drift from what the sim side was
-/// keyed to. The buffer-scan geometry is deliberate: the hot set (128
-/// pages, re-touched every ~30 ms at the offered rate) is much larger
-/// than the LRU slack (4 frames), so the pages the sweep pushes out are
-/// *stale victim pages*, not the sweep's own — victims thrash and
-/// re-load while the scan also pins one of two concurrency tickets, so
-/// the backlog behind the remaining ticket blows the 10 ms SLO. The miss
-/// penalty (1 ms) is sized so cache warmup alone (≤ 8 misses ≈ 8 ms)
-/// stays under SLO and cannot trigger a pre-disturbance misblame.
+/// The live configuration a scenario descriptor pins. Thin alias for
+/// [`LiveConfig::from_scenario`], kept so existing chaos call sites and
+/// docs read naturally.
 pub fn live_config_for(d: &ScenarioDescriptor) -> LiveConfig {
-    LiveConfig {
-        culprit_kind: match d.family {
-            ScenarioFamily::LockHog => CulpritKind::LockHog,
-            ScenarioFamily::BufferScan => CulpritKind::Scan,
-            ScenarioFamily::TicketQueue => CulpritKind::TicketHog,
-        },
-        workers: d.workers,
-        interarrival: Duration::from_micros(d.interarrival_us),
-        culprit_after: Duration::from_millis(d.culprit_after_ms),
-        culprit_hold: Duration::from_millis(d.culprit_hold_ms),
-        hot_pages: d.hot_pages,
-        pages_per_request: d.pages_per_request as usize,
-        lru_capacity: d.lru_capacity,
-        miss_penalty: Duration::from_micros(d.miss_penalty_us),
-        scan_pages: d.scan_pages,
-        tickets: d.tickets,
-        ..LiveConfig::default()
-    }
+    LiveConfig::from_scenario(d)
 }
 
 /// Runs a scenario family through the thread harness at its descriptor's
 /// pinned geometry.
 pub fn live_trace_for(family: ScenarioFamily) -> DecisionTrace {
-    live_trace(&family.descriptor())
+    live_trace(&family_descriptor(family))
 }
 
 /// Extracts a wall-clock substrate's decision trace from its report's
@@ -214,7 +188,7 @@ pub fn live_trace(descriptor: &ScenarioDescriptor) -> DecisionTrace {
 /// Runs a scenario family through the async harness at its descriptor's
 /// pinned geometry.
 pub fn async_trace_for(family: ScenarioFamily) -> DecisionTrace {
-    async_trace(&family.descriptor())
+    async_trace(&family_descriptor(family))
 }
 
 /// Runs the async-substrate analog and extracts its decision trace. The

@@ -45,7 +45,7 @@ fn dump_artifact(family: ScenarioFamily, traces: &[&DecisionTrace], err: &str) {
     let mut body = format!(
         "family: {}\ndescriptor: {:?}\nerror: {err}\n",
         family.name(),
-        family.descriptor(),
+        atropos_workload::family_descriptor(family),
     );
     for t in traces {
         body.push_str(&format!("{}: {t:?}\n", t.substrate));

@@ -71,19 +71,30 @@ pub struct FedLiveConfig {
     pub queue_time_ns: u64,
 }
 
-impl Default for FedLiveConfig {
-    fn default() -> Self {
+impl FedLiveConfig {
+    /// Builds the config a checked-in `[fed_live]` stanza pins
+    /// (`descriptors/fed/two_tier_live.toml`).
+    pub fn from_spec(spec: &atropos_workload::FedLiveSpec) -> Self {
         Self {
-            workers: 4,
-            run_for: Duration::from_millis(1500),
-            interarrival: Duration::from_millis(3),
-            backend_hold: Duration::from_micros(300),
-            culprit_after: Duration::from_millis(300),
-            culprit_hold: Duration::from_millis(1100),
-            checkpoint: Duration::from_millis(1),
-            tick_period: Duration::from_millis(25),
-            queue_time_ns: 20_000_000,
+            workers: spec.workers,
+            run_for: Duration::from_millis(spec.run_for_ms),
+            interarrival: Duration::from_micros(spec.interarrival_us),
+            backend_hold: Duration::from_micros(spec.backend_hold_us),
+            culprit_after: Duration::from_millis(spec.culprit_after_ms),
+            culprit_hold: Duration::from_millis(spec.culprit_hold_ms),
+            checkpoint: Duration::from_millis(spec.checkpoint_ms),
+            tick_period: Duration::from_millis(spec.tick_period_ms),
+            queue_time_ns: spec.queue_time_ns,
         }
+    }
+}
+
+impl Default for FedLiveConfig {
+    /// The pinned two-tier geometry, resolved from the descriptor corpus
+    /// so the wall-clock federation harness cannot drift from the
+    /// checked-in `two_tier_live.toml`.
+    fn default() -> Self {
+        Self::from_spec(atropos_workload::fed_live_spec())
     }
 }
 

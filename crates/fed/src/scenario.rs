@@ -80,12 +80,10 @@ impl FedScenarioKind {
         }
     }
 
-    /// Backend count for this kind.
+    /// Backend count for this kind, resolved from the checked-in
+    /// topology descriptor (`descriptors/fed/<kind>.toml`).
     pub fn fanout(&self) -> usize {
-        match self {
-            FedScenarioKind::FanConvoy => 3,
-            _ => 1,
-        }
+        atropos_workload::fed_topology(self.name()).fanout as usize
     }
 }
 

@@ -9,8 +9,9 @@ use atropos::ticker::Ticker;
 use atropos::{AtroposConfig, AtroposRuntime, RuntimeStats};
 use atropos_metrics::LatencyHistogram;
 use atropos_sim::SystemClock;
-use atropos_substrate::RuntimePort;
+use atropos_substrate::{RuntimePort, ScenarioDescriptor, ScenarioFamily};
 
+use crate::report::{assemble_report, ReportInputs};
 use crate::server::{worker_loop, CulpritKind, ServerCtx};
 use crate::token::CancelRegistry;
 use crate::workload::generate;
@@ -56,6 +57,42 @@ pub struct LiveConfig {
     pub checkpoint: Duration,
     /// Supervisor tick period (Atropos mode only).
     pub tick_period: Duration,
+}
+
+impl LiveConfig {
+    /// The live configuration a [`ScenarioDescriptor`] pins.
+    ///
+    /// Every geometry field comes straight off the descriptor, so the
+    /// live side of a differential run cannot drift from what the sim
+    /// side was keyed to. The buffer-scan geometry is deliberate: the hot
+    /// set (128 pages, re-touched every ~30 ms at the offered rate) is
+    /// much larger than the LRU slack (4 frames), so the pages the sweep
+    /// pushes out are *stale victim pages*, not the sweep's own — victims
+    /// thrash and re-load while the scan also pins one of two concurrency
+    /// tickets, so the backlog behind the remaining ticket blows the
+    /// 10 ms SLO. The miss penalty (1 ms) is sized so cache warmup alone
+    /// (≤ 8 misses ≈ 8 ms) stays under SLO and cannot trigger a
+    /// pre-disturbance misblame.
+    pub fn from_scenario(d: &ScenarioDescriptor) -> Self {
+        Self {
+            culprit_kind: match d.family {
+                ScenarioFamily::LockHog => CulpritKind::LockHog,
+                ScenarioFamily::BufferScan => CulpritKind::Scan,
+                ScenarioFamily::TicketQueue => CulpritKind::TicketHog,
+            },
+            workers: d.workers,
+            interarrival: Duration::from_micros(d.interarrival_us),
+            culprit_after: Duration::from_millis(d.culprit_after_ms),
+            culprit_hold: Duration::from_millis(d.culprit_hold_ms),
+            hot_pages: d.hot_pages,
+            pages_per_request: d.pages_per_request as usize,
+            lru_capacity: d.lru_capacity,
+            miss_penalty: Duration::from_micros(d.miss_penalty_us),
+            scan_pages: d.scan_pages,
+            tickets: d.tickets,
+            ..LiveConfig::default()
+        }
+    }
 }
 
 impl Default for LiveConfig {
@@ -120,7 +157,8 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_histogram(h: &LatencyHistogram) -> Self {
+    /// Digests a recorded histogram.
+    pub fn from_histogram(h: &LatencyHistogram) -> Self {
         Self {
             count: h.count(),
             mean_ns: h.mean(),
@@ -244,41 +282,25 @@ pub fn run_with(
         None => 0,
     };
 
-    let time_to_cancel = registry.first_delivery_ns().and_then(|cancel_ns| {
-        let start_ns = ctx.metrics.first_culprit_start_ns.load(Ordering::Acquire);
-        (start_ns != 0 && cancel_ns >= start_ns).then(|| Duration::from_nanos(cancel_ns - start_ns))
-    });
-
-    let victim = LatencySummary::from_histogram(&ctx.metrics.victim.lock());
-    let culprit = LatencySummary::from_histogram(&ctx.metrics.culprit.lock());
-    // Reconcile token deliveries into the observer so `cancels_failed`
-    // reflects only cancellations that never reached a live token.
-    for _ in 0..registry.delivered() {
-        obs.registry().observe_cancel_delivered();
-    }
-    let names = atropos_obs::ResourceNames::from_snapshot(&rt.debug_snapshot());
-    let episodes = obs.drain_episodes(&names);
-    let metrics = obs.metrics();
-    LiveReport {
-        victim,
-        culprit,
+    let inputs = ReportInputs {
+        first_delivery_ns: registry.first_delivery_ns(),
+        delivered: registry.delivered(),
+        first_culprit_start_ns: ctx.metrics.first_culprit_start_ns.load(Ordering::Acquire),
         offered: ctx.metrics.offered.load(Ordering::Relaxed),
         culprits_started: ctx.metrics.culprits_started.load(Ordering::Relaxed),
         culprits_canceled: ctx.metrics.culprits_canceled.load(Ordering::Relaxed),
-        time_to_cancel,
-        cancellations_delivered: registry.delivered(),
-        canceled_keys: rt
-            .debug_snapshot()
-            .cancel
-            .canceled_keys
-            .iter()
-            .map(|(k, _)| k.0)
-            .collect(),
         ticks,
-        runtime: rt.stats(),
-        episodes,
-        metrics,
-    }
+    };
+    let victim = ctx.metrics.victim.lock();
+    let culprit = ctx.metrics.culprit.lock();
+    assemble_report(&rt, &obs, &victim, &culprit, inputs)
+}
+
+/// Runs one wall-clock session at a [`ScenarioDescriptor`]'s pinned
+/// geometry — the descriptor-file entry point the differential and
+/// capacity harnesses share.
+pub fn run_descriptor(d: &ScenarioDescriptor, mode: ControlMode) -> LiveReport {
+    run(LiveConfig::from_scenario(d), mode)
 }
 
 #[cfg(test)]

@@ -34,14 +34,17 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report;
 pub mod resources;
 pub mod server;
 pub mod token;
 pub mod workload;
 
 pub use harness::{
-    live_atropos_config, run, run_with, ControlMode, LatencySummary, LiveConfig, LiveReport,
+    live_atropos_config, run, run_descriptor, run_with, ControlMode, LatencySummary, LiveConfig,
+    LiveReport,
 };
+pub use report::{assemble_report, ReportInputs};
 pub use resources::{AccessStats, LruBuffer, TicketPermit, TicketSemaphore, TracedLock};
 pub use server::{CulpritKind, Request, RequestClass, ServerCtx, ServerMetrics, WorkQueue};
 pub use token::{CancelRegistry, CancelToken};

@@ -1,0 +1,84 @@
+//! Shared report assembly for the wall-clock substrates.
+//!
+//! The thread harness ([`crate::harness`]) and the async harness
+//! (`atropos-async`) end a run the same way: compute time-to-cancel from
+//! the first registry delivery, summarize the victim/culprit latency
+//! histograms, reconcile registry deliveries into the observer so
+//! `cancels_failed` only counts cancellations that never reached a live
+//! token/handle, drain the flight-recorder episodes, and fold it all into
+//! a [`LiveReport`]. That block used to be duplicated in both harnesses
+//! and had already drifted once (a private `summarize` clone); it lives
+//! here now so the two substrates provably report identically.
+
+use std::time::Duration;
+
+use atropos::AtroposRuntime;
+use atropos_metrics::LatencyHistogram;
+
+use crate::harness::{LatencySummary, LiveReport};
+
+/// The substrate-specific observations [`assemble_report`] folds into a
+/// [`LiveReport`]. Everything here is a plain value so the thread
+/// substrate's `CancelRegistry`/`ServerMetrics` and the async
+/// substrate's `AbortRegistry` can both fill it.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportInputs {
+    /// Clock timestamp of the registry's first delivery, if any.
+    pub first_delivery_ns: Option<u64>,
+    /// Cancellations the registry delivered to a live token/handle.
+    pub delivered: u64,
+    /// When the first culprit began executing (clock ns; 0 = never).
+    pub first_culprit_start_ns: u64,
+    /// Requests the generator offered.
+    pub offered: u64,
+    /// Culprit requests that began executing.
+    pub culprits_started: u64,
+    /// Culprit requests that observed their cancellation and unwound.
+    pub culprits_canceled: u64,
+    /// Supervisor ticks executed.
+    pub ticks: u64,
+}
+
+/// Folds a quiesced run into its [`LiveReport`]. Call only after workers
+/// and the supervisor have stopped: the runtime snapshot and the observer
+/// ring are read as final state.
+pub fn assemble_report(
+    rt: &AtroposRuntime,
+    obs: &atropos_obs::Observer,
+    victim: &LatencyHistogram,
+    culprit: &LatencyHistogram,
+    inputs: ReportInputs,
+) -> LiveReport {
+    let time_to_cancel = inputs.first_delivery_ns.and_then(|cancel_ns| {
+        let start_ns = inputs.first_culprit_start_ns;
+        (start_ns != 0 && cancel_ns >= start_ns).then(|| Duration::from_nanos(cancel_ns - start_ns))
+    });
+    // Reconcile registry deliveries into the observer so `cancels_failed`
+    // reflects only cancellations that never reached a live target.
+    for _ in 0..inputs.delivered {
+        obs.registry().observe_cancel_delivered();
+    }
+    let snapshot = rt.debug_snapshot();
+    let names = atropos_obs::ResourceNames::from_snapshot(&snapshot);
+    let episodes = obs.drain_episodes(&names);
+    let metrics = obs.metrics();
+    LiveReport {
+        victim: LatencySummary::from_histogram(victim),
+        culprit: LatencySummary::from_histogram(culprit),
+        offered: inputs.offered,
+        culprits_started: inputs.culprits_started,
+        culprits_canceled: inputs.culprits_canceled,
+        time_to_cancel,
+        cancellations_delivered: inputs.delivered,
+        canceled_keys: snapshot
+            .cancel
+            .canceled_keys
+            .iter()
+            .map(|(k, _)| k.0)
+            .collect(),
+        ticks: inputs.ticks,
+        runtime: rt.stats(),
+        episodes,
+        metrics,
+    }
+}

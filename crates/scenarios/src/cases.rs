@@ -1,4 +1,5 @@
-//! The 16 real-world overload cases (paper Table 2).
+//! The 16 real-world overload cases (paper Table 2), built from the
+//! declarative descriptor corpus.
 //!
 //! Each case builds a `(ServerConfig, WorkloadSpec)` pair twice — once
 //! with the noisy/culprit classes ("overload") and once without
@@ -7,6 +8,14 @@
 //! its figures. The timing compresses the paper's multi-minute
 //! reproductions into ~12 s of virtual time: noisy requests are injected
 //! after warmup and recur for the rest of the run.
+//!
+//! The cases themselves are no longer hard-coded here: every mix weight,
+//! plan parameter, client pin and injection schedule lives in a
+//! checked-in descriptor file (`crates/workload/descriptors/cases/`),
+//! and this module is the sim-substrate *interpreter* for those files —
+//! [`build_case`] maps a validated [`CaseDescriptor`] onto the simulated
+//! application it names. The goldens pin the interpretation: descriptors
+//! must reproduce the legacy hard-coded suite byte-identically.
 
 use atropos_app::apps::kvstore::{KvStore, KvStoreConfig};
 use atropos_app::apps::minidb::{MiniDb, MiniDbConfig};
@@ -14,8 +23,9 @@ use atropos_app::apps::search::{SearchApp, SearchConfig};
 use atropos_app::apps::webserver::{WebServer, WebServerConfig};
 use atropos_app::ids::{ClassId, ClientId, PoolId};
 use atropos_app::server::ServerConfig;
-use atropos_app::workload::WorkloadSpec;
+use atropos_app::workload::{ClassSpec, WorkloadSpec};
 use atropos_sim::SimTime;
+use atropos_workload::{AppKind, CaseDescriptor, ClassDecl, WorkloadDescriptor};
 
 /// Parameters shared by all case builders.
 #[derive(Debug, Clone)]
@@ -63,9 +73,7 @@ pub struct BuiltCase {
     pub hints: CaseHints,
 }
 
-type Builder = fn(&CaseParams, bool) -> BuiltCase;
-
-/// Static description + builder for one case.
+/// Static description + descriptor for one case.
 #[derive(Clone)]
 pub struct CaseDef {
     /// Case id, `c1`..`c16`.
@@ -80,7 +88,7 @@ pub struct CaseDef {
     pub trigger: &'static str,
     /// Default open-loop load in qps.
     pub base_qps: f64,
-    builder: Builder,
+    descriptor: &'static CaseDescriptor,
 }
 
 impl std::fmt::Debug for CaseDef {
@@ -92,618 +100,211 @@ impl std::fmt::Debug for CaseDef {
 impl CaseDef {
     /// Builds the case; `overload = false` omits the noisy classes.
     pub fn build(&self, params: &CaseParams, overload: bool) -> BuiltCase {
-        (self.builder)(params, overload)
+        build_case(self.descriptor, params, overload)
     }
-}
 
-/// Repeats an injection of `class` every `every` from `params.disturb_at`
-/// until the end of the run.
-fn inject_repeating(
-    mut wl: WorkloadSpec,
-    params: &CaseParams,
-    class: ClassId,
-    every: SimTime,
-) -> WorkloadSpec {
-    let mut at = params.disturb_at;
-    while at < params.duration {
-        wl = wl.inject(at, class);
-        at += every;
+    /// The descriptor this case interprets.
+    pub fn descriptor(&self) -> &'static CaseDescriptor {
+        self.descriptor
     }
-    wl
-}
 
-fn sec_ms(ms: u64) -> SimTime {
-    SimTime::from_millis(ms)
-}
-
-// ---- MySQL-like cases (minidb) ----
-
-fn minidb_base(seed: u64) -> MiniDb {
-    MiniDb::new(MiniDbConfig {
-        seed,
-        ..Default::default()
-    })
-}
-
-fn minidb_hints(db: &MiniDb, exempt: Vec<ClassId>) -> CaseHints {
-    CaseHints {
-        slo_exempt: exempt,
-        pools: vec![db.pool],
-        workers: db.cfg.workers,
-    }
-}
-
-/// c1 — backup behind a long scan convoys all tables.
-fn c1(params: &CaseParams, overload: bool) -> BuiltCase {
-    let db = minidb_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            db.point_select(0.65),
-            db.row_update(0.35),
-            db.table_scan(0.0, 3_000_000_000).with_client(ClientId(100)),
-            db.backup(40_000_000).with_client(ClientId(101)),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    if overload {
-        wl = inject_repeating(wl, params, ClassId(2), sec_ms(5_000));
-        let mut at = params.disturb_at + sec_ms(400);
-        while at < params.duration {
-            wl = wl.inject(at, ClassId(3));
-            at += sec_ms(5_000);
+    /// Wraps a corpus descriptor. The corpus is `'static`, so the Table 2
+    /// columns borrow straight out of the parsed file.
+    fn from_corpus(d: &'static WorkloadDescriptor) -> Self {
+        let case = d
+            .case
+            .as_ref()
+            .unwrap_or_else(|| panic!("descriptor `{}` has no [case] stanza", d.name));
+        CaseDef {
+            id: &case.id,
+            app: &case.display_app,
+            resource_type: &case.resource_type,
+            resource: &case.resource,
+            trigger: &case.trigger,
+            base_qps: case.base_qps,
+            descriptor: case,
         }
     }
-    BuiltCase {
-        server: db.server_config(),
-        hints: minidb_hints(&db, vec![ClassId(2), ClassId(3)]),
-        workload: wl,
-    }
 }
 
-/// c2 — slow queries monopolize the InnoDB concurrency tickets.
-fn c2(params: &CaseParams, overload: bool) -> BuiltCase {
-    let db = minidb_base(params.seed);
-    // ~2.4 slow queries/s, each pinning a concurrency ticket for ~2 s:
-    // enough to keep all four tickets occupied on average, "exceeding the
-    // concurrency limit" as the case report describes.
-    let slow_weight = if overload { 0.0003 } else { 0.0 };
-    let wl = WorkloadSpec::new(
-        vec![
-            db.point_select(0.65),
-            db.row_update(0.35),
-            db.slow_query(slow_weight, 2_000_000_000)
-                .with_client(ClientId(100)),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    BuiltCase {
-        server: db.server_config(),
-        hints: minidb_hints(&db, vec![ClassId(2)]),
-        workload: wl,
-    }
-}
-
-/// The c2 shape, injection-driven: slow queries arrive on a schedule
-/// instead of by sampling weight, so a controller that cancels them
-/// visibly interrupts the ticket convoy. Used by the chaos differential
-/// (the ticket-queue family), not part of the 16-case suite.
-fn c2_ticket_queue_chaos(params: &CaseParams, overload: bool) -> BuiltCase {
-    let db = minidb_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            db.point_select(0.65),
-            db.row_update(0.35),
-            db.slow_query(0.0, 2_000_000_000).with_client(ClientId(100)),
-        ],
-        8_000.0 * params.load_scale,
-    );
+/// The mix weight a class runs at in the given variant: overload runs
+/// `overload_weight` when declared (the sampling-driven culprits of c2,
+/// c9, c12, c15), the baseline always runs the declared `weight`.
+fn variant_weight(decl: &ClassDecl, overload: bool) -> f64 {
     if overload {
-        // One slow query every 400 ms, each pinning a ticket for ~2 s:
-        // ~5 concurrent hogs in steady state, more than the pool's
-        // tickets, so admission starves until one is canceled.
-        wl = inject_repeating(wl, params, ClassId(2), sec_ms(400));
-    }
-    BuiltCase {
-        server: db.server_config(),
-        hints: minidb_hints(&db, vec![ClassId(2)]),
-        workload: wl,
+        decl.overload_weight.unwrap_or(decl.weight)
+    } else {
+        decl.weight
     }
 }
 
-/// The [`CaseDef`] for the injection-driven ticket-queue chaos case.
-/// Deliberately not in [`all_cases`]: the golden 16-case suite is pinned.
-pub fn chaos_ticket_queue_case() -> CaseDef {
-    CaseDef {
-        id: "c2tq",
-        app: "MySQL",
-        resource_type: "Thread pool",
-        resource: "InnoDB queue",
-        trigger: "Scheduled slow queries drain the InnoDB ticket queue dry.",
-        base_qps: 8_000.0,
-        builder: c2_ticket_queue_chaos,
+fn minidb_class(db: &MiniDb, decl: &ClassDecl, weight: f64) -> ClassSpec {
+    let p = &decl.params;
+    match decl.kind.as_str() {
+        "point_select" => db.point_select(weight),
+        "row_update" => db.row_update(weight),
+        "table_scan" => db.table_scan(weight, p.expect("duration_ns")),
+        "slow_query" => db.slow_query(weight, p.expect("ns")),
+        "dump" => db.dump(weight, p.expect("pages")),
+        "backup" => db.backup(p.expect("copy_ns_per_table")),
+        "select_for_update" => db.select_for_update(p.expect("hold_ns")),
+        "bulk_write" => db.bulk_write(p.expect("hold_ns")),
+        "purge" => db.purge(p.expect("hold_ns")),
+        "wal_writer" => db.wal_writer(p.expect("flush_ns")),
+        "vacuum" => db.vacuum(p.expect("io_chunks") as usize, p.expect("chunk_ns")),
+        "select_with_io" => db.select_with_io(weight, p.expect("io_ns")),
+        other => unreachable!("validated minidb class kind `{other}`"),
     }
 }
 
-/// c3 — background purge blocks the undo log.
-fn c3(params: &CaseParams, overload: bool) -> BuiltCase {
-    let db = minidb_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            db.point_select(0.65),
-            db.row_update(0.35),
-            db.purge(500_000_000),
-        ],
-        8_000.0 * params.load_scale,
-    );
+fn webserver_class(ws: &WebServer, decl: &ClassDecl, weight: f64) -> ClassSpec {
+    let p = &decl.params;
+    match decl.kind.as_str() {
+        "http_request" => ws.http_request(weight),
+        "slow_script" => ws.slow_script(weight, p.expect("script_ns")),
+        other => unreachable!("validated webserver class kind `{other}`"),
+    }
+}
+
+fn search_class(app: &SearchApp, decl: &ClassDecl, weight: f64) -> ClassSpec {
+    let p = &decl.params;
+    match decl.kind.as_str() {
+        "search" => app.search(weight),
+        "big_search" => app.big_search(weight, p.expect("entries")),
+        "nested_agg" => app.nested_agg(weight, p.expect("total_bytes"), p.expect("steps") as usize),
+        "long_query" => app.long_query(weight, p.expect("ns")),
+        "big_update" => app.big_update(weight, p.expect("hold_ns")),
+        "index_doc" => app.index_doc(weight),
+        "complex_boolean" => app.complex_boolean(weight, p.expect("hold_ns")),
+        "nested_range" => app.nested_range(weight, p.expect("ns")),
+        other => unreachable!("validated search class kind `{other}`"),
+    }
+}
+
+fn kvstore_class(kv: &KvStore, decl: &ClassDecl, weight: f64) -> ClassSpec {
+    let p = &decl.params;
+    match decl.kind.as_str() {
+        "kv_get" => kv.kv_get(weight),
+        "kv_put" => kv.kv_put(weight),
+        "range_read" => kv.range_read(weight, p.expect("hold_ns")),
+        other => unreachable!("validated kvstore class kind `{other}`"),
+    }
+}
+
+/// Interprets one validated case descriptor against the simulated app it
+/// names. This is the single sim-substrate entry point: the Table 2
+/// suite, the chaos ticket-queue variant and the `capacity` sweep all
+/// build through here.
+pub fn build_case(case: &CaseDescriptor, params: &CaseParams, overload: bool) -> BuiltCase {
+    let (server, hints, classes): (ServerConfig, CaseHints, Vec<ClassSpec>) = match case.app {
+        AppKind::MiniDb => {
+            let db = MiniDb::new(MiniDbConfig {
+                seed: params.seed,
+                ..Default::default()
+            });
+            let classes = build_classes(case, overload, |decl, w| minidb_class(&db, decl, w));
+            let hints = hints_for(case, vec![db.pool], db.cfg.workers);
+            (db.server_config(), hints, classes)
+        }
+        AppKind::WebServer => {
+            let ws = WebServer::new(WebServerConfig {
+                seed: params.seed,
+                ..Default::default()
+            });
+            let classes = build_classes(case, overload, |decl, w| webserver_class(&ws, decl, w));
+            let hints = hints_for(case, vec![], ws.cfg.max_clients * 8);
+            (ws.server_config(), hints, classes)
+        }
+        AppKind::Search => {
+            let app = SearchApp::new(SearchConfig {
+                seed: params.seed,
+                ..Default::default()
+            });
+            let classes = build_classes(case, overload, |decl, w| search_class(&app, decl, w));
+            let hints = hints_for(case, vec![app.cache], app.cfg.workers);
+            (app.server_config(), hints, classes)
+        }
+        AppKind::KvStore => {
+            let kv = KvStore::new(KvStoreConfig {
+                seed: params.seed,
+                ..Default::default()
+            });
+            let classes = build_classes(case, overload, |decl, w| kvstore_class(&kv, decl, w));
+            let hints = hints_for(case, vec![], kv.cfg.workers);
+            (kv.server_config(), hints, classes)
+        }
+    };
+
+    let mut wl = WorkloadSpec::new(classes, case.base_qps * params.load_scale);
     if overload {
-        wl = wl.recurring(ClassId(2), params.disturb_at, sec_ms(1_500));
+        // Expand injection schedules exactly as the legacy builders did:
+        // one decl at a time, `disturb_at + offset` stepping by `every`
+        // until the end of the run.
+        for inj in &case.injections {
+            let mut at = params.disturb_at + SimTime::from_millis(inj.offset_ms);
+            let every = SimTime::from_millis(inj.every_ms);
+            while at < params.duration {
+                wl = wl.inject(at, ClassId(inj.class));
+                at += every;
+            }
+        }
+        for bg in &case.background {
+            wl = wl.recurring(
+                ClassId(bg.class),
+                params.disturb_at,
+                SimTime::from_millis(bg.interval_ms),
+            );
+        }
     }
+
     BuiltCase {
-        server: db.server_config(),
-        hints: minidb_hints(&db, vec![ClassId(2)]),
+        server,
         workload: wl,
+        hints,
     }
 }
 
-/// c4 — SELECT FOR UPDATE blocks other clients' writes.
-fn c4(params: &CaseParams, overload: bool) -> BuiltCase {
-    let db = minidb_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            db.point_select(0.65),
-            db.row_update(0.35),
-            db.select_for_update(3_000_000_000)
-                .with_client(ClientId(100)),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    if overload {
-        wl = inject_repeating(wl, params, ClassId(2), sec_ms(4_500));
-    }
-    BuiltCase {
-        server: db.server_config(),
-        hints: minidb_hints(&db, vec![ClassId(2)]),
-        workload: wl,
-    }
+fn build_classes(
+    case: &CaseDescriptor,
+    overload: bool,
+    make: impl Fn(&ClassDecl, f64) -> ClassSpec,
+) -> Vec<ClassSpec> {
+    case.classes
+        .iter()
+        .map(|decl| {
+            let spec = make(decl, variant_weight(decl, overload));
+            match decl.client {
+                Some(c) => spec.with_client(ClientId(c)),
+                None => spec,
+            }
+        })
+        .collect()
 }
 
-/// c5 — dump queries thrash the buffer pool.
-fn c5(params: &CaseParams, overload: bool) -> BuiltCase {
-    let db = minidb_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            db.point_select(0.65),
-            db.row_update(0.35),
-            db.dump(0.0, 120_000).with_client(ClientId(100)),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    if overload {
-        wl = inject_repeating(wl, params, ClassId(2), sec_ms(3_000));
-    }
-    BuiltCase {
-        server: db.server_config(),
-        hints: minidb_hints(&db, vec![ClassId(2)]),
-        workload: wl,
-    }
-}
-
-// ---- PostgreSQL-like cases (minidb) ----
-
-/// c6 — a bulk MVCC write slows readers of its table.
-fn c6(params: &CaseParams, overload: bool) -> BuiltCase {
-    let db = minidb_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            db.point_select(0.65),
-            db.row_update(0.35),
-            db.bulk_write(2_500_000_000).with_client(ClientId(100)),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    if overload {
-        wl = inject_repeating(wl, params, ClassId(2), sec_ms(4_500));
-    }
-    BuiltCase {
-        server: db.server_config(),
-        hints: minidb_hints(&db, vec![ClassId(2)]),
-        workload: wl,
-    }
-}
-
-/// c7 — the background WAL writer convoys group commit.
-fn c7(params: &CaseParams, overload: bool) -> BuiltCase {
-    let db = minidb_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            db.point_select(0.55),
-            db.row_update(0.45),
-            db.wal_writer(120_000_000),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    if overload {
-        wl = wl.recurring(ClassId(2), params.disturb_at, sec_ms(4_000));
-    }
-    BuiltCase {
-        server: db.server_config(),
-        hints: minidb_hints(&db, vec![ClassId(2)]),
-        workload: wl,
-    }
-}
-
-/// c8 — vacuum saturates the IO device.
-fn c8(params: &CaseParams, overload: bool) -> BuiltCase {
-    let db = minidb_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            db.select_with_io(0.7, 60_000),
-            db.row_update(0.3),
-            db.vacuum(250, 10_000_000),
-        ],
-        6_000.0 * params.load_scale,
-    );
-    if overload {
-        wl = wl.recurring(ClassId(2), params.disturb_at, sec_ms(4_000));
-    }
-    BuiltCase {
-        server: db.server_config(),
-        hints: minidb_hints(&db, vec![ClassId(2)]),
-        workload: wl,
-    }
-}
-
-// ---- Apache-like case (webserver) ----
-
-/// c9 — slow scripts exhaust the MaxClients worker pool.
-fn c9(params: &CaseParams, overload: bool) -> BuiltCase {
-    let ws = WebServer::new(WebServerConfig {
-        seed: params.seed,
-        ..Default::default()
-    });
-    let slow_weight = if overload { 0.0005 } else { 0.0 };
-    let wl = WorkloadSpec::new(
-        vec![
-            ws.http_request(1.0),
-            ws.slow_script(slow_weight, 20_000_000_000)
-                .with_client(ClientId(100)),
-        ],
-        5_000.0 * params.load_scale,
-    );
-    BuiltCase {
-        server: ws.server_config(),
-        hints: CaseHints {
-            slo_exempt: vec![ClassId(1)],
-            pools: vec![],
-            workers: ws.cfg.max_clients * 8,
-        },
-        workload: wl,
-    }
-}
-
-// ---- Elasticsearch-like cases (search) ----
-
-fn search_base(seed: u64) -> SearchApp {
-    SearchApp::new(SearchConfig {
-        seed,
-        ..Default::default()
-    })
-}
-
-fn search_hints(app: &SearchApp, exempt: Vec<ClassId>) -> CaseHints {
+fn hints_for(case: &CaseDescriptor, pools: Vec<PoolId>, workers: usize) -> CaseHints {
     CaseHints {
-        slo_exempt: exempt,
-        pools: vec![app.cache],
-        workers: app.cfg.workers,
+        slo_exempt: case.slo_exempt.iter().map(|&i| ClassId(i)).collect(),
+        pools,
+        workers,
     }
 }
 
-/// c10 — a large search evicts the query cache working set.
-fn c10(params: &CaseParams, overload: bool) -> BuiltCase {
-    let app = search_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            app.search(1.0),
-            app.big_search(0.0, 30_000).with_client(ClientId(100)),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    if overload {
-        wl = inject_repeating(wl, params, ClassId(1), sec_ms(3_500));
-    }
-    BuiltCase {
-        server: app.server_config(),
-        hints: search_hints(&app, vec![ClassId(1)]),
-        workload: wl,
-    }
-}
-
-/// c11 — nested aggregations exhaust the heap and storm the GC.
-fn c11(params: &CaseParams, overload: bool) -> BuiltCase {
-    let app = search_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            app.search(1.0),
-            app.nested_agg(0.0, 2_800 << 20, 30)
-                .with_client(ClientId(100)),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    if overload {
-        wl = inject_repeating(wl, params, ClassId(1), sec_ms(3_500));
-    }
-    BuiltCase {
-        server: app.server_config(),
-        hints: search_hints(&app, vec![ClassId(1)]),
-        workload: wl,
-    }
-}
-
-/// c12 — long-running queries monopolize the CPU cores.
-fn c12(params: &CaseParams, overload: bool) -> BuiltCase {
-    let app = search_base(params.seed);
-    let weight = if overload { 0.00025 } else { 0.0 };
-    let wl = WorkloadSpec::new(
-        vec![
-            app.search(1.0),
-            app.long_query(weight, 4_000_000_000)
-                .with_client(ClientId(100)),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    BuiltCase {
-        server: app.server_config(),
-        hints: search_hints(&app, vec![ClassId(1)]),
-        workload: wl,
-    }
-}
-
-/// c13 — a large update holds the document lock.
-fn c13(params: &CaseParams, overload: bool) -> BuiltCase {
-    let app = search_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            app.search(0.7),
-            app.index_doc(0.3),
-            app.big_update(0.0, 2_200_000_000)
-                .with_client(ClientId(100)),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    if overload {
-        wl = inject_repeating(wl, params, ClassId(2), sec_ms(4_500));
-    }
-    BuiltCase {
-        server: app.server_config(),
-        hints: search_hints(&app, vec![ClassId(2)]),
-        workload: wl,
-    }
-}
-
-// ---- Solr-like cases (search) ----
-
-/// c14 — a complex boolean query holds the index lock.
-fn c14(params: &CaseParams, overload: bool) -> BuiltCase {
-    let app = search_base(params.seed);
-    let mut wl = WorkloadSpec::new(
-        vec![
-            app.search(1.0),
-            app.complex_boolean(0.0, 2_000_000_000)
-                .with_client(ClientId(100)),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    if overload {
-        wl = inject_repeating(wl, params, ClassId(1), sec_ms(4_500));
-    }
-    BuiltCase {
-        server: app.server_config(),
-        hints: search_hints(&app, vec![ClassId(1)]),
-        workload: wl,
-    }
-}
-
-/// c15 — nested range queries occupy the search thread pool.
-fn c15(params: &CaseParams, overload: bool) -> BuiltCase {
-    let app = search_base(params.seed);
-    let weight = if overload { 0.0007 } else { 0.0 };
-    let wl = WorkloadSpec::new(
-        vec![
-            app.search(1.0),
-            app.nested_range(weight, 3_000_000_000)
-                .with_client(ClientId(100)),
-        ],
-        8_000.0 * params.load_scale,
-    );
-    BuiltCase {
-        server: app.server_config(),
-        hints: search_hints(&app, vec![ClassId(1)]),
-        workload: wl,
-    }
-}
-
-// ---- etcd-like case (kvstore) ----
-
-/// c16 — a complex range read blocks writers (and, via FIFO, readers).
-fn c16(params: &CaseParams, overload: bool) -> BuiltCase {
-    let kv = KvStore::new(KvStoreConfig {
-        seed: params.seed,
-        ..Default::default()
-    });
-    let mut wl = WorkloadSpec::new(
-        vec![
-            kv.kv_get(0.8),
-            kv.kv_put(0.2),
-            kv.range_read(0.0, 2_500_000_000).with_client(ClientId(100)),
-        ],
-        3_000.0 * params.load_scale,
-    );
-    if overload {
-        wl = inject_repeating(wl, params, ClassId(2), sec_ms(4_500));
-    }
-    BuiltCase {
-        server: kv.server_config(),
-        hints: CaseHints {
-            slo_exempt: vec![ClassId(2)],
-            pools: vec![],
-            workers: kv.cfg.workers,
-        },
-        workload: wl,
-    }
-}
-
-/// All 16 cases of Table 2, in order.
+/// All 16 cases of Table 2, in order, resolved from the descriptor
+/// corpus.
 pub fn all_cases() -> Vec<CaseDef> {
-    vec![
-        CaseDef {
-            id: "c1",
-            app: "MySQL",
-            resource_type: "Synchronization",
-            resource: "Backup lock",
-            trigger:
-                "A subtle interaction causes backup queries to hold write locks for long time.",
-            base_qps: 8_000.0,
-            builder: c1,
-        },
-        CaseDef {
-            id: "c2",
-            app: "MySQL",
-            resource_type: "Thread pool",
-            resource: "InnoDB queue",
-            trigger: "Slow queries monopolize the InnoDB queue, exceeding its concurrency limit.",
-            base_qps: 8_000.0,
-            builder: c2,
-        },
-        CaseDef {
-            id: "c3",
-            app: "MySQL",
-            resource_type: "Synchronization",
-            resource: "Undo log",
-            trigger: "Background purge task blocks causes contention on the undo log.",
-            base_qps: 8_000.0,
-            builder: c3,
-        },
-        CaseDef {
-            id: "c4",
-            app: "MySQL",
-            resource_type: "Synchronization",
-            resource: "Table lock",
-            trigger: "SELECT FOR UPDATE query blocks other clients' insert query.",
-            base_qps: 8_000.0,
-            builder: c4,
-        },
-        CaseDef {
-            id: "c5",
-            app: "MySQL",
-            resource_type: "Memory",
-            resource: "Buffer pool",
-            trigger:
-                "Scan query monopolizes the buffer pool and causes contention with other queries.",
-            base_qps: 8_000.0,
-            builder: c5,
-        },
-        CaseDef {
-            id: "c6",
-            app: "PostgreSQL",
-            resource_type: "Synchronization",
-            resource: "Table lock",
-            trigger: "The write operation slows down the other query due to MVCC.",
-            base_qps: 8_000.0,
-            builder: c6,
-        },
-        CaseDef {
-            id: "c7",
-            app: "PostgreSQL",
-            resource_type: "Synchronization",
-            resource: "Write ahead log",
-            trigger: "The background WAL task causes group insertion and blocks other queries.",
-            base_qps: 8_000.0,
-            builder: c7,
-        },
-        CaseDef {
-            id: "c8",
-            app: "PostgreSQL",
-            resource_type: "System",
-            resource: "System IO",
-            trigger: "The vacuum process causes contention on IO and slows down other queries.",
-            base_qps: 6_000.0,
-            builder: c8,
-        },
-        CaseDef {
-            id: "c9",
-            app: "Apache",
-            resource_type: "Thread pool",
-            resource: "Thread pool",
-            trigger:
-                "Slow request blocks other clients' requests when the max client limit is reached.",
-            base_qps: 5_000.0,
-            builder: c9,
-        },
-        CaseDef {
-            id: "c10",
-            app: "Elasticsearch",
-            resource_type: "Memory",
-            resource: "Query cache",
-            trigger: "A large search slows down other queries due to cache contention.",
-            base_qps: 8_000.0,
-            builder: c10,
-        },
-        CaseDef {
-            id: "c11",
-            app: "Elasticsearch",
-            resource_type: "Memory",
-            resource: "Buffer memory",
-            trigger:
-                "The nested aggregation exhausts heap memory causing frequent garbage collection.",
-            base_qps: 8_000.0,
-            builder: c11,
-        },
-        CaseDef {
-            id: "c12",
-            app: "Elasticsearch",
-            resource_type: "System",
-            resource: "CPU",
-            trigger: "The long running queries cause CPU contention and slow down other requests.",
-            base_qps: 8_000.0,
-            builder: c12,
-        },
-        CaseDef {
-            id: "c13",
-            app: "Elasticsearch",
-            resource_type: "Synchronization",
-            resource: "Document lock",
-            trigger: "A large update blocks other requests.",
-            base_qps: 8_000.0,
-            builder: c13,
-        },
-        CaseDef {
-            id: "c14",
-            app: "Solr",
-            resource_type: "Synchronization",
-            resource: "Index lock",
-            trigger: "Complex boolean request slows down other requests.",
-            base_qps: 8_000.0,
-            builder: c14,
-        },
-        CaseDef {
-            id: "c15",
-            app: "Solr",
-            resource_type: "Thread pool",
-            resource: "Solr queue",
-            trigger: "Nested range queries occupy thread pool and block other requests.",
-            base_qps: 8_000.0,
-            builder: c15,
-        },
-        CaseDef {
-            id: "c16",
-            app: "etcd",
-            resource_type: "Synchronization",
-            resource: "Key-value lock",
-            trigger: "Complex read query blocks other queries.",
-            base_qps: 3_000.0,
-            builder: c16,
-        },
-    ]
+    atropos_workload::all_case_descriptors()
+        .into_iter()
+        .map(CaseDef::from_corpus)
+        .collect()
+}
+
+/// The [`CaseDef`] for the injection-driven ticket-queue chaos case
+/// (`c2tq`): the c2 shape with scheduled slow queries, so a controller
+/// that cancels them visibly interrupts the ticket convoy. Used by the
+/// chaos differential, deliberately not in [`all_cases`] — the golden
+/// 16-case suite is pinned.
+pub fn chaos_ticket_queue_case() -> CaseDef {
+    CaseDef::from_corpus(atropos_workload::chaos_ticket_queue())
 }
 
 #[cfg(test)]
@@ -769,5 +370,36 @@ mod tests {
                     .any(|(a, b)| a.weight != b.weight);
             assert!(noisy, "{} overload variant adds no noise", case.id);
         }
+    }
+
+    #[test]
+    fn table_2_columns_come_from_the_descriptor() {
+        let c1 = &all_cases()[0];
+        assert_eq!(c1.app, "MySQL");
+        assert_eq!(c1.resource, "Backup lock");
+        assert_eq!(c1.base_qps, 8_000.0);
+        assert_eq!(c1.descriptor().classes.len(), 4);
+        let tq = chaos_ticket_queue_case();
+        assert_eq!(tq.id, "c2tq");
+        assert_eq!(tq.descriptor().injections.len(), 1);
+    }
+
+    #[test]
+    fn injection_expansion_matches_the_legacy_shape() {
+        // c1: ClassId(2) every 5 s from disturb_at, then ClassId(3) every
+        // 5 s from disturb_at + 400 ms — all of class 2's schedule before
+        // class 3's, exactly as the legacy builder appended them.
+        let params = CaseParams::default();
+        let built = all_cases()[0].build(&params, true);
+        let inj = &built.workload.injections;
+        assert_eq!(inj.len(), 4);
+        assert_eq!(
+            inj.iter().map(|i| i.class).collect::<Vec<_>>(),
+            vec![ClassId(2), ClassId(2), ClassId(3), ClassId(3)]
+        );
+        assert_eq!(inj[0].at, SimTime::from_millis(2_500));
+        assert_eq!(inj[1].at, SimTime::from_millis(7_500));
+        assert_eq!(inj[2].at, SimTime::from_millis(2_900));
+        assert_eq!(inj[3].at, SimTime::from_millis(7_900));
     }
 }

@@ -1,0 +1,187 @@
+//! Structural golden suite: the descriptor corpus must round-trip to the
+//! exact legacy configurations, for all 16 Table-2 cases plus the chaos
+//! ticket-queue variant, at both pinned seeds.
+//!
+//! Where `golden_episodes.rs` pins what the controller *decides*, this
+//! suite pins what the descriptors *build*: the full `ServerConfig`, the
+//! workload observables (mix weights, client pins, expanded injection and
+//! background schedules), the controller hints, and a seeded sample of
+//! every class's `Plan` (hashed — scan plans run to thousands of ops).
+//! Any drift in the parser or the `build_case` interpreter shows up as a
+//! diff against `tests/golden/descriptor_cases.json`, which was generated
+//! from the hard-coded legacy builders' output and is never regenerated
+//! implicitly.
+//!
+//! To regenerate after an intentional descriptor/interpreter change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -q -p atropos-scenarios --test descriptor_golden
+//! ```
+
+use std::path::PathBuf;
+
+use atropos_scenarios::cases::{all_cases, chaos_ticket_queue_case, CaseDef, CaseParams};
+use atropos_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Same pinned seeds as the decision-trace golden suite.
+const SEEDS: [u64; 2] = [7, 20250806];
+
+/// FNV-1a over a string: stable across runs, platforms and toolchains
+/// (unlike `DefaultHasher`, whose algorithm is unspecified).
+fn fnv1a(s: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct VariantFingerprint {
+    seed: u64,
+    overload: bool,
+    /// FNV-1a of the full `ServerConfig` Debug rendering.
+    server: String,
+    qps: f64,
+    /// One line per class: name, weight, client pin, flags.
+    classes: Vec<String>,
+    /// Expanded injection schedule, `<ns>:<class>` per entry, in order.
+    injections: Vec<String>,
+    /// Background jobs, `<class>:<start_ns>:<interval_ns>`.
+    background: Vec<String>,
+    workers: usize,
+    slo_exempt: Vec<u16>,
+    pools: Vec<u32>,
+    /// Per class: `<name>:<op_count>:<fnv of the Plan Debug rendering>`,
+    /// sampled from a fresh `SimRng` at this seed.
+    plans: Vec<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GoldenCase {
+    case: String,
+    variants: Vec<VariantFingerprint>,
+}
+
+fn fingerprint(def: &CaseDef, seed: u64, overload: bool) -> VariantFingerprint {
+    let params = CaseParams {
+        seed,
+        ..CaseParams::default()
+    };
+    let built = def.build(&params, overload);
+    let wl = &built.workload;
+    VariantFingerprint {
+        seed,
+        overload,
+        server: fnv1a(&format!("{:?}", built.server)),
+        qps: wl.arrival_qps,
+        classes: wl
+            .classes
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} w={} client={:?} cancellable={} background={}",
+                    c.name, c.weight, c.client, c.cancellable, c.background
+                )
+            })
+            .collect(),
+        injections: wl
+            .injections
+            .iter()
+            .map(|i| format!("{}:{}", i.at.as_nanos(), i.class.0))
+            .collect(),
+        background: wl
+            .background
+            .iter()
+            .map(|b| {
+                format!(
+                    "{}:{}:{}",
+                    b.class.0,
+                    b.start.as_nanos(),
+                    b.interval.as_nanos()
+                )
+            })
+            .collect(),
+        workers: built.hints.workers,
+        slo_exempt: built.hints.slo_exempt.iter().map(|c| c.0).collect(),
+        pools: built.hints.pools.iter().map(|p| p.0).collect(),
+        plans: wl
+            .classes
+            .iter()
+            .map(|c| {
+                let plan = (c.make_plan)(&mut SimRng::new(seed));
+                format!(
+                    "{}:{}:{}",
+                    c.name,
+                    plan.ops.len(),
+                    fnv1a(&format!("{plan:?}"))
+                )
+            })
+            .collect(),
+    }
+}
+
+fn snapshot() -> Vec<GoldenCase> {
+    let mut defs = all_cases();
+    defs.push(chaos_ticket_queue_case());
+    defs.iter()
+        .map(|def| GoldenCase {
+            case: def.id.to_string(),
+            variants: SEEDS
+                .iter()
+                .flat_map(|&seed| [false, true].map(|overload| fingerprint(def, seed, overload)))
+                .collect(),
+        })
+        .collect()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("descriptor_cases.json")
+}
+
+#[test]
+fn corpus_round_trips_to_the_legacy_configs() {
+    let current = snapshot();
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        let body = serde_json::to_string_pretty(&current).unwrap();
+        std::fs::write(&path, body + "\n").unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    let pinned: Vec<GoldenCase> = serde_json::from_str(&body).expect("parse golden");
+    assert_eq!(
+        pinned.len(),
+        current.len(),
+        "case count drifted (got {}, golden {})",
+        current.len(),
+        pinned.len()
+    );
+    for (p, c) in pinned.iter().zip(&current) {
+        assert_eq!(
+            p, c,
+            "case `{}` no longer round-trips to its pinned legacy config \
+             (if the change is intentional, regenerate with UPDATE_GOLDEN=1)",
+            p.case
+        );
+    }
+}
+
+#[test]
+fn fingerprints_are_deterministic() {
+    // The suite is only meaningful if rebuilding is bit-stable.
+    let a = snapshot();
+    let b = snapshot();
+    assert_eq!(a, b);
+}

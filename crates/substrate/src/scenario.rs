@@ -4,10 +4,12 @@
 //! substrates — the discrete-event simulator and the wall-clock harness —
 //! and demands agreement on culprit identity. "The same story" has to be
 //! pinned somewhere both sides can see: that is the
-//! [`ScenarioDescriptor`]. The chaos crate maps a descriptor onto a sim
-//! case variant (by family and seed) and onto a `LiveConfig` (by the
-//! geometry fields), so a disagreement is a substrate bug, never a
-//! mis-transcribed constant.
+//! [`ScenarioDescriptor`]. This crate defines only the *shape*; the
+//! pinned per-family values live in the checked-in descriptor files
+//! (`atropos-workload`'s corpus, `family_descriptor`). The chaos crate
+//! maps a descriptor onto a sim case variant (by family and seed) and
+//! onto a `LiveConfig` (by the geometry fields), so a disagreement is a
+//! substrate bug, never a mis-transcribed constant.
 
 /// The scenario families both substrates implement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,63 +42,12 @@ impl ScenarioFamily {
         }
     }
 
-    /// The pinned descriptor the differential suite runs this family at.
-    pub fn descriptor(self) -> ScenarioDescriptor {
-        match self {
-            ScenarioFamily::LockHog => ScenarioDescriptor {
-                family: self,
-                sim_seed: 42,
-                workers: 4,
-                interarrival_us: 2000,
-                tickets: 4,
-                culprit_after_ms: 400,
-                culprit_hold_ms: 1200,
-                hot_pages: 128,
-                lru_capacity: 256,
-                pages_per_request: 4,
-                miss_penalty_us: 50,
-                scan_pages: 1 << 16,
-                tiers: 1,
-                fanout: 1,
-            },
-            ScenarioFamily::BufferScan => ScenarioDescriptor {
-                family: self,
-                sim_seed: 42,
-                workers: 4,
-                interarrival_us: 2000,
-                // Two tickets so the scan's page misses convoy admission
-                // behind it instead of being absorbed by spare workers.
-                tickets: 2,
-                culprit_after_ms: 400,
-                culprit_hold_ms: 1200,
-                hot_pages: 128,
-                // Barely larger than the hot set: the scan must evict.
-                lru_capacity: 132,
-                pages_per_request: 8,
-                miss_penalty_us: 1000,
-                scan_pages: 1 << 16,
-                tiers: 1,
-                fanout: 1,
-            },
-            ScenarioFamily::TicketQueue => ScenarioDescriptor {
-                family: self,
-                sim_seed: 42,
-                workers: 4,
-                interarrival_us: 2000,
-                // Few tickets so one hog holding them all starves every
-                // arrival immediately.
-                tickets: 2,
-                culprit_after_ms: 400,
-                culprit_hold_ms: 1200,
-                hot_pages: 128,
-                lru_capacity: 256,
-                pages_per_request: 4,
-                miss_penalty_us: 50,
-                scan_pages: 1 << 16,
-                tiers: 1,
-                fanout: 1,
-            },
-        }
+    /// Parses a family from its stable name.
+    pub fn from_name(name: &str) -> Option<ScenarioFamily> {
+        ScenarioFamily::ALL
+            .iter()
+            .copied()
+            .find(|f| f.name() == name)
     }
 }
 
@@ -150,9 +101,10 @@ mod tests {
     }
 
     #[test]
-    fn descriptors_carry_their_family() {
+    fn names_round_trip() {
         for f in ScenarioFamily::ALL {
-            assert_eq!(f.descriptor().family, f);
+            assert_eq!(ScenarioFamily::from_name(f.name()), Some(f));
         }
+        assert_eq!(ScenarioFamily::from_name("nope"), None);
     }
 }

@@ -1,0 +1,257 @@
+//! The checked-in descriptor corpus.
+//!
+//! Every descriptor file under `crates/workload/descriptors/` is embedded
+//! into the binary with `include_str!` and parsed once, lazily. This is
+//! the single source of truth the substrates consume:
+//!
+//! - `scenarios::cases` builds the 16 Table 2 cases (plus the chaos
+//!   ticket-queue variant) from [`all_case_descriptors`] /
+//!   [`chaos_ticket_queue`];
+//! - the chaos scripted scenarios and the three-way differential resolve
+//!   their pinned geometry via [`family_descriptor`];
+//! - the federation crate resolves topology shape via [`fed_topology`]
+//!   and wall-clock geometry via [`fed_live_spec`];
+//! - the `capacity` binary resolves ramp descriptors via
+//!   [`capacity_descriptor`].
+//!
+//! A checked-in descriptor that fails to parse is a build defect, so
+//! corpus accessors panic with the parse error (file, line, field) rather
+//! than returning a `Result` every caller would have to unwrap anyway.
+
+use std::sync::OnceLock;
+
+use atropos_substrate::{ScenarioDescriptor, ScenarioFamily};
+
+use crate::descriptor::{FedLiveSpec, FedTopology, WorkloadDescriptor};
+
+/// One embedded descriptor file: `(name, text)`.
+pub const CORPUS: [(&str, &str); 26] = [
+    ("c1", include_str!("../descriptors/cases/c1.toml")),
+    ("c2", include_str!("../descriptors/cases/c2.toml")),
+    ("c3", include_str!("../descriptors/cases/c3.toml")),
+    ("c4", include_str!("../descriptors/cases/c4.toml")),
+    ("c5", include_str!("../descriptors/cases/c5.toml")),
+    ("c6", include_str!("../descriptors/cases/c6.toml")),
+    ("c7", include_str!("../descriptors/cases/c7.toml")),
+    ("c8", include_str!("../descriptors/cases/c8.toml")),
+    ("c9", include_str!("../descriptors/cases/c9.toml")),
+    ("c10", include_str!("../descriptors/cases/c10.toml")),
+    ("c11", include_str!("../descriptors/cases/c11.toml")),
+    ("c12", include_str!("../descriptors/cases/c12.toml")),
+    ("c13", include_str!("../descriptors/cases/c13.toml")),
+    ("c14", include_str!("../descriptors/cases/c14.toml")),
+    ("c15", include_str!("../descriptors/cases/c15.toml")),
+    ("c16", include_str!("../descriptors/cases/c16.toml")),
+    ("c2tq", include_str!("../descriptors/cases/c2tq.toml")),
+    (
+        "lock_hog",
+        include_str!("../descriptors/scenarios/lock_hog.toml"),
+    ),
+    (
+        "buffer_scan",
+        include_str!("../descriptors/scenarios/buffer_scan.toml"),
+    ),
+    (
+        "ticket_queue",
+        include_str!("../descriptors/scenarios/ticket_queue.toml"),
+    ),
+    (
+        "partition",
+        include_str!("../descriptors/fed/partition.toml"),
+    ),
+    (
+        "delayed_cancel",
+        include_str!("../descriptors/fed/delayed_cancel.toml"),
+    ),
+    (
+        "fan_convoy",
+        include_str!("../descriptors/fed/fan_convoy.toml"),
+    ),
+    (
+        "two_tier_live",
+        include_str!("../descriptors/fed/two_tier_live.toml"),
+    ),
+    (
+        "capacity_smoke",
+        include_str!("../descriptors/capacity/capacity_smoke.toml"),
+    ),
+    (
+        "capacity_c5",
+        include_str!("../descriptors/capacity/capacity_c5.toml"),
+    ),
+];
+
+fn parsed() -> &'static Vec<WorkloadDescriptor> {
+    static PARSED: OnceLock<Vec<WorkloadDescriptor>> = OnceLock::new();
+    PARSED.get_or_init(|| {
+        CORPUS
+            .iter()
+            .map(|(name, text)| {
+                WorkloadDescriptor::parse(name, text)
+                    .unwrap_or_else(|e| panic!("checked-in descriptor failed to parse: {e}"))
+            })
+            .collect()
+    })
+}
+
+/// Every checked-in descriptor, parsed, in [`CORPUS`] order. Touching
+/// this once validates the whole corpus (the CI fail-loud check).
+pub fn all_descriptors() -> &'static [WorkloadDescriptor] {
+    parsed()
+}
+
+/// The descriptor named `name` (the file stem), if checked in.
+pub fn descriptor(name: &str) -> Option<&'static WorkloadDescriptor> {
+    parsed().iter().find(|d| d.name == name)
+}
+
+/// The 16 Table 2 case descriptors, `c1`..`c16`, in order.
+pub fn all_case_descriptors() -> Vec<&'static WorkloadDescriptor> {
+    (1..=16)
+        .map(|i| descriptor(&format!("c{i}")).expect("the 16-case corpus is checked in"))
+        .collect()
+}
+
+/// The injection-driven ticket-queue case (`c2tq`) the chaos
+/// differential drives.
+pub fn chaos_ticket_queue() -> &'static WorkloadDescriptor {
+    descriptor("c2tq").expect("the c2tq descriptor is checked in")
+}
+
+/// The pinned [`ScenarioDescriptor`] the differential suite runs
+/// `family` at — resolved from the descriptor files (formerly the
+/// hard-coded `ScenarioFamily::descriptor()` literals).
+pub fn family_descriptor(family: ScenarioFamily) -> ScenarioDescriptor {
+    let d = descriptor(family.name())
+        .unwrap_or_else(|| panic!("no checked-in descriptor for family `{}`", family.name()));
+    let s = *d
+        .scenario
+        .as_ref()
+        .unwrap_or_else(|| panic!("descriptor `{}` has no [scenario] stanza", d.name));
+    assert_eq!(
+        s.family,
+        family,
+        "descriptor `{}` declares family `{}`",
+        d.name,
+        s.family.name()
+    );
+    s
+}
+
+/// The federated topology shape for scenario kind `kind`
+/// (`partition`, `delayed_cancel`, `fan_convoy`).
+pub fn fed_topology(kind: &str) -> &'static FedTopology {
+    let d = descriptor(kind)
+        .unwrap_or_else(|| panic!("no checked-in descriptor for fed kind `{kind}`"));
+    let t = d
+        .fed
+        .as_ref()
+        .unwrap_or_else(|| panic!("descriptor `{}` has no [fed] stanza", d.name));
+    assert_eq!(
+        t.kind, kind,
+        "descriptor `{}` declares kind `{}`",
+        d.name, t.kind
+    );
+    t
+}
+
+/// The wall-clock geometry of the two-tier federation harness.
+pub fn fed_live_spec() -> &'static FedLiveSpec {
+    let d = descriptor("two_tier_live").expect("the two_tier_live descriptor is checked in");
+    d.fed_live
+        .as_ref()
+        .expect("two_tier_live has a [fed_live] stanza")
+}
+
+/// A capacity ramp descriptor by name (`capacity_smoke`, `capacity_c5`),
+/// if checked in. Capacity descriptors carry a `[ramp]`.
+pub fn capacity_descriptor(name: &str) -> Option<&'static WorkloadDescriptor> {
+    descriptor(name).filter(|d| d.ramp.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::SubstrateSel;
+
+    #[test]
+    fn whole_corpus_parses() {
+        assert_eq!(all_descriptors().len(), CORPUS.len());
+    }
+
+    #[test]
+    fn corpus_names_are_unique() {
+        let mut names: Vec<&str> = CORPUS.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn sixteen_cases_in_order() {
+        let cases = all_case_descriptors();
+        assert_eq!(cases.len(), 16);
+        for (i, d) in cases.iter().enumerate() {
+            let case = d.case.as_ref().expect("case descriptors carry [case]");
+            assert_eq!(case.id, format!("c{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn resource_type_mix_matches_table_2() {
+        let cases = all_case_descriptors();
+        let count = |t: &str| {
+            cases
+                .iter()
+                .filter(|d| d.case.as_ref().unwrap().resource_type == t)
+                .count()
+        };
+        assert_eq!(count("Synchronization"), 8);
+        assert_eq!(count("Thread pool"), 3);
+        assert_eq!(count("Memory"), 3);
+        assert_eq!(count("System"), 2);
+    }
+
+    #[test]
+    fn family_descriptors_resolve_and_match() {
+        for f in ScenarioFamily::ALL {
+            let d = family_descriptor(f);
+            assert_eq!(d.family, f);
+            assert_eq!(d.sim_seed, 42);
+            assert_eq!(d.workers, 4);
+        }
+        // The per-family geometry that distinguishes the stories.
+        assert_eq!(family_descriptor(ScenarioFamily::LockHog).tickets, 4);
+        assert_eq!(
+            family_descriptor(ScenarioFamily::BufferScan).lru_capacity,
+            132
+        );
+        assert_eq!(family_descriptor(ScenarioFamily::TicketQueue).tickets, 2);
+    }
+
+    #[test]
+    fn fed_topologies_resolve() {
+        assert_eq!(fed_topology("partition").fanout, 1);
+        assert_eq!(fed_topology("delayed_cancel").fanout, 1);
+        assert_eq!(fed_topology("fan_convoy").fanout, 3);
+        assert_eq!(fed_topology("fan_convoy").tiers, 4);
+        assert_eq!(fed_live_spec().workers, 4);
+        assert_eq!(fed_live_spec().queue_time_ns, 20_000_000);
+    }
+
+    #[test]
+    fn capacity_descriptors_carry_ramps_and_substrates() {
+        for name in ["capacity_smoke", "capacity_c5"] {
+            let d = capacity_descriptor(name).expect(name);
+            let ramp = d.ramp.expect("capacity descriptors carry [ramp]");
+            assert!(ramp.steps().len() >= 2, "{name} ramp has <2 steps");
+            assert!(d.slo.is_some(), "{name} has no [slo]");
+            assert_eq!(
+                d.substrates,
+                vec![SubstrateSel::Sim, SubstrateSel::Thread, SubstrateSel::Async]
+            );
+            assert!(d.case.is_some() && d.scenario.is_some());
+        }
+    }
+}

@@ -1,0 +1,1150 @@
+//! The descriptor schema: typed stanzas over the parsed TOML document,
+//! with strict validation.
+//!
+//! A descriptor file declares *what the workload is* — request-class
+//! mixes, resource geometry, culprit-injection schedules, an offered-load
+//! ramp — and every substrate (sim cases, the scripted chaos scenarios,
+//! the live/async harnesses, the federation topologies, the capacity
+//! sweep) interprets the same file. Because four substrates trust these
+//! numbers, validation is deliberately unforgiving: unknown keys, missing
+//! stanzas, out-of-range ramps and malformed class declarations are all
+//! rejected with the offending line and field, never defaulted around.
+
+use std::collections::HashSet;
+
+use atropos_substrate::{ScenarioDescriptor, ScenarioFamily};
+
+use crate::toml::{self, Document, Entry, ParseError, Table, Value};
+
+/// Which simulated application a `[case]` stanza instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// `atropos_app::apps::minidb` (the MySQL/PostgreSQL-like engine).
+    MiniDb,
+    /// `atropos_app::apps::webserver` (the Apache-like worker pool).
+    WebServer,
+    /// `atropos_app::apps::search` (the Elasticsearch/Solr-like engine).
+    Search,
+    /// `atropos_app::apps::kvstore` (the etcd-like store).
+    KvStore,
+}
+
+impl AppKind {
+    /// Stable name used in descriptor files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppKind::MiniDb => "minidb",
+            AppKind::WebServer => "webserver",
+            AppKind::Search => "search",
+            AppKind::KvStore => "kvstore",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "minidb" => Some(AppKind::MiniDb),
+            "webserver" => Some(AppKind::WebServer),
+            "search" => Some(AppKind::Search),
+            "kvstore" => Some(AppKind::KvStore),
+            _ => None,
+        }
+    }
+}
+
+/// A substrate a descriptor's ramp can be executed against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubstrateSel {
+    /// The discrete-event simulator (`atropos-scenarios`).
+    Sim,
+    /// The wall-clock thread harness (`atropos-live`).
+    Thread,
+    /// The hand-rolled async executor (`atropos-async`).
+    Async,
+}
+
+impl SubstrateSel {
+    /// Stable name used in descriptor files and `BENCH_capacity.json`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SubstrateSel::Sim => "sim",
+            SubstrateSel::Thread => "thread",
+            SubstrateSel::Async => "async",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "sim" => Some(SubstrateSel::Sim),
+            "thread" => Some(SubstrateSel::Thread),
+            "async" => Some(SubstrateSel::Async),
+            _ => None,
+        }
+    }
+}
+
+/// Numeric plan parameters a `[[class]]` stanza may carry. Which of them
+/// are *required* (and which forbidden) depends on the class kind — see
+/// [`class_signature`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassParams {
+    /// `table_scan` scan duration.
+    pub duration_ns: Option<u64>,
+    /// Fixed service time (`slow_query`, `long_query`, `nested_range`).
+    pub ns: Option<u64>,
+    /// Resource hold time (`select_for_update`, `bulk_write`, `purge`,
+    /// `big_update`, `complex_boolean`, `range_read`).
+    pub hold_ns: Option<u64>,
+    /// `wal_writer` flush time.
+    pub flush_ns: Option<u64>,
+    /// `backup` per-table copy time.
+    pub copy_ns_per_table: Option<u64>,
+    /// `dump` page count.
+    pub pages: Option<u64>,
+    /// `big_search` entry count.
+    pub entries: Option<u64>,
+    /// `nested_agg` allocation total.
+    pub total_bytes: Option<u64>,
+    /// `nested_agg` step count.
+    pub steps: Option<u64>,
+    /// `vacuum` IO chunk count.
+    pub io_chunks: Option<u64>,
+    /// `vacuum` per-chunk time.
+    pub chunk_ns: Option<u64>,
+    /// `select_with_io` IO time.
+    pub io_ns: Option<u64>,
+    /// `slow_script` script time.
+    pub script_ns: Option<u64>,
+}
+
+/// Every parameter key [`ClassParams`] can hold, in stanza order.
+pub const PARAM_KEYS: [&str; 13] = [
+    "duration_ns",
+    "ns",
+    "hold_ns",
+    "flush_ns",
+    "copy_ns_per_table",
+    "pages",
+    "entries",
+    "total_bytes",
+    "steps",
+    "io_chunks",
+    "chunk_ns",
+    "io_ns",
+    "script_ns",
+];
+
+impl ClassParams {
+    fn get(&self, key: &str) -> Option<u64> {
+        match key {
+            "duration_ns" => self.duration_ns,
+            "ns" => self.ns,
+            "hold_ns" => self.hold_ns,
+            "flush_ns" => self.flush_ns,
+            "copy_ns_per_table" => self.copy_ns_per_table,
+            "pages" => self.pages,
+            "entries" => self.entries,
+            "total_bytes" => self.total_bytes,
+            "steps" => self.steps,
+            "io_chunks" => self.io_chunks,
+            "chunk_ns" => self.chunk_ns,
+            "io_ns" => self.io_ns,
+            "script_ns" => self.script_ns,
+            _ => None,
+        }
+    }
+
+    /// The required parameter, which validation guarantees is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter was not validated in — interpreters only
+    /// call this for keys named by the class's [`class_signature`].
+    pub fn expect(&self, key: &str) -> u64 {
+        self.get(key)
+            .unwrap_or_else(|| panic!("validated descriptor is missing param `{key}`"))
+    }
+
+    fn set(&mut self, key: &str, v: u64) {
+        match key {
+            "duration_ns" => self.duration_ns = Some(v),
+            "ns" => self.ns = Some(v),
+            "hold_ns" => self.hold_ns = Some(v),
+            "flush_ns" => self.flush_ns = Some(v),
+            "copy_ns_per_table" => self.copy_ns_per_table = Some(v),
+            "pages" => self.pages = Some(v),
+            "entries" => self.entries = Some(v),
+            "total_bytes" => self.total_bytes = Some(v),
+            "steps" => self.steps = Some(v),
+            "io_chunks" => self.io_chunks = Some(v),
+            "chunk_ns" => self.chunk_ns = Some(v),
+            "io_ns" => self.io_ns = Some(v),
+            "script_ns" => self.script_ns = Some(v),
+            _ => unreachable!("unknown param key `{key}` passed validation"),
+        }
+    }
+}
+
+/// The signature of a class kind: whether its constructor takes a mix
+/// weight, and which [`ClassParams`] keys it requires. `None` means the
+/// kind does not exist on that app.
+pub fn class_signature(app: AppKind, kind: &str) -> Option<(bool, &'static [&'static str])> {
+    match (app, kind) {
+        (AppKind::MiniDb, "point_select") => Some((true, &[])),
+        (AppKind::MiniDb, "row_update") => Some((true, &[])),
+        (AppKind::MiniDb, "table_scan") => Some((true, &["duration_ns"])),
+        (AppKind::MiniDb, "slow_query") => Some((true, &["ns"])),
+        (AppKind::MiniDb, "dump") => Some((true, &["pages"])),
+        (AppKind::MiniDb, "backup") => Some((false, &["copy_ns_per_table"])),
+        (AppKind::MiniDb, "select_for_update") => Some((false, &["hold_ns"])),
+        (AppKind::MiniDb, "bulk_write") => Some((false, &["hold_ns"])),
+        (AppKind::MiniDb, "purge") => Some((false, &["hold_ns"])),
+        (AppKind::MiniDb, "wal_writer") => Some((false, &["flush_ns"])),
+        (AppKind::MiniDb, "vacuum") => Some((false, &["io_chunks", "chunk_ns"])),
+        (AppKind::MiniDb, "select_with_io") => Some((true, &["io_ns"])),
+        (AppKind::WebServer, "http_request") => Some((true, &[])),
+        (AppKind::WebServer, "slow_script") => Some((true, &["script_ns"])),
+        (AppKind::Search, "search") => Some((true, &[])),
+        (AppKind::Search, "big_search") => Some((true, &["entries"])),
+        (AppKind::Search, "nested_agg") => Some((true, &["total_bytes", "steps"])),
+        (AppKind::Search, "long_query") => Some((true, &["ns"])),
+        (AppKind::Search, "big_update") => Some((true, &["hold_ns"])),
+        (AppKind::Search, "index_doc") => Some((true, &[])),
+        (AppKind::Search, "complex_boolean") => Some((true, &["hold_ns"])),
+        (AppKind::Search, "nested_range") => Some((true, &["ns"])),
+        (AppKind::KvStore, "kv_get") => Some((true, &[])),
+        (AppKind::KvStore, "kv_put") => Some((true, &[])),
+        (AppKind::KvStore, "range_read") => Some((true, &["hold_ns"])),
+        _ => None,
+    }
+}
+
+/// One `[[class]]` stanza: a request class in the mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Class kind — an app method name (see [`class_signature`]).
+    pub kind: String,
+    /// Mix weight in the baseline (no-overload) variant; 0 for kinds
+    /// whose constructor takes no weight.
+    pub weight: f64,
+    /// Mix weight under overload, for cases whose culprit arrives by
+    /// sampling weight rather than by schedule (c2, c9, c12, c15).
+    pub overload_weight: Option<f64>,
+    /// Fixed owning client id, or `None` to round-robin.
+    pub client: Option<u16>,
+    /// Kind-specific plan parameters.
+    pub params: ClassParams,
+}
+
+/// One `[[inject]]` stanza: a one-off class injection repeated every
+/// `every_ms` from `disturb_at + offset_ms` until the run ends
+/// (overload variants only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectDecl {
+    /// Index into the `[[class]]` list.
+    pub class: u16,
+    /// Repeat period, ms.
+    pub every_ms: u64,
+    /// Offset of the first injection past `disturb_at`, ms.
+    pub offset_ms: u64,
+}
+
+/// One `[[background]]` stanza: a recurring background job started at
+/// `disturb_at`, re-spawned `interval_ms` after each completion
+/// (overload variants only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackgroundDecl {
+    /// Index into the `[[class]]` list.
+    pub class: u16,
+    /// Gap between a run's completion and the next spawn, ms.
+    pub interval_ms: u64,
+}
+
+/// A `[case]` stanza plus its class/injection/background stanzas: one
+/// Table 2 overload case, the declarative form of what
+/// `scenarios::cases` used to hard-code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseDescriptor {
+    /// Case id (`c1`..`c16`, `c2tq`, or a capacity scenario id).
+    pub id: String,
+    /// Which simulated application to instantiate.
+    pub app: AppKind,
+    /// Application name as Table 2 prints it (`MySQL`, `Apache`, ...).
+    pub display_app: String,
+    /// Resource type (Table 2 column 3).
+    pub resource_type: String,
+    /// Resource detail (Table 2 column 4).
+    pub resource: String,
+    /// Overload triggering condition (Table 2 column 5).
+    pub trigger: String,
+    /// Default open-loop load, qps (scaled by `load_scale` / the ramp).
+    pub base_qps: f64,
+    /// Class indices exempt from the latency SLO (controller hints).
+    pub slo_exempt: Vec<u16>,
+    /// The request-class mix, in `ClassId` order.
+    pub classes: Vec<ClassDecl>,
+    /// Timed injection schedules.
+    pub injections: Vec<InjectDecl>,
+    /// Recurring background jobs.
+    pub background: Vec<BackgroundDecl>,
+}
+
+/// A `[ramp]` stanza: the offered-load sweep a capacity run executes
+/// (the IC scalability-suite shape: start at `initial_rps`, add
+/// `increment_rps` per step until `max_rps`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RampSpec {
+    /// Offered load of the first step, rps.
+    pub initial_rps: f64,
+    /// Load added per step, rps.
+    pub increment_rps: f64,
+    /// Load of the last step, rps (inclusive).
+    pub max_rps: f64,
+    /// Measured duration of one step, ms.
+    pub step_ms: u64,
+    /// Per-step warmup excluded from measurement, ms.
+    pub warmup_ms: u64,
+}
+
+impl RampSpec {
+    /// The offered loads the ramp visits, in order.
+    pub fn steps(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut rps = self.initial_rps;
+        // Tolerate float accumulation on the last step.
+        while rps <= self.max_rps * (1.0 + 1e-9) {
+            out.push(rps);
+            rps += self.increment_rps;
+        }
+        out
+    }
+}
+
+/// An `[slo]` stanza: the target the capacity knee is judged against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Victim p99 latency budget, ms.
+    pub victim_p99_ms: f64,
+}
+
+impl SloSpec {
+    /// The budget in nanoseconds.
+    pub fn victim_p99_ns(&self) -> u64 {
+        (self.victim_p99_ms * 1_000_000.0) as u64
+    }
+}
+
+/// A `[fed]` stanza: service-graph shape for a federated scenario kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FedTopology {
+    /// Scenario kind name (`partition`, `delayed_cancel`, `fan_convoy`).
+    pub kind: String,
+    /// Service-graph depth including the frontend.
+    pub tiers: u8,
+    /// Backend fan-out per frontend request.
+    pub fanout: u8,
+}
+
+/// A `[fed_live]` stanza: wall-clock geometry of the two-tier federation
+/// harness (`fed::FedLiveConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FedLiveSpec {
+    /// Frontend worker threads.
+    pub workers: usize,
+    /// Wall-clock duration load is offered for, ms.
+    pub run_for_ms: u64,
+    /// Open-loop spacing between arrivals, µs.
+    pub interarrival_us: u64,
+    /// Backend shard hold of a normal request, µs.
+    pub backend_hold_us: u64,
+    /// When the culprit is injected, ms.
+    pub culprit_after_ms: u64,
+    /// Maximum culprit hold if never canceled, ms.
+    pub culprit_hold_ms: u64,
+    /// Culprit cancellation-checkpoint interval, ms.
+    pub checkpoint_ms: u64,
+    /// Supervisor tick period / DAGOR adaptation epoch, ms.
+    pub tick_period_ms: u64,
+    /// DAGOR's average queuing-time overload threshold, ns.
+    pub queue_time_ns: u64,
+}
+
+/// A fully parsed and validated descriptor file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadDescriptor {
+    /// Descriptor name (file stem), carried into errors and artifacts.
+    pub name: String,
+    /// The sim-substrate case, if declared.
+    pub case: Option<CaseDescriptor>,
+    /// The thread/async-substrate scenario geometry, if declared.
+    pub scenario: Option<ScenarioDescriptor>,
+    /// Federated topology, if declared.
+    pub fed: Option<FedTopology>,
+    /// Federated wall-clock geometry, if declared.
+    pub fed_live: Option<FedLiveSpec>,
+    /// The offered-load ramp, if declared.
+    pub ramp: Option<RampSpec>,
+    /// The capacity SLO, if declared.
+    pub slo: Option<SloSpec>,
+    /// Substrates a capacity run should sweep (root `substrates` key).
+    pub substrates: Vec<SubstrateSel>,
+}
+
+impl WorkloadDescriptor {
+    /// Parses and validates a descriptor from TOML text. `name` labels
+    /// errors and artifacts (conventionally the file stem).
+    pub fn parse(name: &str, text: &str) -> Result<Self, ParseError> {
+        parse_descriptor(name, text).map_err(|e| e.in_source(name))
+    }
+
+    /// The `[case]` stanza, or a loud error naming the descriptor.
+    pub fn require_case(&self) -> Result<&CaseDescriptor, ParseError> {
+        self.case.as_ref().ok_or_else(|| {
+            ParseError::at(0, "descriptor has no [case] stanza").in_source(&self.name)
+        })
+    }
+
+    /// The `[scenario]` stanza, or a loud error naming the descriptor.
+    pub fn require_scenario(&self) -> Result<&ScenarioDescriptor, ParseError> {
+        self.scenario.as_ref().ok_or_else(|| {
+            ParseError::at(0, "descriptor has no [scenario] stanza").in_source(&self.name)
+        })
+    }
+
+    /// The `[ramp]` stanza, or a loud error naming the descriptor.
+    pub fn require_ramp(&self) -> Result<&RampSpec, ParseError> {
+        self.ramp.as_ref().ok_or_else(|| {
+            ParseError::at(0, "descriptor has no [ramp] stanza").in_source(&self.name)
+        })
+    }
+}
+
+/// Tracks which keys of a table an extractor consumed, so leftovers can
+/// be rejected by name and line.
+struct Reader<'a> {
+    table: &'a Table,
+    used: HashSet<&'a str>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(table: &'a Table) -> Self {
+        Self {
+            table,
+            used: HashSet::new(),
+        }
+    }
+
+    fn take(&mut self, key: &'a str) -> Option<&'a Entry> {
+        let e = self.table.get(key)?;
+        self.used.insert(key);
+        Some(e)
+    }
+
+    fn req(&mut self, key: &'a str) -> Result<&'a Entry, ParseError> {
+        self.take(key).ok_or_else(|| {
+            ParseError::at(self.table.line, format!("missing required key `{key}`")).field(key)
+        })
+    }
+
+    fn req_str(&mut self, key: &'a str) -> Result<String, ParseError> {
+        as_str(self.req(key)?)
+    }
+
+    fn req_f64(&mut self, key: &'a str) -> Result<f64, ParseError> {
+        as_f64(self.req(key)?)
+    }
+
+    fn req_u64(&mut self, key: &'a str) -> Result<u64, ParseError> {
+        as_u64(self.req(key)?)
+    }
+
+    fn opt_u64(&mut self, key: &'a str) -> Result<Option<u64>, ParseError> {
+        self.take(key).map(as_u64).transpose()
+    }
+
+    fn opt_f64(&mut self, key: &'a str) -> Result<Option<f64>, ParseError> {
+        self.take(key).map(as_f64).transpose()
+    }
+
+    /// Errors on the first key no extractor consumed.
+    fn finish(self) -> Result<(), ParseError> {
+        for e in &self.table.entries {
+            if !self.used.contains(e.key.as_str()) {
+                return Err(
+                    ParseError::at(e.line, format!("unknown key `{}`", e.key)).field(&e.key)
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+fn as_str(e: &Entry) -> Result<String, ParseError> {
+    match &e.value {
+        Value::Str(s) => Ok(s.clone()),
+        v => Err(type_err(e, "string", v)),
+    }
+}
+
+fn as_f64(e: &Entry) -> Result<f64, ParseError> {
+    match &e.value {
+        Value::Float(f) => Ok(*f),
+        Value::Int(i) => Ok(*i as f64),
+        v => Err(type_err(e, "float", v)),
+    }
+}
+
+fn as_u64(e: &Entry) -> Result<u64, ParseError> {
+    match &e.value {
+        Value::Int(i) if *i >= 0 => Ok(*i as u64),
+        Value::Int(_) => {
+            Err(ParseError::at(e.line, format!("`{}` must be >= 0", e.key)).field(&e.key))
+        }
+        v => Err(type_err(e, "integer", v)),
+    }
+}
+
+fn as_u16(e: &Entry) -> Result<u16, ParseError> {
+    let v = as_u64(e)?;
+    u16::try_from(v)
+        .map_err(|_| ParseError::at(e.line, format!("`{}` = {v} exceeds u16", e.key)).field(&e.key))
+}
+
+fn as_u16_list(e: &Entry) -> Result<Vec<u16>, ParseError> {
+    let Value::Array(items) = &e.value else {
+        return Err(type_err(e, "array of integers", &e.value));
+    };
+    items
+        .iter()
+        .map(|v| match v {
+            Value::Int(i) if *i >= 0 && *i <= u16::MAX as i64 => Ok(*i as u16),
+            other => Err(ParseError::at(
+                e.line,
+                format!(
+                    "`{}` items must be small non-negative integers, got {}",
+                    e.key,
+                    other.type_name()
+                ),
+            )
+            .field(&e.key)),
+        })
+        .collect()
+}
+
+fn type_err(e: &Entry, want: &str, got: &Value) -> ParseError {
+    ParseError::at(
+        e.line,
+        format!("`{}` must be a {want}, got {}", e.key, got.type_name()),
+    )
+    .field(&e.key)
+}
+
+fn parse_class(table: &Table, app: AppKind) -> Result<ClassDecl, ParseError> {
+    let mut r = Reader::new(table);
+    let kind = r.req_str("kind")?;
+    let kind_line = table.get("kind").expect("just read").line;
+    let Some((takes_weight, required)) = class_signature(app, &kind) else {
+        return Err(ParseError::at(
+            kind_line,
+            format!("unknown class kind `{kind}` for app `{}`", app.name()),
+        )
+        .field("kind"));
+    };
+    let weight = if takes_weight {
+        r.req_f64("weight")?
+    } else {
+        if let Some(e) = r.take("weight") {
+            return Err(ParseError::at(
+                e.line,
+                format!("class kind `{kind}` takes no `weight` (its mix weight is fixed at 0)"),
+            )
+            .field("weight"));
+        }
+        0.0
+    };
+    let overload_weight = if takes_weight {
+        r.opt_f64("overload_weight")?
+    } else {
+        if let Some(e) = r.take("overload_weight") {
+            return Err(ParseError::at(
+                e.line,
+                format!("class kind `{kind}` takes no `overload_weight`"),
+            )
+            .field("overload_weight"));
+        }
+        None
+    };
+    if weight < 0.0 || overload_weight.is_some_and(|w| w < 0.0) {
+        return Err(
+            ParseError::at(kind_line, format!("class `{kind}` has a negative weight"))
+                .field("weight"),
+        );
+    }
+    let client = r.take("client").map(as_u16).transpose()?;
+    let mut params = ClassParams::default();
+    for key in required {
+        params.set(key, r.req_u64(key)?);
+    }
+    for key in PARAM_KEYS {
+        if !required.contains(&key) {
+            if let Some(e) = r.take(key) {
+                return Err(ParseError::at(
+                    e.line,
+                    format!("class kind `{kind}` takes no param `{key}`"),
+                )
+                .field(key));
+            }
+        }
+    }
+    r.finish()?;
+    Ok(ClassDecl {
+        kind,
+        weight,
+        overload_weight,
+        client,
+        params,
+    })
+}
+
+fn parse_case(doc: &Document, table: &Table) -> Result<CaseDescriptor, ParseError> {
+    let mut r = Reader::new(table);
+    let id = r.req_str("id")?;
+    let app_name = r.req_str("app")?;
+    let app_line = table.get("app").expect("just read").line;
+    let Some(app) = AppKind::from_name(&app_name) else {
+        return Err(ParseError::at(
+            app_line,
+            format!("unknown app `{app_name}` (expected minidb|webserver|search|kvstore)"),
+        )
+        .field("app"));
+    };
+    let display_app = r.req_str("display_app")?;
+    let resource_type = r.req_str("resource_type")?;
+    let resource = r.req_str("resource")?;
+    let trigger = r.req_str("trigger")?;
+    let base_qps = r.req_f64("base_qps")?;
+    if base_qps <= 0.0 {
+        let e = table.get("base_qps").expect("just read");
+        return Err(ParseError::at(e.line, "`base_qps` must be positive").field("base_qps"));
+    }
+    let slo_exempt = match r.take("slo_exempt") {
+        Some(e) => as_u16_list(e)?,
+        None => Vec::new(),
+    };
+    r.finish()?;
+
+    let classes: Vec<ClassDecl> = doc
+        .array("class")
+        .into_iter()
+        .map(|t| parse_class(t, app))
+        .collect::<Result<_, _>>()?;
+    if classes.is_empty() {
+        return Err(ParseError::at(
+            table.line,
+            "a [case] needs at least one [[class]] stanza",
+        ));
+    }
+    let n = classes.len() as u64;
+    let class_index = |r: &mut Reader| -> Result<u16, ParseError> {
+        let e = r.req("class")?;
+        let idx = as_u64(e)?;
+        if idx >= n {
+            return Err(ParseError::at(
+                e.line,
+                format!("class index {idx} out of range (the case declares {n} classes)"),
+            )
+            .field("class"));
+        }
+        Ok(idx as u16)
+    };
+
+    let mut injections = Vec::new();
+    for t in doc.array("inject") {
+        let mut r = Reader::new(t);
+        let class = class_index(&mut r)?;
+        let every_ms = r.req_u64("every_ms")?;
+        if every_ms == 0 {
+            let e = t.get("every_ms").expect("just read");
+            return Err(ParseError::at(e.line, "`every_ms` must be positive").field("every_ms"));
+        }
+        let offset_ms = r.opt_u64("offset_ms")?.unwrap_or(0);
+        r.finish()?;
+        injections.push(InjectDecl {
+            class,
+            every_ms,
+            offset_ms,
+        });
+    }
+
+    let mut background = Vec::new();
+    for t in doc.array("background") {
+        let mut r = Reader::new(t);
+        let class = class_index(&mut r)?;
+        let interval_ms = r.req_u64("interval_ms")?;
+        if interval_ms == 0 {
+            let e = t.get("interval_ms").expect("just read");
+            return Err(
+                ParseError::at(e.line, "`interval_ms` must be positive").field("interval_ms")
+            );
+        }
+        r.finish()?;
+        background.push(BackgroundDecl { class, interval_ms });
+    }
+
+    for ex in &slo_exempt {
+        if u64::from(*ex) >= n {
+            let e = table.get("slo_exempt").expect("validated above");
+            return Err(ParseError::at(
+                e.line,
+                format!("slo_exempt index {ex} out of range (the case declares {n} classes)"),
+            )
+            .field("slo_exempt"));
+        }
+    }
+
+    Ok(CaseDescriptor {
+        id,
+        app,
+        display_app,
+        resource_type,
+        resource,
+        trigger,
+        base_qps,
+        slo_exempt,
+        classes,
+        injections,
+        background,
+    })
+}
+
+fn parse_scenario(table: &Table) -> Result<ScenarioDescriptor, ParseError> {
+    let mut r = Reader::new(table);
+    let family_name = r.req_str("family")?;
+    let family_line = table.get("family").expect("just read").line;
+    let family = ScenarioFamily::ALL
+        .into_iter()
+        .find(|f| f.name() == family_name)
+        .ok_or_else(|| {
+            ParseError::at(
+                family_line,
+                format!("unknown scenario family `{family_name}` (expected lock_hog|buffer_scan|ticket_queue)"),
+            )
+            .field("family")
+        })?;
+    let d = ScenarioDescriptor {
+        family,
+        sim_seed: r.req_u64("sim_seed")?,
+        workers: r.req_u64("workers")? as usize,
+        interarrival_us: r.req_u64("interarrival_us")?,
+        tickets: r.req_u64("tickets")? as usize,
+        culprit_after_ms: r.req_u64("culprit_after_ms")?,
+        culprit_hold_ms: r.req_u64("culprit_hold_ms")?,
+        hot_pages: r.req_u64("hot_pages")?,
+        lru_capacity: r.req_u64("lru_capacity")? as usize,
+        pages_per_request: r.req_u64("pages_per_request")?,
+        miss_penalty_us: r.req_u64("miss_penalty_us")?,
+        scan_pages: r.req_u64("scan_pages")?,
+        tiers: r.req_u64("tiers")? as u8,
+        fanout: r.req_u64("fanout")? as u8,
+    };
+    r.finish()?;
+    for (key, ok) in [
+        ("workers", d.workers > 0),
+        ("tickets", d.tickets > 0),
+        ("interarrival_us", d.interarrival_us > 0),
+        ("lru_capacity", d.lru_capacity > 0),
+        ("tiers", d.tiers >= 1),
+        ("fanout", d.fanout >= 1),
+    ] {
+        if !ok {
+            let e = table.get(key).expect("validated above");
+            return Err(ParseError::at(e.line, format!("`{key}` must be positive")).field(key));
+        }
+    }
+    Ok(d)
+}
+
+fn parse_ramp(table: &Table) -> Result<RampSpec, ParseError> {
+    let mut r = Reader::new(table);
+    let ramp = RampSpec {
+        initial_rps: r.req_f64("initial_rps")?,
+        increment_rps: r.req_f64("increment_rps")?,
+        max_rps: r.req_f64("max_rps")?,
+        step_ms: r.req_u64("step_ms")?,
+        warmup_ms: r.opt_u64("warmup_ms")?.unwrap_or(0),
+    };
+    r.finish()?;
+    let bad = |key: &str, msg: &str| -> Result<RampSpec, ParseError> {
+        let e = table.get(key).expect("validated above");
+        Err(ParseError::at(e.line, msg).field(key))
+    };
+    if ramp.initial_rps <= 0.0 || !ramp.initial_rps.is_finite() {
+        return bad(
+            "initial_rps",
+            "`initial_rps` must be a positive finite rate",
+        );
+    }
+    if ramp.increment_rps <= 0.0 || !ramp.increment_rps.is_finite() {
+        return bad(
+            "increment_rps",
+            "`increment_rps` must be a positive finite rate (a flat ramp never terminates)",
+        );
+    }
+    if ramp.max_rps < ramp.initial_rps || !ramp.max_rps.is_finite() {
+        return bad("max_rps", "`max_rps` must be finite and >= `initial_rps`");
+    }
+    if ramp.step_ms == 0 {
+        return bad("step_ms", "`step_ms` must be positive");
+    }
+    Ok(ramp)
+}
+
+fn parse_slo(table: &Table) -> Result<SloSpec, ParseError> {
+    let mut r = Reader::new(table);
+    let slo = SloSpec {
+        victim_p99_ms: r.req_f64("victim_p99_ms")?,
+    };
+    r.finish()?;
+    if slo.victim_p99_ms <= 0.0 || !slo.victim_p99_ms.is_finite() {
+        let e = table.get("victim_p99_ms").expect("validated above");
+        return Err(
+            ParseError::at(e.line, "`victim_p99_ms` must be a positive finite budget")
+                .field("victim_p99_ms"),
+        );
+    }
+    Ok(slo)
+}
+
+fn parse_fed(table: &Table) -> Result<FedTopology, ParseError> {
+    let mut r = Reader::new(table);
+    let fed = FedTopology {
+        kind: r.req_str("kind")?,
+        tiers: r.req_u64("tiers")? as u8,
+        fanout: r.req_u64("fanout")? as u8,
+    };
+    r.finish()?;
+    if fed.tiers < 2 {
+        let e = table.get("tiers").expect("validated above");
+        return Err(ParseError::at(
+            e.line,
+            "`tiers` must be >= 2 (a federation has a frontend and at least one backend)",
+        )
+        .field("tiers"));
+    }
+    if fed.fanout == 0 || u64::from(fed.fanout) != u64::from(fed.tiers) - 1 {
+        let e = table.get("fanout").expect("validated above");
+        return Err(ParseError::at(
+            e.line,
+            format!(
+                "`fanout` must equal tiers - 1 = {} (every backend tier serves the fan-out)",
+                fed.tiers - 1
+            ),
+        )
+        .field("fanout"));
+    }
+    Ok(fed)
+}
+
+fn parse_fed_live(table: &Table) -> Result<FedLiveSpec, ParseError> {
+    let mut r = Reader::new(table);
+    let spec = FedLiveSpec {
+        workers: r.req_u64("workers")? as usize,
+        run_for_ms: r.req_u64("run_for_ms")?,
+        interarrival_us: r.req_u64("interarrival_us")?,
+        backend_hold_us: r.req_u64("backend_hold_us")?,
+        culprit_after_ms: r.req_u64("culprit_after_ms")?,
+        culprit_hold_ms: r.req_u64("culprit_hold_ms")?,
+        checkpoint_ms: r.req_u64("checkpoint_ms")?,
+        tick_period_ms: r.req_u64("tick_period_ms")?,
+        queue_time_ns: r.req_u64("queue_time_ns")?,
+    };
+    r.finish()?;
+    for (key, ok) in [
+        ("workers", spec.workers > 0),
+        ("run_for_ms", spec.run_for_ms > 0),
+        ("interarrival_us", spec.interarrival_us > 0),
+        ("tick_period_ms", spec.tick_period_ms > 0),
+    ] {
+        if !ok {
+            let e = table.get(key).expect("validated above");
+            return Err(ParseError::at(e.line, format!("`{key}` must be positive")).field(key));
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_descriptor(name: &str, text: &str) -> Result<WorkloadDescriptor, ParseError> {
+    let doc = toml::parse(text)?;
+
+    // Root keys: only `substrates` is allowed.
+    let mut substrates = Vec::new();
+    for e in &doc.root.entries {
+        if e.key != "substrates" {
+            return Err(ParseError::at(
+                e.line,
+                format!(
+                    "unknown top-level key `{}` (did you mean to put it in a stanza?)",
+                    e.key
+                ),
+            )
+            .field(&e.key));
+        }
+        let Value::Array(items) = &e.value else {
+            return Err(type_err(e, "array of substrate names", &e.value));
+        };
+        for item in items {
+            let Value::Str(s) = item else {
+                return Err(type_err(e, "array of substrate names", item));
+            };
+            let sel = SubstrateSel::from_name(s).ok_or_else(|| {
+                ParseError::at(
+                    e.line,
+                    format!("unknown substrate `{s}` (expected sim|thread|async)"),
+                )
+                .field("substrates")
+            })?;
+            if substrates.contains(&sel) {
+                return Err(ParseError::at(e.line, format!("duplicate substrate `{s}`"))
+                    .field("substrates"));
+            }
+            substrates.push(sel);
+        }
+    }
+
+    const STANZAS: [&str; 6] = ["case", "scenario", "ramp", "slo", "fed", "fed_live"];
+    const ARRAYS: [&str; 3] = ["class", "inject", "background"];
+    for (n, t) in &doc.tables {
+        if !STANZAS.contains(&n.as_str()) {
+            return Err(ParseError::at(t.line, format!("unknown stanza `[{n}]`")).field(n.as_str()));
+        }
+    }
+    for (n, t) in &doc.arrays {
+        if !ARRAYS.contains(&n.as_str()) {
+            return Err(
+                ParseError::at(t.line, format!("unknown stanza `[[{n}]]`")).field(n.as_str())
+            );
+        }
+    }
+
+    let case = doc.table("case").map(|t| parse_case(&doc, t)).transpose()?;
+    if case.is_none() {
+        if let Some((_, t)) = doc
+            .arrays
+            .iter()
+            .find(|(n, _)| ARRAYS.contains(&n.as_str()))
+        {
+            return Err(ParseError::at(
+                t.line,
+                "[[class]]/[[inject]]/[[background]] stanzas require a [case] stanza",
+            ));
+        }
+    }
+    let scenario = doc.table("scenario").map(parse_scenario).transpose()?;
+    let ramp = doc.table("ramp").map(parse_ramp).transpose()?;
+    let slo = doc.table("slo").map(parse_slo).transpose()?;
+    let fed = doc.table("fed").map(parse_fed).transpose()?;
+    let fed_live = doc.table("fed_live").map(parse_fed_live).transpose()?;
+
+    if case.is_none() && scenario.is_none() && fed.is_none() && fed_live.is_none() {
+        return Err(ParseError::at(
+            0,
+            "descriptor declares no workload ([case], [scenario], [fed] or [fed_live])",
+        ));
+    }
+    if ramp.is_some() && !substrates.is_empty() {
+        let needs_case = substrates.contains(&SubstrateSel::Sim) && case.is_none();
+        let needs_scenario = (substrates.contains(&SubstrateSel::Thread)
+            || substrates.contains(&SubstrateSel::Async))
+            && scenario.is_none();
+        if needs_case {
+            return Err(ParseError::at(
+                0,
+                "ramp sweeps the sim substrate but the descriptor has no [case] stanza",
+            ));
+        }
+        if needs_scenario {
+            return Err(ParseError::at(
+                0,
+                "ramp sweeps a wall-clock substrate but the descriptor has no [scenario] stanza",
+            ));
+        }
+    }
+
+    Ok(WorkloadDescriptor {
+        name: name.to_string(),
+        case,
+        scenario,
+        fed,
+        fed_live,
+        ramp,
+        slo,
+        substrates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = r#"
+substrates = ["sim"]
+
+[case]
+id = "t1"
+app = "minidb"
+display_app = "MySQL"
+resource_type = "Synchronization"
+resource = "Backup lock"
+trigger = "test"
+base_qps = 8_000.0
+slo_exempt = [2]
+
+[[class]]
+kind = "point_select"
+weight = 0.65
+
+[[class]]
+kind = "row_update"
+weight = 0.35
+
+[[class]]
+kind = "table_scan"
+weight = 0.0
+duration_ns = 3_000_000_000
+client = 100
+
+[[inject]]
+class = 2
+every_ms = 5_000
+offset_ms = 400
+
+[ramp]
+initial_rps = 1_000.0
+increment_rps = 1_000.0
+max_rps = 4_000.0
+step_ms = 500
+
+[slo]
+victim_p99_ms = 20.0
+"#;
+
+    #[test]
+    fn full_descriptor_round_trips() {
+        let d = WorkloadDescriptor::parse("mini", MINI).unwrap();
+        let case = d.case.as_ref().unwrap();
+        assert_eq!(case.id, "t1");
+        assert_eq!(case.app, AppKind::MiniDb);
+        assert_eq!(case.base_qps, 8_000.0);
+        assert_eq!(case.classes.len(), 3);
+        assert_eq!(case.classes[0].weight, 0.65);
+        assert_eq!(case.classes[2].params.duration_ns, Some(3_000_000_000));
+        assert_eq!(case.classes[2].client, Some(100));
+        assert_eq!(
+            case.injections,
+            vec![InjectDecl {
+                class: 2,
+                every_ms: 5_000,
+                offset_ms: 400
+            }]
+        );
+        let ramp = d.ramp.unwrap();
+        assert_eq!(ramp.steps(), vec![1_000.0, 2_000.0, 3_000.0, 4_000.0]);
+        assert_eq!(d.slo.unwrap().victim_p99_ns(), 20_000_000);
+        assert_eq!(d.substrates, vec![SubstrateSel::Sim]);
+    }
+
+    #[test]
+    fn unknown_key_is_rejected_with_line_and_field() {
+        let text = MINI.replace("slo_exempt = [2]", "slo_exemptt = [2]");
+        let err = WorkloadDescriptor::parse("mini", &text).unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("slo_exemptt"));
+        assert!(err.line > 0);
+        assert!(err.to_string().contains("mini:"), "{err}");
+    }
+
+    #[test]
+    fn wrong_params_for_kind_are_rejected() {
+        let text = MINI.replace("duration_ns = 3_000_000_000", "hold_ns = 3_000_000_000");
+        let err = WorkloadDescriptor::parse("mini", &text).unwrap_err();
+        // Both the missing required param and the foreign param are
+        // errors; whichever fires first must name its field.
+        assert!(err.field.is_some(), "{err}");
+    }
+
+    #[test]
+    fn injection_class_bounds_checked() {
+        let text = MINI.replace("class = 2\nevery_ms", "class = 9\nevery_ms");
+        let err = WorkloadDescriptor::parse("mini", &text).unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn bad_ramp_is_rejected() {
+        let text = MINI.replace("increment_rps = 1_000.0", "increment_rps = 0.0");
+        let err = WorkloadDescriptor::parse("mini", &text).unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("increment_rps"));
+        let text = MINI.replace("max_rps = 4_000.0", "max_rps = 500.0");
+        let err = WorkloadDescriptor::parse("mini", &text).unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("max_rps"));
+    }
+
+    #[test]
+    fn scenario_stanza_builds_a_descriptor() {
+        let text = r#"
+[scenario]
+family = "lock_hog"
+sim_seed = 42
+workers = 4
+interarrival_us = 2000
+tickets = 4
+culprit_after_ms = 400
+culprit_hold_ms = 1200
+hot_pages = 128
+lru_capacity = 256
+pages_per_request = 4
+miss_penalty_us = 50
+scan_pages = 65_536
+tiers = 1
+fanout = 1
+"#;
+        let d = WorkloadDescriptor::parse("lock_hog", text).unwrap();
+        let s = d.scenario.unwrap();
+        assert_eq!(s.family, ScenarioFamily::LockHog);
+        assert_eq!(s.scan_pages, 1 << 16);
+        // A scenario missing a geometry field is an error, not a default.
+        let text = text.replace("tickets = 4\n", "");
+        let err = WorkloadDescriptor::parse("lock_hog", &text).unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("tickets"));
+    }
+
+    #[test]
+    fn empty_descriptor_is_rejected() {
+        let err = WorkloadDescriptor::parse("none", "# nothing\n").unwrap_err();
+        assert!(err.message.contains("no workload"), "{err}");
+    }
+
+    #[test]
+    fn weight_on_weightless_kind_is_rejected() {
+        let text = r#"
+[case]
+id = "t"
+app = "minidb"
+display_app = "MySQL"
+resource_type = "x"
+resource = "y"
+trigger = "z"
+base_qps = 100.0
+
+[[class]]
+kind = "point_select"
+weight = 1.0
+
+[[class]]
+kind = "backup"
+weight = 0.5
+copy_ns_per_table = 40_000_000
+"#;
+        let err = WorkloadDescriptor::parse("t", text).unwrap_err();
+        assert_eq!(err.field.as_deref(), Some("weight"));
+        assert!(err.message.contains("backup"), "{err}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Malformed descriptors must be rejected loudly — with the source name,
+//! the offending line, and (when identifiable) the field — never silently
+//! defaulted around. The property tests mutate the real checked-in corpus
+//! so every stanza shape the repo actually uses is covered.
+
+use atropos_workload::{WorkloadDescriptor, CORPUS};
+use proptest::prelude::*;
+
+/// 1-based line numbers of every `key = value` line in `text`, with the key.
+fn key_lines(text: &str) -> Vec<(usize, String)> {
+    text.lines()
+        .enumerate()
+        .filter_map(|(i, line)| {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with('#') || trimmed.starts_with('[') {
+                return None;
+            }
+            let key: String = trimmed
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            let rest = trimmed[key.len()..].trim_start();
+            (!key.is_empty() && rest.starts_with('=')).then(|| (i + 1, key))
+        })
+        .collect()
+}
+
+/// Renames the key on 1-based line `line` to `new_key`.
+fn rename_key(text: &str, line: usize, new_key: &str) -> String {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i + 1 == line {
+                let indent: String = l.chars().take_while(|c| c.is_whitespace()).collect();
+                let trimmed = l.trim_start();
+                let old: String = trimmed
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                format!("{indent}{new_key}{}", &trimmed[old.len()..])
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+proptest! {
+    /// Renaming any key in any checked-in descriptor to something unknown
+    /// makes the parse fail, and the error names the source, a line, and
+    /// a field — the fail-loud contract.
+    #[test]
+    fn unknown_or_missing_key_is_rejected_with_position(pick in 0u64..10_000, which in 0u64..10_000) {
+        let (name, text) = CORPUS[(pick as usize) % CORPUS.len()];
+        let keys = key_lines(text);
+        prop_assert!(!keys.is_empty(), "descriptor `{name}` has no key lines");
+        let (line, key) = &keys[(which as usize) % keys.len()];
+        let mutated = rename_key(text, *line, &format!("zz_{key}"));
+        let err = WorkloadDescriptor::parse(name, &mutated)
+            .expect_err("a renamed key must not parse");
+        // Either `zz_<key>` is flagged as unknown, or the original key is
+        // flagged as missing; both must carry a position and a field.
+        prop_assert_eq!(&err.source, name);
+        prop_assert!(err.line > 0, "error has no line: {err}");
+        let field = err.field.clone().unwrap_or_default();
+        prop_assert!(
+            field == format!("zz_{key}") || field == *key,
+            "error field `{field}` names neither the mutated nor the original key: {err}"
+        );
+    }
+
+    /// Replacing any numeric value with a string makes the parse fail
+    /// with the field named (type errors are never coerced).
+    #[test]
+    fn type_confusion_is_rejected(pick in 0u64..10_000, which in 0u64..10_000) {
+        let (name, text) = CORPUS[(pick as usize) % CORPUS.len()];
+        let numeric: Vec<(usize, String)> = key_lines(text)
+            .into_iter()
+            .filter(|(line, _)| {
+                let l = text.lines().nth(line - 1).unwrap();
+                let val = l.split('=').nth(1).unwrap_or("").trim();
+                val.chars().next().is_some_and(|c| c.is_ascii_digit())
+            })
+            .collect();
+        prop_assert!(!numeric.is_empty(), "descriptor `{name}` has no numeric keys");
+        let (line, key) = &numeric[(which as usize) % numeric.len()];
+        let mutated: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i + 1 == *line {
+                    format!("{key} = \"bogus\"")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = WorkloadDescriptor::parse(name, &mutated)
+            .expect_err("a string where a number belongs must not parse");
+        prop_assert_eq!(&err.source, name);
+        prop_assert!(err.line > 0, "error has no line: {err}");
+        prop_assert!(err.field.is_some(), "error has no field: {err}");
+    }
+}
+
+#[test]
+fn unknown_stanza_is_rejected() {
+    let (name, text) = CORPUS[0];
+    let mutated = format!("{text}\n[bogus]\nx = 1\n");
+    let err = WorkloadDescriptor::parse(name, &mutated).expect_err("unknown stanza");
+    assert!(err.line > 0);
+    assert!(
+        err.to_string().contains("bogus"),
+        "error does not name the stanza: {err}"
+    );
+}
+
+#[test]
+fn degenerate_ramps_are_rejected() {
+    let base = "\
+substrates = [\"sim\"]
+
+[case]
+id = \"c2tq\"
+app = \"minidb\"
+display_app = \"MySQL\"
+resource_type = \"Thread pool\"
+resource = \"InnoDB queue\"
+trigger = \"test fixture\"
+base_qps = 1000.0
+
+[[class]]
+kind = \"point_select\"
+weight = 1.0
+";
+    for (ramp, offender) in [
+        ("initial_rps = 0.0\nincrement_rps = 100.0\nmax_rps = 200.0\nstep_ms = 100\nwarmup_ms = 0", "initial_rps"),
+        ("initial_rps = 100.0\nincrement_rps = 0.0\nmax_rps = 200.0\nstep_ms = 100\nwarmup_ms = 0", "increment_rps"),
+        ("initial_rps = 100.0\nincrement_rps = 50.0\nmax_rps = 50.0\nstep_ms = 100\nwarmup_ms = 0", "max_rps"),
+        ("initial_rps = 100.0\nincrement_rps = 50.0\nmax_rps = 200.0\nstep_ms = 0\nwarmup_ms = 0", "step_ms"),
+    ] {
+        let text = format!("{base}\n[ramp]\n{ramp}\n");
+        let err = match WorkloadDescriptor::parse("degenerate", &text) {
+            Err(e) => e,
+            Ok(_) => panic!("ramp with bad {offender} parsed"),
+        };
+        assert_eq!(
+            err.field.as_deref(),
+            Some(offender),
+            "wrong field blamed: {err}"
+        );
+        assert!(err.line > 0, "error has no line: {err}");
+    }
+}
+
+#[test]
+fn ramp_without_matching_stanza_is_rejected() {
+    // A ramp that sweeps the sim substrate needs a [case]; one that
+    // sweeps a wall-clock substrate needs a [scenario].
+    let text = "\
+substrates = [\"sim\"]
+
+[ramp]
+initial_rps = 100.0
+increment_rps = 100.0
+max_rps = 200.0
+step_ms = 100
+warmup_ms = 0
+";
+    let err = WorkloadDescriptor::parse("rampless", text).expect_err("no [case]");
+    assert!(
+        err.to_string().contains("[case]"),
+        "error does not explain the missing stanza: {err}"
+    );
+}

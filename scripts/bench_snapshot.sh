@@ -2,9 +2,11 @@
 # Runs the tracing and policy criterion benches and distills the
 # BENCHRESULT lines into BENCH_trace.json, the perf trajectory record
 # later PRs compare against; then runs the live-harness smoke bench and
-# distills it into BENCH_live.json.
+# distills it into BENCH_live.json; then sweeps the capacity_smoke
+# descriptor's offered-load ramp into BENCH_capacity.json (knee rps per
+# substrate, static vs adaptive controller delta).
 #
-# Usage: scripts/bench_snapshot.sh [output.json] [live_output.json]
+# Usage: scripts/bench_snapshot.sh [output.json] [live_output.json] [capacity.json]
 #
 # Each bench harness prints one machine-readable line per benchmark:
 #   BENCHRESULT {"id":"group/name","ns_per_iter":X,"iters":N[,"elements_per_sec":Y]}
@@ -14,6 +16,7 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_trace.json}"
 live_out="${2:-BENCH_live.json}"
+capacity_out="${3:-BENCH_capacity.json}"
 raw="$(mktemp)"
 live_raw="$(mktemp)"
 trap 'rm -f "$raw" "$live_raw"' EXIT
@@ -249,4 +252,43 @@ with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path}", file=sys.stderr)
+PY
+
+# Capacity sweep: the capacity binary writes the final JSON itself
+# (schema bench_capacity/v1); set -e fails the script if the sweep dies.
+# The validation pass after it fails loud if the payload is missing the
+# knee curves or the static-vs-adaptive comparison, so a truncated or
+# schema-drifted artifact can never pass silently.
+echo "== capacity --workload capacity_smoke" >&2
+cargo run --release -p atropos-bench --bin capacity -- \
+    --workload capacity_smoke --quick --out "$capacity_out"
+
+python3 - "$capacity_out" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+snap = json.load(open(path))
+if snap.get("schema") != "bench_capacity/v1":
+    sys.exit(f"error: {path}: unexpected schema {snap.get('schema')!r}")
+subs = snap.get("substrates") or []
+if not subs:
+    sys.exit(f"error: {path}: no substrate knee curves")
+print(f"capacity knees ({snap['workload']}):", file=sys.stderr)
+for curve in subs:
+    for key in ("substrate", "knee_rps", "steps"):
+        if key not in curve:
+            sys.exit(f"error: {path}: substrate curve missing {key!r}")
+    print(f"  {curve['substrate']:>7}: knee {curve['knee_rps']} rps "
+          f"({len(curve['steps'])} steps)", file=sys.stderr)
+avs = snap.get("adaptive_vs_static")
+if avs is None:
+    sys.exit(f"error: {path}: missing adaptive_vs_static section")
+for key in ("best_static_knee_rps", "adaptive_knee_rps", "adaptive_delta_rps"):
+    if key not in avs:
+        sys.exit(f"error: {path}: adaptive_vs_static missing {key!r}")
+print(f"  adaptive: knee {avs['adaptive_knee_rps']} rps "
+      f"(best static {avs['best_static_knee_rps']}, "
+      f"delta {avs['adaptive_delta_rps']})", file=sys.stderr)
+print(f"wrote {path}", file=sys.stderr)
 PY
